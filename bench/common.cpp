@@ -1,0 +1,216 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace adapipe {
+namespace bench {
+
+std::vector<Method>
+clusterAMethods()
+{
+    return {
+        {"DAPPLE-Full", {}, BaselineSchedule::Dapple, true},
+        {"DAPPLE-Non", {}, BaselineSchedule::Dapple, false},
+        {"Chimera-Full", {}, BaselineSchedule::Chimera, true},
+        {"Chimera-Non", {}, BaselineSchedule::Chimera, false},
+        {"ChimeraD-Full", {}, BaselineSchedule::ChimeraD, true},
+        {"ChimeraD-Non", {}, BaselineSchedule::ChimeraD, false},
+        {"Even Partitioning", PlanMethod::EvenPartition, {}, false},
+        {"AdaPipe", PlanMethod::AdaPipe, {}, false},
+    };
+}
+
+std::vector<Method>
+clusterBMethods()
+{
+    return {
+        {"DAPPLE-Full", {}, BaselineSchedule::Dapple, true},
+        {"DAPPLE-Non", {}, BaselineSchedule::Dapple, false},
+        {"Even Partitioning", PlanMethod::EvenPartition, {}, false},
+        {"AdaPipe", PlanMethod::AdaPipe, {}, false},
+    };
+}
+
+CellResult
+evaluateMethod(const ModelConfig &model, const TrainConfig &train,
+               const ParallelConfig &par, const ClusterSpec &cluster,
+               const Method &method)
+{
+    CellResult cell;
+    cell.method = method.name;
+    cell.strategy = par;
+
+    // Chimera variants need even pipelines and micro-batch counts.
+    const int n = train.microBatches(par);
+    if (method.schedule) {
+        const bool chimera =
+            *method.schedule == BaselineSchedule::Chimera ||
+            *method.schedule == BaselineSchedule::ChimeraD;
+        if (chimera && (par.pipeline % 2 != 0 || n % 2 != 0)) {
+            cell.oomReason = "schedule needs even p and n";
+            return cell;
+        }
+        if (*method.schedule == BaselineSchedule::ChimeraD &&
+            n % 4 != 0) {
+            cell.oomReason = "forward doubling needs n % 4 == 0";
+            return cell;
+        }
+    }
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    if (method.plan) {
+        const PlanResult r = makePlan(pm, *method.plan);
+        if (!r.ok) {
+            cell.oomReason = r.oomReason;
+            return cell;
+        }
+        cell.plan = r.plan;
+        cell.details = simulatePlan(pm, r.plan);
+        cell.feasible = true;
+        cell.iterationTime = cell.details.iterationTime;
+        return cell;
+    }
+
+    cell.details = evaluateBaseline(pm, *method.schedule,
+                                    method.fullRecompute);
+    cell.feasible = cell.details.feasible;
+    cell.oomReason = cell.details.oomReason;
+    cell.iterationTime = cell.details.iterationTime;
+    return cell;
+}
+
+CellResult
+bestOverStrategies(const ModelConfig &model, const TrainConfig &train,
+                   const ClusterSpec &cluster, const Method &method,
+                   const StrategySearchOptions &opts)
+{
+    CellResult best;
+    best.method = method.name;
+    best.oomReason = "all strategies OOM";
+    Seconds best_time = std::numeric_limits<double>::infinity();
+    for (const ParallelConfig &par :
+         enumerateStrategies(model, train, cluster, opts)) {
+        CellResult cell =
+            evaluateMethod(model, train, par, cluster, method);
+        if (!cell.feasible)
+            continue;
+        if (cell.iterationTime < best_time) {
+            best_time = cell.iterationTime;
+            best = std::move(cell);
+        }
+    }
+    return best;
+}
+
+std::string
+cellTime(const CellResult &cell)
+{
+    if (!cell.feasible)
+        return "OOM";
+    return formatSeconds(cell.iterationTime);
+}
+
+void
+runClusterAFigure(const ModelConfig &model, const ClusterSpec &cluster,
+                  const std::vector<std::pair<int, int>> &configs)
+{
+    std::cout << "End-to-end performance of " << model.name << " on "
+              << cluster.name << " (" << cluster.totalDevices()
+              << " devices)\n"
+              << "Each cell: best iteration time over all (t, p, d) "
+                 "strategies; speedups vs DAPPLE-Full/-Non.\n\n";
+
+    // With ADAPIPE_CSV_DIR set, machine-readable copies of every
+    // row are written for plotting.
+    const char *csv_dir = std::getenv("ADAPIPE_CSV_DIR");
+    std::ofstream csv_file;
+    std::unique_ptr<CsvWriter> csv;
+    if (csv_dir) {
+        std::string name = model.name;
+        for (char &c : name) {
+            if (c == ' ' || c == '.')
+                c = '_';
+        }
+        const std::string path =
+            std::string(csv_dir) + "/cluster_a_" + name + ".csv";
+        csv_file.open(path);
+        if (csv_file.good()) {
+            csv = std::make_unique<CsvWriter>(
+                csv_file,
+                std::vector<std::string>{"seq", "global_batch",
+                                         "method", "feasible",
+                                         "iteration_s", "tensor",
+                                         "pipeline", "data"});
+        } else {
+            std::cerr << "warning: cannot write " << path << "\n";
+        }
+    }
+
+    for (const auto &[seq, gbs] : configs) {
+        TrainConfig train;
+        train.seqLen = seq;
+        train.globalBatch = gbs;
+
+        std::cout << "Sequence length " << seq << ", global batch "
+                  << gbs << ":\n";
+        Table table({"Method", "Iteration", "Strategy (t,p,d)",
+                     "Speedup (vs Full/Non)"});
+
+        std::vector<CellResult> cells;
+        for (const Method &m : clusterAMethods())
+            cells.push_back(
+                bestOverStrategies(model, train, cluster, m));
+
+        const Seconds full = cells[0].feasible
+                                 ? cells[0].iterationTime
+                                 : 0;
+        const Seconds non = cells[1].feasible ? cells[1].iterationTime
+                                              : 0;
+        for (const CellResult &cell : cells) {
+            table.addRow(
+                {cell.method, cellTime(cell),
+                 cell.feasible ? cell.strategy.toString() : "-",
+                 full > 0 ? speedupLabel(cell, full, non) : "-"});
+            if (csv) {
+                csv->writeRow(
+                    {std::to_string(seq), std::to_string(gbs),
+                     cell.method, cell.feasible ? "1" : "0",
+                     cell.feasible
+                         ? formatDouble(cell.iterationTime, 4)
+                         : "",
+                     std::to_string(cell.strategy.tensor),
+                     std::to_string(cell.strategy.pipeline),
+                     std::to_string(cell.strategy.data)});
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+std::string
+speedupLabel(const CellResult &cell, Seconds dapple_full,
+             Seconds dapple_non)
+{
+    if (!cell.feasible)
+        return "-";
+    std::string label =
+        formatDouble(dapple_full / cell.iterationTime) + "x/";
+    if (dapple_non > 0)
+        label += formatDouble(dapple_non / cell.iterationTime) + "x";
+    else
+        label += "OOM";
+    return label;
+}
+
+} // namespace bench
+} // namespace adapipe

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared experiment runner for the benchmark harnesses.
+ *
+ * Reproduces the paper's measurement methodology: for each method,
+ * iterate all valid 3D parallelism strategies (cluster A) or use the
+ * paper's fixed strategy (cluster B), execute the winning
+ * configuration in the event-driven simulator and report iteration
+ * time or an OOM marker.
+ */
+
+#ifndef ADAPIPE_BENCH_COMMON_H
+#define ADAPIPE_BENCH_COMMON_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/strategy_search.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "sim/baseline_eval.h"
+
+namespace adapipe {
+namespace bench {
+
+/** Identifier of one evaluated method (planner- or schedule-based). */
+struct Method
+{
+    std::string name;
+    /** Set for planner-routed methods. */
+    std::optional<PlanMethod> plan;
+    /** Set for schedule-routed baselines. */
+    std::optional<BaselineSchedule> schedule;
+    /** Full (true) or no (false) recomputation for baselines. */
+    bool fullRecompute = true;
+};
+
+/** The paper's method line-ups. */
+std::vector<Method> clusterAMethods();  ///< Figs. 5/6: 8 methods
+std::vector<Method> clusterBMethods();  ///< Fig. 7: 4 methods
+
+/** Outcome of one (method, workload) cell. */
+struct CellResult
+{
+    std::string method;
+    bool feasible = false;
+    std::string oomReason;
+    /** Simulated iteration time of the best strategy. */
+    Seconds iterationTime = 0;
+    /** Winning strategy (t, p, d). */
+    ParallelConfig strategy;
+    /** End-to-end details of the winning strategy. */
+    EndToEndResult details;
+    /** The plan, for planner-routed methods. */
+    std::optional<PipelinePlan> plan;
+};
+
+/**
+ * Evaluate @p method under one fixed strategy.
+ */
+CellResult evaluateMethod(const ModelConfig &model,
+                          const TrainConfig &train,
+                          const ParallelConfig &par,
+                          const ClusterSpec &cluster,
+                          const Method &method);
+
+/**
+ * Evaluate @p method under every valid strategy and keep the best
+ * feasible one (the paper's cluster-A methodology).
+ */
+CellResult bestOverStrategies(const ModelConfig &model,
+                              const TrainConfig &train,
+                              const ClusterSpec &cluster,
+                              const Method &method,
+                              const StrategySearchOptions &opts = {});
+
+/** Format an iteration time or "OOM" for table cells. */
+std::string cellTime(const CellResult &cell);
+
+/**
+ * Run and print a full cluster-A end-to-end figure (Figs. 5/6): for
+ * each (sequence length, global batch) pair evaluate all eight
+ * methods, each under its best strategy.
+ */
+void runClusterAFigure(const ModelConfig &model,
+                       const ClusterSpec &cluster,
+                       const std::vector<std::pair<int, int>> &configs);
+
+/**
+ * Format the paper's speedup annotation relative to the DAPPLE
+ * baselines, e.g. "1.25x/1.08x" (vs -Full / vs -Non).
+ */
+std::string speedupLabel(const CellResult &cell, Seconds dapple_full,
+                         Seconds dapple_non);
+
+} // namespace bench
+} // namespace adapipe
+
+#endif // ADAPIPE_BENCH_COMMON_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Extension study: Megatron's interleaved 1F1B (Sec. 2.1 background)
+ * vs plain 1F1B and AdaPipe.
+ *
+ * The paper notes interleaving "reduces the bubble ratio while
+ * bringing more communication overhead" (and more in-flight
+ * activations). This bench quantifies that trade-off on GPT-3 and
+ * shows where AdaPipe's recomputation-aware planning sits.
+ */
+
+#include <iostream>
+
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "sim/baseline_eval.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8);
+    TrainConfig train;
+    train.seqLen = 8192;
+    train.globalBatch = 64;
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 8;
+    par.data = 1;
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+
+    std::cout << "Extension: interleaved 1F1B on " << model.name
+              << ", seq " << train.seqLen << ", strategy "
+              << par.toString() << "\n\n";
+
+    Table table({"Schedule", "Recompute", "Iteration",
+                 "Idle/device", "Peak mem (dev 0)", "Peak in-flight"});
+
+    for (int v : {1, 2, 4}) {
+        for (RecomputeBaseline mode :
+             {RecomputeBaseline::Full, RecomputeBaseline::None}) {
+            const EndToEndResult r =
+                evaluateInterleaved(pm, v, mode);
+            const std::string name =
+                v == 1 ? "1F1B"
+                       : "Interleaved (v=" + std::to_string(v) + ")";
+            if (!r.feasible) {
+                table.addRow({name,
+                              mode == RecomputeBaseline::Full
+                                  ? "Full"
+                                  : "None",
+                              "OOM", "-", formatBytes(r.deviceMem[0]),
+                              std::to_string(r.peakAlive[0])});
+                continue;
+            }
+            table.addRow(
+                {name,
+                 mode == RecomputeBaseline::Full ? "Full" : "None",
+                 formatSeconds(r.iterationTime),
+                 formatSeconds(r.bubbleTime /
+                               static_cast<double>(par.pipeline)),
+                 formatBytes(r.deviceMem[0]),
+                 std::to_string(r.peakAlive[0])});
+        }
+    }
+
+    const PlanResult ada = makePlan(pm, PlanMethod::AdaPipe);
+    if (ada.ok) {
+        const EndToEndResult r = simulatePlan(pm, ada.plan);
+        table.addRow({"AdaPipe (1F1B)", "Adaptive",
+                      formatSeconds(r.iterationTime),
+                      formatSeconds(r.bubbleTime /
+                                    static_cast<double>(par.pipeline)),
+                      formatBytes(r.deviceMem[0]),
+                      std::to_string(r.peakAlive[0])});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nInterleaving shrinks bubbles by ~v but pins ~v-times "
+           "more in-flight chunk\nactivations, so its no-recompute "
+           "variants OOM even sooner; AdaPipe attacks the\nsame "
+           "bubble time through cheaper backward passes within the "
+           "memory budget.\n";
+    return 0;
+}

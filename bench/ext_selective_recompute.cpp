@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Extension study: the recomputation-strategy ladder of Sec. 2.2 on
+ * the *unfused* attention path (the pre-flash-attention era).
+ *
+ * Without flash attention the O(s^2) score/softmax tensors dominate
+ * activation memory. Selective recomputation (Korthikanti et al.)
+ * drops exactly those; full recomputation drops everything; AdaPipe
+ * subsumes both by choosing per stage. With flash attention enabled
+ * the selective strategy degenerates to no-recompute ("superseded",
+ * Sec. 2.2), which the last table demonstrates.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "sim/baseline_eval.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+namespace {
+
+void
+runLadder(const ModelConfig &model, const ClusterSpec &cluster,
+          bool flash, int seq)
+{
+    TrainConfig train;
+    train.seqLen = seq;
+    train.globalBatch = 32;
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 4;
+    par.data = 1;
+    par.flashAttention = flash;
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+
+    std::cout << (flash ? "With" : "Without") << " flash attention, "
+              << "seq " << seq << ":\n";
+    Table table(
+        {"Method", "Iteration", "Stage-0 mem", "Backward overhead"});
+
+    const PlanResult non = makePlan(pm, PlanMethod::DappleNon);
+    const Seconds base_bwd =
+        non.ok ? non.plan.stages.front().timeBwd : 0;
+
+    for (PlanMethod m :
+         {PlanMethod::DappleNon, PlanMethod::DappleSelective,
+          PlanMethod::DappleFull, PlanMethod::EvenPartition,
+          PlanMethod::AdaPipe}) {
+        const PlanResult r = makePlan(pm, m);
+        if (!r.ok) {
+            table.addRow({planMethodName(m), "OOM", "-", "-"});
+            continue;
+        }
+        const StagePlan &s0 = r.plan.stages.front();
+        std::string overhead = "-";
+        if (base_bwd > 0) {
+            const double pct =
+                100.0 * (s0.timeBwd - base_bwd) / base_bwd;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+            overhead = buf;
+        }
+        table.addRow({planMethodName(m),
+                      formatSeconds(r.plan.timing.total),
+                      formatBytes(s0.memPeak), overhead});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelConfig model = gpt3_13b();
+    ClusterSpec cluster = clusterA(4);
+
+    std::cout << "Extension: recomputation-strategy ladder ("
+              << model.name << ", 32 GPUs)\n\n";
+
+    runLadder(model, cluster, /*flash=*/false, 8192);
+    runLadder(model, cluster, /*flash=*/false, 16384);
+    runLadder(model, cluster, /*flash=*/true, 16384);
+
+    std::cout
+        << "Shape check vs paper Sec. 2.2: selective recomputation "
+           "removes most of the\nmemory gap at a small backward "
+           "overhead on the unfused path; with flash\nattention it "
+           "coincides with no-recompute; AdaPipe dominates both on "
+           "either path.\n";
+    return 0;
+}

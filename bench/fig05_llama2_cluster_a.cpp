@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 5: end-to-end performance of Llama 2 70B on cluster A
+ * (32 A100 GPUs) for sequence lengths 4096 / 8192 / 16384.
+ *
+ * Expected shape: DAPPLE-Non beats DAPPLE-Full while it fits and
+ * OOMs at 16384; Chimera trails DAPPLE when n > p; ChimeraD-Non OOMs
+ * from 8192; AdaPipe and Even Partitioning win overall, with up to
+ * ~1.2x over the best DAPPLE variant at long sequences.
+ */
+
+#include "common.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    bench::runClusterAFigure(
+        llama2_70b(), clusterA(4),
+        {{4096, 128}, {8192, 64}, {16384, 32}});
+    return 0;
+}

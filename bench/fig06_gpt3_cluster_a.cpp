@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 6: end-to-end performance of GPT-3 175B on cluster A
+ * (64 A100 GPUs) for sequence lengths 4096 / 8192 / 16384.
+ *
+ * Expected shape: every no-recomputation baseline OOMs at 8192 and
+ * 16384; AdaPipe and Even Partitioning exploit the freed memory and
+ * reach up to ~1.3x over DAPPLE-Full, with AdaPipe ahead of Even
+ * Partitioning especially at long sequences.
+ */
+
+#include "common.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    bench::runClusterAFigure(
+        gpt3_175b(), clusterA(8),
+        {{4096, 128}, {8192, 64}, {16384, 32}});
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 8: peak memory usage of each stage for GPT-3, sequence
+ * length 16384, strategy (t, p, d) = (8, 8, 1) on cluster A.
+ *
+ * Expected shape: DAPPLE-Full flat around 50 GiB (30+ GiB wasted),
+ * first/last stages slightly higher (embedding / decoding head);
+ * DAPPLE-Non heavily imbalanced (stage 0 over the 80 GiB capacity,
+ * roughly 2.3x stage 7); Chimera variants exceed DAPPLE-Full via
+ * duplicated parameters, their *-Non middles highest; AdaPipe and
+ * Even Partitioning balanced around the 70 GiB DP constraint.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+using namespace adapipe::bench;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8);
+    TrainConfig train;
+    train.seqLen = 16384;
+    train.globalBatch = 32;
+
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 8;
+    par.data = 1;
+
+    std::cout << "Figure 8: peak memory per stage, " << model.name
+              << ", seq " << train.seqLen << ", strategy "
+              << par.toString() << ", capacity "
+              << formatBytes(cluster.device.memCapacity, 0) << "\n"
+              << "(OOM methods report their estimated requirement; "
+                 "'*' marks cells above capacity)\n\n";
+
+    Table table({"Method", "s0", "s1", "s2", "s3", "s4", "s5", "s6",
+                 "s7"});
+    for (const Method &m : clusterAMethods()) {
+        const CellResult cell =
+            evaluateMethod(model, train, par, cluster, m);
+        std::vector<std::string> row{m.name};
+        if (cell.details.deviceMem.empty()) {
+            row.push_back("infeasible schedule");
+            table.addRow(std::move(row));
+            continue;
+        }
+        for (Bytes b : cell.details.deviceMem) {
+            std::string text = formatBytes(b, 1);
+            if (b > cluster.device.memCapacity)
+                text += " *";
+            row.push_back(std::move(text));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 9: computation time (micro-step = forward + backward of one
+ * micro-batch) of each stage for GPT-3, sequence length 16384,
+ * strategy (8, 8, 1).
+ *
+ * Expected shape: the *-Full baselines are flat around 2x the
+ * no-recompute micro-step; Even Partitioning decreases with the
+ * stage id (front stages recompute more; slowest/fastest ~1.15x);
+ * AdaPipe is flat again because adaptive partitioning re-balances.
+ */
+
+#include <iostream>
+
+#include "common.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+using namespace adapipe::bench;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8);
+    TrainConfig train;
+    train.seqLen = 16384;
+    train.globalBatch = 32;
+
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 8;
+    par.data = 1;
+
+    std::cout << "Figure 9: micro-step (F+B) time per stage, "
+              << model.name << ", seq " << train.seqLen
+              << ", strategy " << par.toString() << "\n\n";
+
+    const std::vector<Method> methods = {
+        {"DAPPLE-Full", {}, BaselineSchedule::Dapple, true},
+        {"Chimera-Full", {}, BaselineSchedule::Chimera, true},
+        {"ChimeraD-Full", {}, BaselineSchedule::ChimeraD, true},
+        {"Even Partitioning", PlanMethod::EvenPartition, {}, false},
+        {"AdaPipe", PlanMethod::AdaPipe, {}, false},
+    };
+
+    Table table({"Method", "s0", "s1", "s2", "s3", "s4", "s5", "s6",
+                 "s7", "max/min"});
+    for (const Method &m : methods) {
+        const CellResult cell =
+            evaluateMethod(model, train, par, cluster, m);
+        std::vector<std::string> row{m.name};
+        if (cell.details.microStepTime.empty()) {
+            row.push_back("infeasible");
+            table.addRow(std::move(row));
+            continue;
+        }
+        Seconds lo = cell.details.microStepTime.front();
+        Seconds hi = lo;
+        for (Seconds t : cell.details.microStepTime) {
+            row.push_back(formatSeconds(t));
+            lo = std::min(lo, t);
+            hi = std::max(hi, t);
+        }
+        row.push_back(formatDouble(hi / lo) + "x");
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 10: loss curves of AdaPipe vs DAPPLE-Full.
+ *
+ * The paper validates that adaptive recomputation "only reduces the
+ * repeated computation without changing the computation of each
+ * operator". We train the tiny LM with real drop-and-recompute
+ * checkpointing and show that (a) the AdaPipe-style mixed strategy
+ * is *bit-identical* to full recomputation, and (b) curves with a
+ * different parameter initialisation (the paper's explanation for
+ * its residual difference: partitioning changes init order) differ
+ * but converge to the same level.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "autograd/module.h"
+#include "autograd/trainer.h"
+#include "util/table.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    TinyLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.dim = 32;
+    cfg.blocks = 4;
+    cfg.ffnHidden = 96;
+    cfg.maxSeq = 64;
+
+    TrainOptions opts;
+    opts.steps = 200;
+    opts.seqLen = 32;
+    opts.lr = 4e-3f;
+
+    auto run = [&](std::uint64_t seed,
+                   std::vector<BlockRecompute> modes) {
+        TinyLmConfig c = cfg;
+        c.seed = seed;
+        TinyLM model(c);
+        TrainOptions o = opts;
+        o.recompute = std::move(modes);
+        return trainTinyLM(model, o);
+    };
+
+    std::cout << "Figure 10: loss curves (tiny LM on the synthetic "
+                 "bigram task, 200 steps)\n\n";
+
+    // DAPPLE-Full = every block fully recomputed; AdaPipe = the
+    // mixed strategy its knapsack would pick (front blocks
+    // recompute, back blocks save).
+    const TrainStats dapple =
+        run(42, std::vector<BlockRecompute>(cfg.blocks,
+                                            BlockRecompute::Full));
+    const TrainStats adapipe =
+        run(42, {BlockRecompute::Full, BlockRecompute::AttentionOnly,
+                 BlockRecompute::AttentionOnly,
+                 BlockRecompute::None});
+    const TrainStats reinit =
+        run(43, {BlockRecompute::Full, BlockRecompute::AttentionOnly,
+                 BlockRecompute::AttentionOnly,
+                 BlockRecompute::None});
+
+    Table table({"Step", "DAPPLE-Full", "AdaPipe", "AdaPipe (other "
+                 "init)"});
+    for (int step = 0; step < opts.steps; step += 20) {
+        char a[32];
+        char b[32];
+        char c[32];
+        std::snprintf(a, sizeof(a), "%.6f", dapple.losses[step]);
+        std::snprintf(b, sizeof(b), "%.6f", adapipe.losses[step]);
+        std::snprintf(c, sizeof(c), "%.6f", reinit.losses[step]);
+        table.addRow({std::to_string(step), a, b, c});
+    }
+    table.print(std::cout);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < dapple.losses.size(); ++i)
+        identical = identical && dapple.losses[i] == adapipe.losses[i];
+    std::cout << "\nSame-init curves bit-identical across all "
+              << dapple.losses.size() << " steps: "
+              << (identical ? "YES" : "NO")
+              << "\nPeak activation floats: DAPPLE-Full "
+              << dapple.peakActivationFloats << ", AdaPipe "
+              << adapipe.peakActivationFloats
+              << " (AdaPipe spends the memory it saves from skipped "
+                 "recomputation on kept activations)\n"
+              << "Shape check vs paper: recomputation does not "
+                 "change the math; residual curve differences come "
+                 "from initialisation only.\n";
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 3: iteration time of GPT-3 (seq 4096, global batch 128) on
+ * cluster A under every 3D parallelism strategy, for DAPPLE-Full,
+ * DAPPLE-Non, Even Partitioning and AdaPipe.
+ *
+ * Expected shape: (1, 32, 2) OOMs for the AdaPipe methods (output
+ * tensors of Attention/FFN are always saved and huge at t = 1);
+ * DAPPLE-Non only fits at t = 8; mid-size tensor parallelism
+ * (t = 4) wins for the recomputation-aware methods; the best cell
+ * per column is marked with '*'.
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "common.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+using namespace adapipe::bench;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8);
+    TrainConfig train;
+    train.seqLen = 4096;
+    train.globalBatch = 128;
+
+    const std::vector<Method> methods = {
+        {"DAPPLE-Full", {}, BaselineSchedule::Dapple, true},
+        {"DAPPLE-Non", {}, BaselineSchedule::Dapple, false},
+        {"Even Partitioning", PlanMethod::EvenPartition, {}, false},
+        {"AdaPipe", PlanMethod::AdaPipe, {}, false},
+    };
+
+    std::cout << "Table 3: GPT-3, seq 4096, cluster A (64 GPUs), "
+                 "iteration time per (t, p, d) strategy\n\n";
+
+    StrategySearchOptions opts;
+    const auto strategies =
+        enumerateStrategies(model, train, cluster, opts);
+
+    // Collect all cells; remember each method's best.
+    std::vector<std::vector<CellResult>> cells(strategies.size());
+    std::vector<Seconds> best(methods.size(),
+                              std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+        for (std::size_t m = 0; m < methods.size(); ++m) {
+            CellResult cell = evaluateMethod(model, train,
+                                             strategies[i], cluster,
+                                             methods[m]);
+            if (cell.feasible)
+                best[m] = std::min(best[m], cell.iterationTime);
+            cells[i].push_back(std::move(cell));
+        }
+    }
+
+    Table table({"(t, p, d)", "DAPPLE-Full", "DAPPLE-Non",
+                 "Even Partitioning", "AdaPipe"});
+    for (std::size_t i = 0; i < strategies.size(); ++i) {
+        bool any = false;
+        std::vector<std::string> row{strategies[i].toString()};
+        for (std::size_t m = 0; m < methods.size(); ++m) {
+            const CellResult &cell = cells[i][m];
+            std::string text = cellTime(cell);
+            if (cell.feasible) {
+                any = true;
+                if (cell.iterationTime == best[m])
+                    text += " *";
+            }
+            row.push_back(std::move(text));
+        }
+        // The paper omits strategies that OOM for every method.
+        if (any)
+            table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n(* = best strategy for that method)\n";
+    return 0;
+}

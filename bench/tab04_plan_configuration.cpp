@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 4: the recomputation and partitioning configuration AdaPipe
+ * and Even Partitioning produce for GPT-3, sequence 16384, strategy
+ * (8, 8, 1): saved computation units and layer counts per stage.
+ *
+ * Expected shape: saved units increase with the stage id (later
+ * stages keep fewer in-flight micro-batches); AdaPipe moves layers
+ * from early to late stages (e.g. 23..26 vs the uniform 24/25).
+ */
+
+#include <iostream>
+
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8);
+    TrainConfig train;
+    train.seqLen = 16384;
+    train.globalBatch = 32;
+
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 8;
+    par.data = 1;
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+
+    std::cout << "Table 4: plan configuration, " << model.name
+              << ", seq " << train.seqLen << ", strategy "
+              << par.toString() << "\n\n";
+
+    Table table({"Method", "Metric", "s0", "s1", "s2", "s3", "s4",
+                 "s5", "s6", "s7"});
+    for (PlanMethod method :
+         {PlanMethod::AdaPipe, PlanMethod::EvenPartition}) {
+        const PlanResult r = makePlan(pm, method);
+        if (!r.ok) {
+            table.addRow({planMethodName(method), "OOM"});
+            continue;
+        }
+        std::vector<std::string> saved{planMethodName(method),
+                                       "Saved units"};
+        std::vector<std::string> layers{"", "# Layers"};
+        for (const StagePlan &sp : r.plan.stages) {
+            saved.push_back(std::to_string(sp.savedUnits));
+            layers.push_back(std::to_string(sp.numLayers()));
+        }
+        table.addRow(std::move(saved));
+        table.addRow(std::move(layers));
+    }
+    table.print(std::cout);
+    std::cout << "\nNote: layer counts include the embedding (stage "
+                 "0) and decoding head (stage 7), as in the paper.\n";
+    return 0;
+}

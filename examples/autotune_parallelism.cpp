@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parallelism auto-tuner: sweep every (t, p, d) strategy for a model
+ * and cluster, plan each with AdaPipe, and print the ranked results
+ * (a Table-3-style report for arbitrary configurations).
+ *
+ * Usage: autotune_parallelism [gpt3|llama2|gpt3-13b] [seq] [nodes]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/strategy_search.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+int
+main(int argc, char **argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "gpt3";
+    const int seq = argc > 2 ? std::atoi(argv[2]) : 8192;
+    const int nodes = argc > 3 ? std::atoi(argv[3]) : 8;
+
+    ModelConfig model;
+    if (which == "gpt3") {
+        model = gpt3_175b();
+    } else if (which == "llama2") {
+        model = llama2_70b();
+    } else if (which == "gpt3-13b") {
+        model = gpt3_13b();
+    } else {
+        std::cerr << "unknown model '" << which
+                  << "' (gpt3|llama2|gpt3-13b)\n";
+        return 1;
+    }
+
+    const ClusterSpec cluster = clusterA(nodes);
+    TrainConfig train;
+    train.seqLen = seq;
+    train.globalBatch = std::max(32, 2 * cluster.totalDevices());
+
+    std::cout << "Auto-tuning " << model.name << " at seq " << seq
+              << " on " << cluster.totalDevices() << " GPUs (global "
+              << "batch " << train.globalBatch << ")\n\n";
+
+    auto results = sweepStrategies(model, train, cluster,
+                                   PlanMethod::AdaPipe);
+    std::sort(results.begin(), results.end(),
+              [](const StrategyResult &a, const StrategyResult &b) {
+                  return a.iterationTime() < b.iterationTime();
+              });
+
+    Table table({"Rank", "(t, p, d)", "n", "Iteration", "Warmup",
+                 "Steady/mb", "Stage-0 mem"});
+    int rank = 1;
+    for (const StrategyResult &r : results) {
+        if (!r.result.ok) {
+            table.addRow({"-", r.par.toString(), "-", "OOM", "-", "-",
+                          "-"});
+            continue;
+        }
+        const PipelinePlan &plan = r.result.plan;
+        table.addRow({std::to_string(rank++), r.par.toString(),
+                      std::to_string(plan.microBatches),
+                      formatSeconds(plan.timing.total),
+                      formatSeconds(plan.timing.warmup),
+                      formatSeconds(plan.timing.steadyPerMb),
+                      formatBytes(plan.stages.front().memPeak)});
+    }
+    table.print(std::cout);
+    return 0;
+}

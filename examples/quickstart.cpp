@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: plan GPT-3 175B training on a 64-GPU A100 cluster with
+ * AdaPipe and compare against the DAPPLE baselines.
+ *
+ * Demonstrates the core public API:
+ *   ModelConfig / TrainConfig / ParallelConfig / ClusterSpec
+ *   -> buildProfiledModel -> makePlan -> PipelinePlan.
+ */
+
+#include <iostream>
+
+#include "core/planner.h"
+#include "core/profiled_model.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    const ModelConfig model = gpt3_175b();
+    const ClusterSpec cluster = clusterA(8); // 64 GPUs
+
+    TrainConfig train;
+    train.microBatch = 1;
+    train.seqLen = 16384;
+    train.globalBatch = 32;
+
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 8;
+    par.data = 1;
+
+    std::cout << "Planning " << model.name << " (seq "
+              << train.seqLen << ", strategy " << par.toString()
+              << ") on " << cluster.name << "\n\n";
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+
+    Table table({"Method", "Iteration", "Warmup", "Steady/mb",
+                 "Stage0 mem", "Note"});
+    for (PlanMethod method :
+         {PlanMethod::DappleFull, PlanMethod::DappleNon,
+          PlanMethod::EvenPartition, PlanMethod::AdaPipe}) {
+        const PlanResult res = makePlan(pm, method);
+        if (!res.ok) {
+            table.addRow({planMethodName(method), "OOM", "-", "-", "-",
+                          res.oomReason});
+            continue;
+        }
+        const PipelinePlan &plan = res.plan;
+        table.addRow({planMethodName(method),
+                      formatSeconds(plan.timing.total),
+                      formatSeconds(plan.timing.warmup),
+                      formatSeconds(plan.timing.steadyPerMb),
+                      formatBytes(plan.stages.front().memPeak),
+                      ""});
+    }
+    table.print(std::cout);
+
+    // Show the AdaPipe plan in detail.
+    const PlanResult ada = makePlan(pm, PlanMethod::AdaPipe);
+    if (ada.ok) {
+        std::cout << "\nAdaPipe per-stage plan:\n";
+        Table stages({"Stage", "Layers", "#Layers", "Saved units",
+                      "F (ms)", "B (ms)", "Peak mem"});
+        for (std::size_t s = 0; s < ada.plan.stages.size(); ++s) {
+            const StagePlan &sp = ada.plan.stages[s];
+            stages.addRow(
+                {std::to_string(s),
+                 std::to_string(sp.firstLayer) + "-" +
+                     std::to_string(sp.lastLayer),
+                 std::to_string(sp.numLayers()),
+                 std::to_string(sp.savedUnits) + "/" +
+                     std::to_string(sp.totalUnits),
+                 formatSeconds(sp.timeFwd),
+                 formatSeconds(sp.timeBwd),
+                 formatBytes(sp.memPeak)});
+        }
+        stages.print(std::cout);
+    }
+    return 0;
+}

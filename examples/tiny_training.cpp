@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Train the tiny transformer LM with the autograd engine and show
+ * the recomputation trade-off live: same losses, different peak
+ * activation memory and step time for each strategy.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "autograd/module.h"
+#include "autograd/trainer.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+int
+main()
+{
+    TinyLmConfig cfg;
+    cfg.vocab = 64;
+    cfg.dim = 32;
+    cfg.blocks = 6;
+    cfg.ffnHidden = 96;
+    cfg.maxSeq = 64;
+
+    TrainOptions opts;
+    opts.steps = 60;
+    opts.seqLen = 32;
+    opts.lr = 4e-3f;
+
+    std::cout << "Training a " << cfg.blocks
+              << "-block transformer LM (dim " << cfg.dim
+              << ") on the synthetic bigram task, " << opts.steps
+              << " steps per strategy\n\n";
+
+    struct Strategy
+    {
+        const char *name;
+        BlockRecompute mode;
+    };
+    const Strategy strategies[] = {
+        {"No recompute (save all)", BlockRecompute::None},
+        {"Attention-only recompute", BlockRecompute::AttentionOnly},
+        {"Full recompute", BlockRecompute::Full},
+    };
+
+    Table table({"Strategy", "Final loss", "Peak act. floats",
+                 "Wall time"});
+    for (const Strategy &s : strategies) {
+        TinyLM model(cfg); // same seed: identical initialisation
+        TrainOptions o = opts;
+        o.recompute.assign(cfg.blocks, s.mode);
+
+        const auto start = std::chrono::steady_clock::now();
+        const TrainStats stats = trainTinyLM(model, o);
+        const auto end = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(end - start).count();
+
+        char loss[32];
+        std::snprintf(loss, sizeof(loss), "%.6f",
+                      stats.losses.back());
+        table.addRow({s.name, loss,
+                      std::to_string(stats.peakActivationFloats),
+                      formatSeconds(secs)});
+    }
+    table.print(std::cout);
+    std::cout << "\nIdentical losses (recomputation never changes "
+                 "the math), decreasing memory,\nincreasing time — "
+                 "the trade-off AdaPipe's knapsack optimises at "
+                 "scale.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+#include "autograd/checkpoint.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+Variable
+checkpoint(const Segment &segment, const Variable &input)
+{
+    return checkpoint(segment, input, {});
+}
+
+Variable
+checkpoint(const Segment &segment, const Variable &input,
+           const std::vector<Variable> &params)
+{
+    ADAPIPE_ASSERT(input.defined(), "checkpoint needs a defined input");
+
+    // Forward without recording: none of the segment's intermediates
+    // survive this scope.
+    Tensor out_value;
+    {
+        NoGradGuard guard;
+        Variable detached = input.detach(false);
+        Variable out = segment(detached);
+        out_value = out.value();
+    }
+
+    std::vector<Variable> parents;
+    parents.push_back(input);
+    for (const auto &p : params)
+        parents.push_back(p);
+
+    return Variable::makeNode(
+        std::move(out_value), std::move(parents),
+        [segment, input](Variable::Impl &node) {
+            // Recompute the segment with recording enabled, then
+            // backpropagate the downstream gradient through the
+            // rebuilt sub-graph. Parameters captured by the segment
+            // receive their gradients directly.
+            Variable in_copy = input.detach(true);
+            in_copy.zeroGrad();
+            Variable out = segment(in_copy);
+            ADAPIPE_ASSERT(out.value().sameShape(node.value),
+                           "checkpoint recompute shape mismatch");
+            out.backward(node.grad);
+            // Route the input gradient into the real parent.
+            if (node.parents[0])
+                node.parents[0]->grad.add_(in_copy.grad());
+        });
+}
+
+} // namespace adapipe

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Segment checkpointing: the recomputation primitive.
+ *
+ * checkpoint(fn, input) runs fn's forward pass with gradient
+ * recording disabled, so none of fn's intermediates are retained;
+ * during backward the segment is re-executed with recording enabled
+ * and differentiated. Because the recomputed forward performs
+ * bit-identical float operations, gradients are bit-identical to the
+ * non-checkpointed run — the invariant behind the paper's Fig. 10.
+ */
+
+#ifndef ADAPIPE_AUTOGRAD_CHECKPOINT_H
+#define ADAPIPE_AUTOGRAD_CHECKPOINT_H
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adapipe {
+
+/** A differentiable segment: maps one activation to the next. */
+using Segment = std::function<Variable(const Variable &)>;
+
+/**
+ * Run @p segment with recomputation: only the segment's input and
+ * output survive the forward pass.
+ *
+ * @param segment the function to checkpoint; it may capture module
+ *        parameters (their gradients are accumulated on recompute)
+ * @param input segment input
+ * @return the segment output, wired into the surrounding graph
+ */
+Variable checkpoint(const Segment &segment, const Variable &input);
+
+/**
+ * Parameters the segment touches must be registered so the
+ * recomputed backward can route gradients into them. Convenience
+ * overload taking them explicitly.
+ */
+Variable checkpoint(const Segment &segment, const Variable &input,
+                    const std::vector<Variable> &params);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_AUTOGRAD_CHECKPOINT_H

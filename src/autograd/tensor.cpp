@@ -1,0 +1,100 @@
+#include "autograd/tensor.h"
+
+#include <cstddef>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+std::int64_t
+shapeNumel(const std::vector<int> &shape)
+{
+    std::int64_t n = 1;
+    for (int d : shape) {
+        ADAPIPE_ASSERT(d > 0, "non-positive tensor dimension ", d);
+        n *= d;
+    }
+    return n;
+}
+
+} // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shapeNumel(shape_)), 0.0f)
+{
+    ADAPIPE_ASSERT(shape_.size() <= 2, "tensors are rank <= 2");
+}
+
+Tensor
+Tensor::full(std::vector<int> shape, float value)
+{
+    Tensor t(std::move(shape));
+    for (auto &x : t.data_)
+        x = value;
+    return t;
+}
+
+Tensor
+Tensor::randn(std::vector<int> shape, Rng &rng, float stddev)
+{
+    Tensor t(std::move(shape));
+    for (auto &x : t.data_)
+        x = static_cast<float>(rng.normal(0.0, stddev));
+    return t;
+}
+
+int
+Tensor::rows() const
+{
+    if (shape_.size() < 2)
+        return 1;
+    return shape_[0];
+}
+
+int
+Tensor::cols() const
+{
+    if (shape_.empty())
+        return 0;
+    return shape_.back();
+}
+
+float &
+Tensor::at(int r, int c)
+{
+    return data_[static_cast<std::size_t>(r) * cols() + c];
+}
+
+float
+Tensor::at(int r, int c) const
+{
+    return data_[static_cast<std::size_t>(r) * cols() + c];
+}
+
+void
+Tensor::add_(const Tensor &other)
+{
+    ADAPIPE_ASSERT(sameShape(other), "add_ shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Tensor::scale_(float factor)
+{
+    for (auto &x : data_)
+        x *= factor;
+}
+
+void
+Tensor::zero_()
+{
+    for (auto &x : data_)
+        x = 0.0f;
+}
+
+} // namespace adapipe

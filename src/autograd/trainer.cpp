@@ -1,0 +1,82 @@
+#include "autograd/trainer.h"
+
+#include <memory>
+
+#include "autograd/optim.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace adapipe {
+
+void
+makeBigramBatch(int vocab, int seq_len, int step, std::uint64_t seed,
+                std::vector<int> &tokens, std::vector<int> &targets)
+{
+    ADAPIPE_ASSERT(vocab >= 2 && seq_len >= 1, "invalid batch request");
+
+    // Seeded permutation of the vocabulary = the bigram mapping.
+    Rng perm_rng(seed);
+    std::vector<int> perm(vocab);
+    for (int i = 0; i < vocab; ++i)
+        perm[i] = i;
+    for (int i = vocab - 1; i > 0; --i) {
+        const int j =
+            static_cast<int>(perm_rng.uniformInt(0, i));
+        std::swap(perm[i], perm[j]);
+    }
+
+    Rng tok_rng(seed * 1000003ULL +
+                static_cast<std::uint64_t>(step) + 1);
+    tokens.resize(seq_len);
+    targets.resize(seq_len);
+    for (int i = 0; i < seq_len; ++i) {
+        tokens[i] = static_cast<int>(tok_rng.uniformInt(0, vocab - 1));
+        targets[i] = perm[tokens[i]];
+    }
+}
+
+TrainStats
+trainTinyLM(TinyLM &model, const TrainOptions &opts)
+{
+    ADAPIPE_ASSERT(opts.steps >= 1, "need at least one step");
+    ADAPIPE_ASSERT(opts.seqLen <= model.config().maxSeq,
+                   "seqLen exceeds model maxSeq");
+
+    std::unique_ptr<Sgd> sgd;
+    std::unique_ptr<Adam> adam;
+    if (opts.useAdam)
+        adam = std::make_unique<Adam>(model.params(), opts.lr);
+    else
+        sgd = std::make_unique<Sgd>(model.params(), opts.lr);
+
+    TrainStats stats;
+    stats.losses.reserve(opts.steps);
+    resetActivationMeter();
+    // Report the run's own footprint: exclude whatever (other
+    // models, leftover graphs) was already alive.
+    const std::int64_t baseline = liveActivationFloats();
+
+    std::vector<int> tokens;
+    std::vector<int> targets;
+    for (int step = 0; step < opts.steps; ++step) {
+        makeBigramBatch(model.config().vocab, opts.seqLen, step,
+                        opts.dataSeed, tokens, targets);
+        if (adam)
+            adam->zeroGrad();
+        else
+            sgd->zeroGrad();
+
+        Variable loss = model.loss(tokens, targets, opts.recompute);
+        stats.losses.push_back(loss.value()[0]);
+        loss.backward();
+
+        if (adam)
+            adam->step();
+        else
+            sgd->step();
+    }
+    stats.peakActivationFloats = peakActivationFloats() - baseline;
+    return stats;
+}
+
+} // namespace adapipe

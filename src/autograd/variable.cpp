@@ -1,0 +1,200 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+thread_local bool grad_enabled = true;
+
+std::atomic<std::int64_t> live_floats{0};
+std::atomic<std::int64_t> peak_floats{0};
+
+void
+meterAdd(std::int64_t n)
+{
+    const std::int64_t now =
+        live_floats.fetch_add(n, std::memory_order_relaxed) + n;
+    std::int64_t peak = peak_floats.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_floats.compare_exchange_weak(
+               peak, now, std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+namespace autograd_detail {
+
+VarImpl::VarImpl() = default;
+
+VarImpl::~VarImpl()
+{
+    live_floats.fetch_sub(value.numel() + grad.numel(),
+                          std::memory_order_relaxed);
+}
+
+} // namespace autograd_detail
+
+NoGradGuard::NoGradGuard() : previous_(grad_enabled)
+{
+    grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard()
+{
+    grad_enabled = previous_;
+}
+
+bool
+gradEnabled()
+{
+    return grad_enabled;
+}
+
+std::int64_t
+peakActivationFloats()
+{
+    return peak_floats.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+liveActivationFloats()
+{
+    return live_floats.load(std::memory_order_relaxed);
+}
+
+void
+resetActivationMeter()
+{
+    peak_floats.store(live_floats.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+}
+
+Variable::Variable(Tensor value, bool requires_grad)
+{
+    impl_ = std::make_shared<Impl>();
+    meterAdd(value.numel());
+    impl_->value = std::move(value);
+    impl_->requiresGrad = requires_grad;
+    impl_->isLeaf = true;
+}
+
+void
+Variable::zeroGrad()
+{
+    ADAPIPE_ASSERT(defined(), "zeroGrad on undefined variable");
+    if (!impl_->grad.sameShape(impl_->value)) {
+        meterAdd(impl_->value.numel());
+        impl_->grad = Tensor(impl_->value.shape());
+    } else {
+        impl_->grad.zero_();
+    }
+}
+
+Variable
+Variable::detach(bool requires_grad) const
+{
+    ADAPIPE_ASSERT(defined(), "detach on undefined variable");
+    Tensor copy = impl_->value;
+    return Variable(std::move(copy), requires_grad);
+}
+
+Variable
+Variable::makeNode(Tensor value, std::vector<Variable> parents,
+                   std::function<void(Impl &)> backward_fn)
+{
+    bool any_grad = false;
+    if (grad_enabled) {
+        for (const auto &p : parents) {
+            if (p.defined() &&
+                (p.impl()->requiresGrad || !p.impl()->isLeaf)) {
+                any_grad = true;
+                break;
+            }
+        }
+    }
+
+    if (!any_grad)
+        return Variable(std::move(value), false);
+
+    auto impl = std::make_shared<Impl>();
+    meterAdd(value.numel());
+    impl->value = std::move(value);
+    impl->requiresGrad = false;
+    impl->isLeaf = false;
+    impl->parents.reserve(parents.size());
+    for (auto &p : parents)
+        impl->parents.push_back(p.impl());
+    impl->backwardFn = std::move(backward_fn);
+    return fromImpl(std::move(impl));
+}
+
+void
+Variable::backward()
+{
+    ADAPIPE_ASSERT(defined(), "backward on undefined variable");
+    Tensor seed = Tensor::full(impl_->value.shape(), 1.0f);
+    backward(seed);
+}
+
+void
+Variable::backward(const Tensor &seed)
+{
+    ADAPIPE_ASSERT(defined(), "backward on undefined variable");
+    ADAPIPE_ASSERT(seed.sameShape(impl_->value),
+                   "backward seed shape mismatch");
+
+    // Topological order via iterative DFS.
+    std::vector<Impl *> order;
+    std::unordered_set<Impl *> visited;
+    std::vector<std::pair<Impl *, std::size_t>> stack;
+    stack.emplace_back(impl_.get(), 0);
+    visited.insert(impl_.get());
+    while (!stack.empty()) {
+        auto &[node, child] = stack.back();
+        if (child < node->parents.size()) {
+            Impl *next = node->parents[child].get();
+            ++child;
+            if (next && !next->isLeaf && !visited.count(next)) {
+                visited.insert(next);
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+    // order is post-order: parents before children; reverse it so
+    // gradients flow from the output to the leaves.
+    std::reverse(order.begin(), order.end());
+
+    // Seed and allocate gradient buffers.
+    for (Impl *node : order) {
+        if (!node->grad.sameShape(node->value)) {
+            meterAdd(node->value.numel());
+            node->grad = Tensor(node->value.shape());
+        }
+    }
+    impl_->grad.add_(seed);
+
+    for (Impl *node : order) {
+        if (!node->backwardFn)
+            continue;
+        // Ensure parents have grad buffers before accumulation.
+        for (auto &parent : node->parents) {
+            if (parent && !parent->grad.sameShape(parent->value)) {
+                meterAdd(parent->value.numel());
+                parent->grad = Tensor(parent->value.shape());
+            }
+        }
+        node->backwardFn(*node);
+    }
+}
+
+} // namespace adapipe

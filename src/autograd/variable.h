@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation: variables and the tape.
+ *
+ * A Variable is a shared handle to a value plus (when gradients are
+ * enabled) its position in the computation graph. Calling
+ * Variable::backward() runs a topological sweep accumulating
+ * gradients into leaves. A thread-local GradMode switch lets the
+ * checkpointing machinery run segments without recording the graph,
+ * exactly like the recomputation the paper performs at scale.
+ */
+
+#ifndef ADAPIPE_AUTOGRAD_VARIABLE_H
+#define ADAPIPE_AUTOGRAD_VARIABLE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autograd/tensor.h"
+
+namespace adapipe {
+
+class Variable;
+
+namespace autograd_detail {
+
+/** Shared state of one graph node. */
+struct VarImpl
+{
+    Tensor value;
+    Tensor grad;
+    bool requiresGrad = false;
+    bool isLeaf = true;
+    /** Parents whose gradients this node contributes to. */
+    std::vector<std::shared_ptr<VarImpl>> parents;
+    /** Propagates this node's grad into its parents' grads. */
+    std::function<void(VarImpl &)> backwardFn;
+
+    VarImpl();
+    ~VarImpl();
+
+    VarImpl(const VarImpl &) = delete;
+    VarImpl &operator=(const VarImpl &) = delete;
+};
+
+} // namespace autograd_detail
+
+/**
+ * RAII guard disabling gradient recording in its scope (used by
+ * checkpointed forward passes).
+ */
+class NoGradGuard
+{
+  public:
+    NoGradGuard();
+    ~NoGradGuard();
+
+    NoGradGuard(const NoGradGuard &) = delete;
+    NoGradGuard &operator=(const NoGradGuard &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/** @return whether operations currently record the graph. */
+bool gradEnabled();
+
+/**
+ * Peak number of floats held alive by graph nodes since the last
+ * resetActivationMeter() call — the engine's measure of activation
+ * memory, used to demonstrate that checkpointing really frees
+ * intermediates.
+ */
+std::int64_t peakActivationFloats();
+
+/** @return floats currently held alive by graph nodes. */
+std::int64_t liveActivationFloats();
+
+/** Reset the peak watermark to the current live count. */
+void resetActivationMeter();
+
+/**
+ * Autograd variable: shared handle to a node.
+ */
+class Variable
+{
+  public:
+    /** Empty (null) variable. */
+    Variable() = default;
+
+    /** Leaf from a value. @p requires_grad marks a parameter. */
+    explicit Variable(Tensor value, bool requires_grad = false);
+
+    /** @return whether the handle points to a node. */
+    bool defined() const { return impl_ != nullptr; }
+
+    /** @return the value tensor. */
+    const Tensor &value() const { return impl_->value; }
+
+    /** @return mutable value (optimizers update parameters). */
+    Tensor &mutableValue() { return impl_->value; }
+
+    /** @return accumulated gradient (zeros before backward). */
+    const Tensor &grad() const { return impl_->grad; }
+
+    /** @return whether grads flow into this node. */
+    bool requiresGrad() const { return impl_->requiresGrad; }
+
+    /** Zero the gradient buffer. */
+    void zeroGrad();
+
+    /**
+     * Run reverse-mode differentiation from this (scalar) variable.
+     * Seeds the output gradient with ones.
+     */
+    void backward();
+
+    /**
+     * Run reverse-mode differentiation seeded with @p seed (same
+     * shape as the value). Used by checkpointed segments to inject
+     * the downstream gradient.
+     */
+    void backward(const Tensor &seed);
+
+    /**
+     * @return a leaf variable sharing no graph history with this
+     * one (fresh copy of the value). Used at checkpoint boundaries.
+     */
+    Variable detach(bool requires_grad = false) const;
+
+    /** @name Engine internals (used by ops.cpp / checkpoint.cpp)
+     *  @{
+     */
+    using Impl = autograd_detail::VarImpl;
+    const std::shared_ptr<Impl> &impl() const { return impl_; }
+    static Variable
+    fromImpl(std::shared_ptr<Impl> impl)
+    {
+        Variable v;
+        v.impl_ = std::move(impl);
+        return v;
+    }
+
+    /**
+     * Create an interior node. When gradients are disabled or no
+     * parent requires them, the result is a constant leaf.
+     *
+     * @param value forward result
+     * @param parents graph parents
+     * @param backward_fn gradient propagation into the parents
+     */
+    static Variable
+    makeNode(Tensor value, std::vector<Variable> parents,
+             std::function<void(Impl &)> backward_fn);
+    /** @} */
+
+  private:
+    std::shared_ptr<Impl> impl_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_AUTOGRAD_VARIABLE_H

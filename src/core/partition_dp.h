@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Adaptive partitioning: Algorithm 1 of the paper.
+ *
+ * A second-level dynamic program over stage boundaries. P[s][i] is
+ * the best plan assigning layers i..L-1 to stages s..p-1; each state
+ * carries the warmup time W, ending time E, steady bottleneck M and
+ * the stage's own F and B, combined exactly as in the paper:
+ *
+ *   W = f[s,i,j] + max(P[s+1,j+1].W + P[s+1,j+1].B, (p-s-1) f)
+ *   E = b[s,i,j] + max(P[s+1,j+1].E + P[s+1,j+1].F, (p-s-1) b)
+ *   M = max(P[s+1,j+1].M, f + b)
+ *   T = W + E + (n - p + s) M
+ *
+ * f and b come from the adaptive-recomputation level via
+ * StageCostCalculator, so the two optimisations are solved jointly
+ * (Sec. 3: partitioning cooperates with recomputation "so that we
+ * don't fall into some local minimums").
+ */
+
+#ifndef ADAPIPE_CORE_PARTITION_DP_H
+#define ADAPIPE_CORE_PARTITION_DP_H
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/stage_cost.h"
+
+namespace adapipe {
+
+/**
+ * Outcome of the partitioning DP.
+ */
+struct PartitionDpResult
+{
+    /** False when no memory-feasible partition exists. */
+    bool feasible = false;
+    /** Inclusive layer range per stage (stage 0 first). */
+    std::vector<std::pair<int, int>> ranges;
+    /** Cost-model timing of the winning plan. */
+    PipelineTiming timing;
+};
+
+/**
+ * Run Algorithm 1.
+ *
+ * @param calc stage cost oracle (adaptive recomputation inside)
+ * @param num_layers L, length of the layer sequence
+ * @param p pipeline-parallel size (p <= num_layers)
+ * @param n micro-batches per pipeline
+ */
+PartitionDpResult solveAdaptivePartition(StageCostCalculator &calc,
+                                         int num_layers, int p, int n);
+
+/**
+ * Evaluate a *fixed* partition (used by Even Partitioning and the
+ * DAPPLE baselines) through the same cost model.
+ *
+ * @param calc stage cost oracle
+ * @param ranges inclusive layer range per stage
+ * @param n micro-batches
+ * @param baseline when set, per-stage costs use this uniform
+ *        recomputation policy instead of the knapsack
+ */
+PartitionDpResult
+evaluateFixedPartition(StageCostCalculator &calc,
+                       const std::vector<std::pair<int, int>> &ranges,
+                       int n,
+                       std::optional<RecomputeBaseline> baseline = {});
+
+/**
+ * The baselines' uniform layer split: decoder blocks distributed as
+ * evenly as possible over p stages (earlier stages take the
+ * remainder), embedding glued to stage 0 and the decoding head to
+ * stage p-1.
+ */
+std::vector<std::pair<int, int>> evenPartition(int num_layers, int p);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_PARTITION_DP_H

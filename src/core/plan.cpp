@@ -1,0 +1,28 @@
+#include "core/plan.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+const char *
+planMethodName(PlanMethod method)
+{
+    switch (method) {
+      case PlanMethod::AdaPipe: return "AdaPipe";
+      case PlanMethod::EvenPartition: return "Even Partitioning";
+      case PlanMethod::DappleFull: return "DAPPLE-Full";
+      case PlanMethod::DappleNon: return "DAPPLE-Non";
+      case PlanMethod::DappleSelective: return "DAPPLE-Selective";
+    }
+    return "?";
+}
+
+const PipelinePlan &
+PlanResult::value() const
+{
+    ADAPIPE_ASSERT(ok, "accessing plan of infeasible result: ",
+                   oomReason);
+    return plan;
+}
+
+} // namespace adapipe

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Plan data structures produced by the AdaPipe search engine.
+ */
+
+#ifndef ADAPIPE_CORE_PLAN_H
+#define ADAPIPE_CORE_PLAN_H
+
+#include <string>
+#include <vector>
+
+#include "model/parallel.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/** Planning method: AdaPipe, its ablation, or a baseline. */
+enum class PlanMethod {
+    AdaPipe,         ///< adaptive recomputation + adaptive partitioning
+    EvenPartition,   ///< adaptive recomputation, baseline partitioning
+    DappleFull,      ///< 1F1B with full recomputation
+    DappleNon,       ///< 1F1B with no recomputation
+    DappleSelective, ///< 1F1B with selective recomputation (Sec. 2.2)
+};
+
+/** @return the display name used in the paper's figures. */
+const char *planMethodName(PlanMethod method);
+
+/**
+ * Uniform per-stage recomputation policy of the baselines.
+ *
+ * Selective recomputation (Korthikanti et al., Sec. 2.2) recomputes
+ * only the attention score / softmax / context operators whose
+ * O(s^2) activations dominate memory; it only exists on the unfused
+ * attention path — flash attention removes those tensors and
+ * supersedes it.
+ */
+enum class RecomputeBaseline {
+    Full,
+    None,
+    Selective,
+};
+
+/**
+ * Closed-form 1F1B iteration timing (Sec. 5.1): warmup W, ending E,
+ * steady per-micro-batch bottleneck M and total T = W + E + (n-p)M.
+ */
+struct PipelineTiming
+{
+    Seconds warmup = 0;
+    Seconds ending = 0;
+    Seconds steadyPerMb = 0;
+    Seconds total = 0;
+};
+
+/**
+ * One stage of a finished plan.
+ */
+struct StagePlan
+{
+    /** First layer index (inclusive) of the stage's sub-sequence. */
+    int firstLayer = 0;
+    /** Last layer index (inclusive). */
+    int lastLayer = 0;
+    /** Forward time of one micro-batch, F_s. */
+    Seconds timeFwd = 0;
+    /** Backward (incl. recomputation) time of one micro-batch, B_s. */
+    Seconds timeBwd = 0;
+    /** Predicted peak memory of the stage's ranks. */
+    Bytes memPeak = 0;
+    /** Number of saved computation units (Table 4's metric). */
+    int savedUnits = 0;
+    /** Total computation units in the stage. */
+    int totalUnits = 0;
+    /**
+     * Saved/recomputed decision per unit, flattened over the stage's
+     * layers in execution order (always-saved units are true).
+     */
+    std::vector<bool> savedMask;
+
+    /** @return number of layers assigned to this stage. */
+    int numLayers() const { return lastLayer - firstLayer + 1; }
+};
+
+/**
+ * Complete plan for one (model, cluster, strategy) combination.
+ */
+struct PipelinePlan
+{
+    PlanMethod method = PlanMethod::AdaPipe;
+    ParallelConfig par;
+    TrainConfig train;
+    /** Number of micro-batches n per pipeline per iteration. */
+    int microBatches = 0;
+    /** Per-stage sub-plans, stage 0 first. */
+    std::vector<StagePlan> stages;
+    /** Predicted 1F1B timing from the Sec. 5.1 cost model. */
+    PipelineTiming timing;
+};
+
+/**
+ * Outcome of planning: either a plan or an out-of-memory diagnosis,
+ * mirroring the OOM columns of the paper's figures.
+ */
+struct PlanResult
+{
+    bool ok = false;
+    /** Human-readable reason when !ok (e.g. which stage OOMs). */
+    std::string oomReason;
+    PipelinePlan plan;
+
+    /** @return a feasible plan or panics (for callers that checked). */
+    const PipelinePlan &value() const;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_PLAN_H

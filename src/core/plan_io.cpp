@@ -1,0 +1,165 @@
+#include "core/plan_io.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+const char *
+methodKey(PlanMethod method)
+{
+    switch (method) {
+      case PlanMethod::AdaPipe: return "adapipe";
+      case PlanMethod::EvenPartition: return "even_partition";
+      case PlanMethod::DappleFull: return "dapple_full";
+      case PlanMethod::DappleNon: return "dapple_non";
+      case PlanMethod::DappleSelective: return "dapple_selective";
+    }
+    return "?";
+}
+
+PlanMethod
+methodFromKey(const std::string &key)
+{
+    if (key == "adapipe")
+        return PlanMethod::AdaPipe;
+    if (key == "even_partition")
+        return PlanMethod::EvenPartition;
+    if (key == "dapple_full")
+        return PlanMethod::DappleFull;
+    if (key == "dapple_non")
+        return PlanMethod::DappleNon;
+    if (key == "dapple_selective")
+        return PlanMethod::DappleSelective;
+    ADAPIPE_FATAL("unknown plan method '", key, "'");
+}
+
+} // namespace
+
+JsonValue
+planToJson(const PipelinePlan &plan)
+{
+    JsonValue root = JsonValue::object();
+    root.set("method", JsonValue::string(methodKey(plan.method)));
+
+    JsonValue par = JsonValue::object();
+    par.set("tensor", JsonValue::integer(plan.par.tensor));
+    par.set("pipeline", JsonValue::integer(plan.par.pipeline));
+    par.set("data", JsonValue::integer(plan.par.data));
+    par.set("sequence_parallel",
+            JsonValue::boolean(plan.par.sequenceParallel));
+    par.set("flash_attention",
+            JsonValue::boolean(plan.par.flashAttention));
+    root.set("parallel", std::move(par));
+
+    JsonValue train = JsonValue::object();
+    train.set("micro_batch", JsonValue::integer(plan.train.microBatch));
+    train.set("seq_len", JsonValue::integer(plan.train.seqLen));
+    train.set("global_batch",
+              JsonValue::integer(plan.train.globalBatch));
+    root.set("train", std::move(train));
+
+    root.set("micro_batches", JsonValue::integer(plan.microBatches));
+
+    JsonValue timing = JsonValue::object();
+    timing.set("warmup", JsonValue::number(plan.timing.warmup));
+    timing.set("ending", JsonValue::number(plan.timing.ending));
+    timing.set("steady_per_mb",
+               JsonValue::number(plan.timing.steadyPerMb));
+    timing.set("total", JsonValue::number(plan.timing.total));
+    root.set("timing", std::move(timing));
+
+    JsonValue stages = JsonValue::array();
+    for (const StagePlan &sp : plan.stages) {
+        JsonValue stage = JsonValue::object();
+        stage.set("first_layer", JsonValue::integer(sp.firstLayer));
+        stage.set("last_layer", JsonValue::integer(sp.lastLayer));
+        stage.set("time_fwd", JsonValue::number(sp.timeFwd));
+        stage.set("time_bwd", JsonValue::number(sp.timeBwd));
+        stage.set("mem_peak", JsonValue::integer(
+                                  static_cast<std::int64_t>(sp.memPeak)));
+        stage.set("saved_units", JsonValue::integer(sp.savedUnits));
+        stage.set("total_units", JsonValue::integer(sp.totalUnits));
+        JsonValue mask = JsonValue::array();
+        for (bool saved : sp.savedMask)
+            mask.push(JsonValue::boolean(saved));
+        stage.set("saved_mask", std::move(mask));
+        stages.push(std::move(stage));
+    }
+    root.set("stages", std::move(stages));
+    return root;
+}
+
+std::string
+planToJsonString(const PipelinePlan &plan, int indent)
+{
+    return planToJson(plan).dump(indent);
+}
+
+PipelinePlan
+planFromJson(const JsonValue &json)
+{
+    PipelinePlan plan;
+    plan.method = methodFromKey(json.at("method").asString());
+
+    const JsonValue &par = json.at("parallel");
+    plan.par.tensor = static_cast<int>(par.at("tensor").asInteger());
+    plan.par.pipeline =
+        static_cast<int>(par.at("pipeline").asInteger());
+    plan.par.data = static_cast<int>(par.at("data").asInteger());
+    plan.par.sequenceParallel =
+        par.at("sequence_parallel").asBool();
+    plan.par.flashAttention = par.at("flash_attention").asBool();
+
+    const JsonValue &train = json.at("train");
+    plan.train.microBatch =
+        static_cast<int>(train.at("micro_batch").asInteger());
+    plan.train.seqLen =
+        static_cast<int>(train.at("seq_len").asInteger());
+    plan.train.globalBatch =
+        static_cast<int>(train.at("global_batch").asInteger());
+
+    plan.microBatches =
+        static_cast<int>(json.at("micro_batches").asInteger());
+
+    const JsonValue &timing = json.at("timing");
+    plan.timing.warmup = timing.at("warmup").asNumber();
+    plan.timing.ending = timing.at("ending").asNumber();
+    plan.timing.steadyPerMb = timing.at("steady_per_mb").asNumber();
+    plan.timing.total = timing.at("total").asNumber();
+
+    for (const JsonValue &stage : json.at("stages").elements()) {
+        StagePlan sp;
+        sp.firstLayer =
+            static_cast<int>(stage.at("first_layer").asInteger());
+        sp.lastLayer =
+            static_cast<int>(stage.at("last_layer").asInteger());
+        sp.timeFwd = stage.at("time_fwd").asNumber();
+        sp.timeBwd = stage.at("time_bwd").asNumber();
+        sp.memPeak =
+            static_cast<Bytes>(stage.at("mem_peak").asInteger());
+        sp.savedUnits =
+            static_cast<int>(stage.at("saved_units").asInteger());
+        sp.totalUnits =
+            static_cast<int>(stage.at("total_units").asInteger());
+        for (const JsonValue &bit : stage.at("saved_mask").elements())
+            sp.savedMask.push_back(bit.asBool());
+        ADAPIPE_ASSERT(static_cast<int>(sp.savedMask.size()) ==
+                           sp.totalUnits,
+                       "saved_mask length does not match total_units");
+        plan.stages.push_back(std::move(sp));
+    }
+    ADAPIPE_ASSERT(static_cast<int>(plan.stages.size()) ==
+                       plan.par.pipeline,
+                   "stage count does not match pipeline size");
+    return plan;
+}
+
+PipelinePlan
+planFromJsonString(const std::string &text)
+{
+    return planFromJson(JsonValue::parse(text));
+}
+
+} // namespace adapipe

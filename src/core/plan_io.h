@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Plan serialization: the interface between the search engine and an
+ * execution engine (the paper's engines consume exactly this
+ * information — per-stage layer ranges and per-unit save/recompute
+ * decisions).
+ */
+
+#ifndef ADAPIPE_CORE_PLAN_IO_H
+#define ADAPIPE_CORE_PLAN_IO_H
+
+#include <string>
+
+#include "core/plan.h"
+#include "util/json.h"
+
+namespace adapipe {
+
+/** Serialize @p plan to a JSON value. */
+JsonValue planToJson(const PipelinePlan &plan);
+
+/** Serialize @p plan to a JSON string. @param indent pretty-print */
+std::string planToJsonString(const PipelinePlan &plan, int indent = 2);
+
+/**
+ * Parse a plan back from JSON produced by planToJson. ADAPIPE_FATAL
+ * on schema violations.
+ */
+PipelinePlan planFromJson(const JsonValue &json);
+
+/** Parse a plan from a JSON string. */
+PipelinePlan planFromJsonString(const std::string &text);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_PLAN_IO_H

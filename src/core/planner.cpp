@@ -1,0 +1,122 @@
+#include "core/planner.h"
+
+#include <sstream>
+
+#include "core/cost_model.h"
+#include "core/partition_dp.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+namespace {
+
+/** Assemble StagePlan entries for the chosen ranges. */
+PipelinePlan
+assemblePlan(const ProfiledModel &pm, PlanMethod method,
+             StageCostCalculator &calc,
+             const std::vector<std::pair<int, int>> &ranges, int n,
+             std::optional<RecomputeBaseline> baseline)
+{
+    PipelinePlan plan;
+    plan.method = method;
+    plan.par = pm.par;
+    plan.train = pm.train;
+    plan.microBatches = n;
+
+    std::vector<StageTimes> times;
+    const int p = static_cast<int>(ranges.size());
+    for (int s = 0; s < p; ++s) {
+        const auto [i, j] = ranges[s];
+        const StageCost c = baseline
+                                ? calc.baselineCost(s, i, j, *baseline)
+                                : calc.cost(s, i, j);
+        StagePlan sp;
+        sp.firstLayer = i;
+        sp.lastLayer = j;
+        sp.timeFwd = c.fwd;
+        sp.timeBwd = c.bwd;
+        sp.memPeak = c.memPeak;
+        sp.savedUnits = c.recompute.savedUnits;
+        sp.totalUnits = c.totalUnits;
+        sp.savedMask = c.recompute.saved;
+        plan.stages.push_back(std::move(sp));
+        times.push_back({c.fwd, c.bwd});
+    }
+    plan.timing = evaluate1F1B(times, n);
+    return plan;
+}
+
+/** Diagnose the first infeasible stage of a fixed partition. */
+std::string
+diagnoseOom(const ProfiledModel &pm, StageCostCalculator &calc,
+            const std::vector<std::pair<int, int>> &ranges,
+            std::optional<RecomputeBaseline> baseline)
+{
+    const int p = static_cast<int>(ranges.size());
+    for (int s = 0; s < p; ++s) {
+        const auto [i, j] = ranges[s];
+        const StageCost c = baseline
+                                ? calc.baselineCost(s, i, j, *baseline)
+                                : calc.cost(s, i, j);
+        if (!c.feasible) {
+            std::ostringstream oss;
+            oss << "stage " << s << " (layers " << i << "-" << j
+                << ") needs " << formatBytes(c.memPeak)
+                << " of " << formatBytes(pm.memCapacity);
+            return oss.str();
+        }
+    }
+    return "no memory-feasible partition";
+}
+
+} // namespace
+
+PlanResult
+makePlan(const ProfiledModel &pm, PlanMethod method,
+         StageCostOptions opts)
+{
+    const int p = pm.par.pipeline;
+    const int L = pm.numLayers();
+    ADAPIPE_ASSERT(p >= 1 && p <= L, "pipeline size ", p,
+                   " out of range for ", L, " layers");
+    const int n = pm.train.microBatches(pm.par);
+
+    StageCostCalculator calc(pm, p, n, opts);
+    PlanResult result;
+
+    if (method == PlanMethod::AdaPipe) {
+        const PartitionDpResult dp =
+            solveAdaptivePartition(calc, L, p, n);
+        if (!dp.feasible) {
+            result.oomReason = "no memory-feasible partition";
+            return result;
+        }
+        result.ok = true;
+        result.plan =
+            assemblePlan(pm, method, calc, dp.ranges, n, {});
+        return result;
+    }
+
+    const std::vector<std::pair<int, int>> ranges =
+        evenPartition(L, p);
+    std::optional<RecomputeBaseline> baseline;
+    if (method == PlanMethod::DappleFull)
+        baseline = RecomputeBaseline::Full;
+    else if (method == PlanMethod::DappleNon)
+        baseline = RecomputeBaseline::None;
+    else if (method == PlanMethod::DappleSelective)
+        baseline = RecomputeBaseline::Selective;
+
+    const PartitionDpResult fixed =
+        evaluateFixedPartition(calc, ranges, n, baseline);
+    if (!fixed.feasible) {
+        result.oomReason = diagnoseOom(pm, calc, ranges, baseline);
+        return result;
+    }
+    result.ok = true;
+    result.plan = assemblePlan(pm, method, calc, ranges, n, baseline);
+    return result;
+}
+
+} // namespace adapipe

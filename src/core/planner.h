@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Planner facade: produce a complete PipelinePlan for one method
+ * (AdaPipe, Even Partitioning, DAPPLE-Full, DAPPLE-Non) on one
+ * profiled model.
+ */
+
+#ifndef ADAPIPE_CORE_PLANNER_H
+#define ADAPIPE_CORE_PLANNER_H
+
+#include "core/plan.h"
+#include "core/profiled_model.h"
+#include "core/stage_cost.h"
+
+namespace adapipe {
+
+/**
+ * Build the plan of @p method for @p pm.
+ *
+ * AdaPipe runs both DP levels; Even Partitioning runs only the
+ * recomputation DP on the baseline layer split; the DAPPLE baselines
+ * use the same split with uniform full/no recomputation. All four go
+ * through the identical Sec. 5.1 cost model so their iteration times
+ * are comparable.
+ *
+ * @param pm profiled model (carries t, p, d and the workload)
+ * @param method planning method
+ * @param opts stage-cost options (memory budget fraction, knobs)
+ * @return a feasible plan or an OOM diagnosis
+ */
+PlanResult makePlan(const ProfiledModel &pm, PlanMethod method,
+                    StageCostOptions opts = {});
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_PLANNER_H

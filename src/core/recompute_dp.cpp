@@ -1,0 +1,174 @@
+#include "core/recompute_dp.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+/** Indices of units that participate in the knapsack. */
+std::vector<std::size_t>
+optionalUnits(const std::vector<UnitProfile> &units)
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!units[i].alwaysSaved && units[i].memSaved > 0)
+            idx.push_back(i);
+    }
+    return idx;
+}
+
+/** Fill the result's bookkeeping fields from the decision vector. */
+void
+finalize(const std::vector<UnitProfile> &units, RecomputePlanResult &r)
+{
+    r.savedFwdTime = 0;
+    r.savedBytes = 0;
+    r.savedUnits = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!r.saved[i])
+            continue;
+        ++r.savedUnits;
+        if (!units[i].alwaysSaved) {
+            r.savedFwdTime += units[i].timeFwd;
+            r.savedBytes += units[i].memSaved;
+        }
+    }
+}
+
+} // namespace
+
+RecomputePlanResult
+solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
+                       std::int64_t budget_per_mb,
+                       const RecomputeDpOptions &opts)
+{
+    ADAPIPE_ASSERT(opts.maxBuckets > 0, "maxBuckets must be positive");
+
+    RecomputePlanResult result;
+    result.saved.assign(units.size(), false);
+    for (std::size_t i = 0; i < units.size(); ++i)
+        result.saved[i] = units[i].alwaysSaved;
+
+    const std::vector<std::size_t> opt_idx = optionalUnits(units);
+    const std::int64_t budget = std::max<std::int64_t>(budget_per_mb, 0);
+    if (opt_idx.empty() || budget == 0) {
+        finalize(units, result);
+        return result;
+    }
+
+    // Granularity: GCD of the unit costs (Sec. 5.3), floored so the
+    // DP table never exceeds maxBuckets entries. Rounding unit costs
+    // up and the budget down keeps every DP solution feasible.
+    std::int64_t gcd = 0;
+    std::int64_t total_cost = 0;
+    for (std::size_t i : opt_idx) {
+        const auto cost = static_cast<std::int64_t>(units[i].memSaved);
+        gcd = std::gcd(gcd, cost);
+        total_cost += cost;
+    }
+    if (total_cost <= budget) {
+        // Everything fits; skip the DP entirely.
+        for (std::size_t i : opt_idx)
+            result.saved[i] = true;
+        finalize(units, result);
+        return result;
+    }
+    if (!opts.useGcd)
+        gcd = 1;
+    const std::int64_t min_gran =
+        (budget + opts.maxBuckets - 1) / opts.maxBuckets;
+    const std::int64_t gran = std::max<std::int64_t>(gcd, min_gran);
+
+    const auto cap = static_cast<std::size_t>(budget / gran);
+    if (cap == 0) {
+        finalize(units, result);
+        return result;
+    }
+
+    // 0/1 knapsack maximising saved forward time. dp[m] = best value
+    // using at most m buckets; choice[k][m] records whether optional
+    // unit k is taken at budget m on the optimal path.
+    std::vector<Seconds> dp(cap + 1, 0.0);
+    std::vector<std::vector<bool>> choice(
+        opt_idx.size(), std::vector<bool>(cap + 1, false));
+
+    for (std::size_t k = 0; k < opt_idx.size(); ++k) {
+        const UnitProfile &u = units[opt_idx[k]];
+        const auto cost = static_cast<std::size_t>(
+            (static_cast<std::int64_t>(u.memSaved) + gran - 1) / gran);
+        if (cost > cap)
+            continue;
+        for (std::size_t m = cap; m >= cost; --m) {
+            const Seconds candidate = dp[m - cost] + u.timeFwd;
+            if (candidate > dp[m]) {
+                dp[m] = candidate;
+                choice[k][m] = true;
+            }
+        }
+    }
+
+    // Backtrack the decision path.
+    std::size_t m = cap;
+    for (std::size_t k = opt_idx.size(); k-- > 0;) {
+        if (choice[k][m]) {
+            result.saved[opt_idx[k]] = true;
+            const UnitProfile &u = units[opt_idx[k]];
+            const auto cost = static_cast<std::size_t>(
+                (static_cast<std::int64_t>(u.memSaved) + gran - 1) /
+                gran);
+            m -= cost;
+        }
+    }
+
+    finalize(units, result);
+    return result;
+}
+
+RecomputePlanResult
+bruteForceRecompute(const std::vector<UnitProfile> &units,
+                    std::int64_t budget_per_mb)
+{
+    const std::vector<std::size_t> opt_idx = optionalUnits(units);
+    ADAPIPE_ASSERT(opt_idx.size() <= 24,
+                   "brute force limited to 24 optional units, got ",
+                   opt_idx.size());
+
+    RecomputePlanResult best;
+    best.saved.assign(units.size(), false);
+    for (std::size_t i = 0; i < units.size(); ++i)
+        best.saved[i] = units[i].alwaysSaved;
+    finalize(units, best);
+
+    const std::int64_t budget = std::max<std::int64_t>(budget_per_mb, 0);
+    const std::size_t combos = std::size_t{1} << opt_idx.size();
+    for (std::size_t mask = 1; mask < combos; ++mask) {
+        std::int64_t cost = 0;
+        Seconds value = 0;
+        for (std::size_t k = 0; k < opt_idx.size(); ++k) {
+            if (mask & (std::size_t{1} << k)) {
+                cost += static_cast<std::int64_t>(
+                    units[opt_idx[k]].memSaved);
+                value += units[opt_idx[k]].timeFwd;
+            }
+        }
+        if (cost <= budget && value > best.savedFwdTime) {
+            RecomputePlanResult cand;
+            cand.saved.assign(units.size(), false);
+            for (std::size_t i = 0; i < units.size(); ++i)
+                cand.saved[i] = units[i].alwaysSaved;
+            for (std::size_t k = 0; k < opt_idx.size(); ++k) {
+                if (mask & (std::size_t{1} << k))
+                    cand.saved[opt_idx[k]] = true;
+            }
+            finalize(units, cand);
+            best = std::move(cand);
+        }
+    }
+    return best;
+}
+
+} // namespace adapipe

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Adaptive recomputation: the knapsack DP of Sec. 4.3.
+ *
+ * Given the computation units of one stage and a per-micro-batch
+ * memory budget for optionally saved activations, choose the subset
+ * of units to save so that the forward time saved from backward
+ * recomputation, sum of Time_f(U) over saved U, is maximal
+ * (equations (1)-(2) of the paper). Always-saved units are outside
+ * the knapsack: their memory is charged to the caller's budget
+ * beforehand.
+ *
+ * The paper accelerates the DP by dividing all memory costs and the
+ * limit by their GCD; we additionally clamp the number of DP buckets
+ * with a conservative quantisation (costs rounded up, budget rounded
+ * down) so adversarially odd byte counts cannot blow up the table.
+ */
+
+#ifndef ADAPIPE_CORE_RECOMPUTE_DP_H
+#define ADAPIPE_CORE_RECOMPUTE_DP_H
+
+#include <vector>
+
+#include "hw/profiler.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * Result of the recomputation knapsack for one stage.
+ */
+struct RecomputePlanResult
+{
+    /** Per-unit decision; always-saved units are reported true. */
+    std::vector<bool> saved;
+    /** Sum of Time_f over optionally saved units (knapsack value). */
+    Seconds savedFwdTime = 0;
+    /** Bytes of optionally saved activations per micro-batch. */
+    Bytes savedBytes = 0;
+    /** Count of saved units (incl. always-saved), Table 4's metric. */
+    int savedUnits = 0;
+};
+
+/**
+ * Tuning knobs of the knapsack solver.
+ */
+struct RecomputeDpOptions
+{
+    /**
+     * Maximum number of DP weight buckets. The effective granularity
+     * is max(gcd of costs, ceil(budget / maxBuckets)).
+     */
+    int maxBuckets = 1 << 14;
+    /**
+     * Disable the GCD/quantisation optimisation (used by the
+     * ablation bench); falls back to 1-byte granularity capped by
+     * maxBuckets anyway to stay finite.
+     */
+    bool useGcd = true;
+};
+
+/**
+ * Solve the knapsack over @p units.
+ *
+ * @param units computation units of the stage, execution order
+ * @param budget_per_mb bytes available per micro-batch for the
+ *        optionally saved activations (already excludes static
+ *        memory, the recompute buffer, stage inputs and always-saved
+ *        units); negative budgets are treated as zero
+ * @param opts solver knobs
+ * @return the optimal save set under the budget; with budget 0 the
+ *         result saves only the always-saved units
+ */
+RecomputePlanResult
+solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
+                       std::int64_t budget_per_mb,
+                       const RecomputeDpOptions &opts = {});
+
+/**
+ * Brute-force oracle (exponential) for testing the DP on small unit
+ * sets; panics if more than ~24 optional units are present.
+ */
+RecomputePlanResult
+bruteForceRecompute(const std::vector<UnitProfile> &units,
+                    std::int64_t budget_per_mb);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_RECOMPUTE_DP_H

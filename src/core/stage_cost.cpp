@@ -1,0 +1,259 @@
+#include "core/stage_cost.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+StageCostCalculator::StageCostCalculator(const ProfiledModel &pm, int p,
+                                         int n, StageCostOptions opts)
+    : pm_(pm),
+      mem_model_(pm.model, pm.train, pm.par, pm.optimizer),
+      p_(p), n_(n), opts_(opts)
+{
+    ADAPIPE_ASSERT(p_ >= 1 && n_ >= 1, "invalid pipeline/microbatches");
+    ADAPIPE_ASSERT(opts_.memBudgetFraction > 0 &&
+                       opts_.memBudgetFraction <= 1.0,
+                   "memBudgetFraction out of (0, 1]");
+}
+
+int
+StageCostCalculator::inflight(int s) const
+{
+    return MemoryModel::inflightMicroBatches(s, p_, n_);
+}
+
+StageCostCalculator::Key
+StageCostCalculator::cacheKey(int s, int i, int j) const
+{
+    const bool has_embed = (i == 0);
+    const bool has_head = (j == pm_.numLayers() - 1);
+    // The first block-layer kind determines the whole alternating
+    // composition for a given length; ranges starting with the
+    // embedding key on the kind of layer 1 implicitly via has_embed.
+    const int first_kind =
+        static_cast<int>(pm_.layers[std::min(i, pm_.numLayers() - 1)]
+                             .kind);
+    if (opts_.useIsomorphism)
+        return {inflight(s), has_embed, has_head, j - i, first_kind};
+    // Degenerate key: every (s, i, j) is distinct.
+    return {s * (pm_.numLayers() + 1) + i, has_embed, has_head, j - i,
+            first_kind + 1000};
+}
+
+StageCostCalculator::MemoryBreakdown
+StageCostCalculator::breakdown(int i, int j) const
+{
+    MemoryBreakdown b;
+    b.staticMem =
+        mem_model_.staticMemory(pm_.rangeParams(i, j)).total();
+    b.buffer = mem_model_.recomputeBufferBytes(pm_.rawLayers, i, j);
+    // The residual stream entering the stage is pinned per in-flight
+    // micro-batch; stage 0 receives token ids instead (negligible).
+    b.input = (i > 0) ? pm_.stageInputBytes : 0;
+    for (int l = i; l <= j; ++l)
+        b.alwaysSaved += pm_.layers[l].memAlwaysSaved();
+    return b;
+}
+
+const StageCost &
+StageCostCalculator::cost(int s, int i, int j)
+{
+    ADAPIPE_ASSERT(s >= 0 && s < p_, "stage out of range: ", s);
+    ADAPIPE_ASSERT(i >= 0 && j < pm_.numLayers() && i <= j,
+                   "bad layer range [", i, ", ", j, "]");
+    const Key key = cacheKey(s, i, j);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+    }
+    auto [ins, _] = cache_.emplace(key, compute(s, i, j));
+    return ins->second;
+}
+
+StageCost
+StageCostCalculator::compute(int s, int i, int j)
+{
+    const int m = inflight(s);
+    const MemoryBreakdown mem = breakdown(i, j);
+    const Bytes capacity = pm_.memCapacity;
+    const auto budget = static_cast<std::int64_t>(
+        opts_.memBudgetFraction * static_cast<double>(capacity));
+
+    // Gather the range's units and split fixed vs optional times.
+    // With offloading enabled, an unsaved unit pays the cheaper of
+    // recomputing or two host transfers, so the knapsack value of
+    // saving it is that minimum (the unit's timeFwd is rewritten
+    // accordingly before solving; result.fwd uses the original sum).
+    std::vector<UnitProfile> units;
+    Seconds fwd_all = 0;
+    Seconds bwd_all = 0;
+    Seconds fwd_recomputable = 0; // Σ unsaved penalties
+    Bytes saved_all = 0;
+    for (int l = i; l <= j; ++l) {
+        const ProfiledLayer &layer = pm_.layers[l];
+        for (const auto &u : layer.units) {
+            fwd_all += u.timeFwd;
+            bwd_all += u.timeBwd;
+            UnitProfile entry = u;
+            if (opts_.offload.enabled && !u.alwaysSaved) {
+                entry.timeFwd = std::min(
+                    u.timeFwd, opts_.offload.evictCost(u.memSaved));
+            }
+            if (!u.alwaysSaved)
+                fwd_recomputable += entry.timeFwd;
+            saved_all += u.memSaved;
+            units.push_back(std::move(entry));
+        }
+    }
+
+    StageCost result;
+    result.totalUnits = static_cast<int>(units.size());
+
+    // Fast path: everything saved fits the budget without a buffer.
+    const Bytes no_recompute_total =
+        mem.staticMem +
+        static_cast<Bytes>(m) * (mem.input + saved_all);
+    if (static_cast<std::int64_t>(no_recompute_total) <= budget) {
+        result.feasible = true;
+        result.recompute.saved.assign(units.size(), true);
+        result.recompute.savedFwdTime = fwd_recomputable;
+        result.recompute.savedBytes = saved_all - mem.alwaysSaved;
+        result.recompute.savedUnits = result.totalUnits;
+        result.fwd = fwd_all;
+        result.bwd = bwd_all;
+        result.memPeak = no_recompute_total;
+    } else {
+        // Feasibility floor: everything optional recomputed.
+        const Bytes minimal =
+            mem.staticMem + mem.buffer +
+            static_cast<Bytes>(m) * (mem.input + mem.alwaysSaved);
+        if (minimal > capacity) {
+            result.feasible = false;
+            result.memPeak = minimal;
+            return result;
+        }
+        const std::int64_t per_mb =
+            (budget - static_cast<std::int64_t>(mem.staticMem) -
+             static_cast<std::int64_t>(mem.buffer)) /
+                m -
+            static_cast<std::int64_t>(mem.input) -
+            static_cast<std::int64_t>(mem.alwaysSaved);
+        ++knapsack_runs_;
+        result.recompute =
+            solveRecomputeKnapsack(units, per_mb, opts_.dp);
+        result.feasible = true;
+        result.fwd = fwd_all;
+        result.bwd = bwd_all +
+                     (fwd_recomputable - result.recompute.savedFwdTime);
+        result.memPeak =
+            mem.staticMem + mem.buffer +
+            static_cast<Bytes>(m) *
+                (mem.input + mem.alwaysSaved +
+                 result.recompute.savedBytes);
+    }
+
+    if (opts_.includeP2p && i > 0) {
+        result.fwd += pm_.p2pTime;
+        result.bwd += pm_.p2pTime;
+    }
+    return result;
+}
+
+StageCost
+StageCostCalculator::baselineCost(int s, int i, int j,
+                                  RecomputeBaseline mode) const
+{
+    ADAPIPE_ASSERT(s >= 0 && s < p_, "stage out of range: ", s);
+    const int m = inflight(s);
+    const MemoryBreakdown mem = breakdown(i, j);
+
+    auto is_selective = [](UnitKind kind) {
+        return kind == UnitKind::AttnScores ||
+               kind == UnitKind::AttnSoftmax ||
+               kind == UnitKind::AttnContext;
+    };
+
+    Seconds fwd_all = 0;
+    Seconds bwd_all = 0;
+    Seconds fwd_blocks = 0;    // recomputed work, full recompute
+    Seconds fwd_selective = 0; // recomputed work, selective
+    Bytes selective_buffer = 0;
+    int total_units = 0;
+    int selective_units = 0;
+    for (int l = i; l <= j; ++l) {
+        const ProfiledLayer &layer = pm_.layers[l];
+        fwd_all += layer.timeFwdAll();
+        bwd_all += layer.timeBwdAll();
+        if (layer.kind == LayerKind::Attention ||
+            layer.kind == LayerKind::FeedForward) {
+            fwd_blocks += layer.timeFwdAll();
+        }
+        Bytes layer_selective_mem = 0;
+        for (const auto &u : layer.units) {
+            if (is_selective(u.kind)) {
+                fwd_selective += u.timeFwd;
+                layer_selective_mem += u.memSaved;
+                ++selective_units;
+            }
+        }
+        selective_buffer =
+            std::max(selective_buffer, layer_selective_mem);
+        total_units += static_cast<int>(layer.units.size());
+    }
+
+    StageCost result;
+    result.totalUnits = total_units;
+    Bytes saved_per_mb = 0;
+    int saved_units = 0;
+    switch (mode) {
+      case RecomputeBaseline::Full:
+        saved_per_mb =
+            mem_model_.fullRecomputeSavedPerMb(pm_.rawLayers, i, j);
+        result.bwd = bwd_all + fwd_blocks;
+        // Only the Embedding/DecodingHead units stay saved.
+        for (int l = i; l <= j; ++l) {
+            if (pm_.layers[l].kind == LayerKind::Embedding ||
+                pm_.layers[l].kind == LayerKind::DecodingHead) {
+                saved_units +=
+                    static_cast<int>(pm_.layers[l].units.size());
+            }
+        }
+        result.memPeak = mem.staticMem + mem.buffer +
+                         static_cast<Bytes>(m) *
+                             (mem.input + saved_per_mb);
+        break;
+      case RecomputeBaseline::None:
+        saved_per_mb =
+            mem_model_.noRecomputeSavedPerMb(pm_.rawLayers, i, j);
+        result.bwd = bwd_all;
+        saved_units = total_units;
+        result.memPeak = mem.staticMem +
+                         static_cast<Bytes>(m) *
+                             (mem.input + saved_per_mb);
+        break;
+      case RecomputeBaseline::Selective:
+        saved_per_mb = mem_model_.selectiveRecomputeSavedPerMb(
+            pm_.rawLayers, i, j);
+        result.bwd = bwd_all + fwd_selective;
+        saved_units = total_units - selective_units;
+        result.memPeak = mem.staticMem + selective_buffer +
+                         static_cast<Bytes>(m) *
+                             (mem.input + saved_per_mb);
+        break;
+    }
+    result.fwd = fwd_all;
+    result.recompute.savedUnits = saved_units;
+    result.recompute.savedBytes = saved_per_mb;
+    result.feasible = result.memPeak <= pm_.memCapacity;
+
+    if (opts_.includeP2p && i > 0) {
+        result.fwd += pm_.p2pTime;
+        result.bwd += pm_.p2pTime;
+    }
+    return result;
+}
+
+} // namespace adapipe

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Stage cost tables f[s,i,j] and b[s,i,j] (Sec. 5.2) with the
+ * isomorphism optimisation of Sec. 5.3.
+ *
+ * For a stage s (0-based) assigned layers [i, j], the calculator
+ * derives the per-micro-batch memory budget from the stage's static
+ * memory, recompute buffer, boundary input and always-saved
+ * activations, runs the Sec. 4 knapsack, and reports the resulting
+ * forward/backward times and predicted peak memory.
+ *
+ * Isomorphism: two layer ranges with the same length, the same first
+ * layer kind and the same boundary content (embedding / decoding
+ * head) have identical cost tables for the same in-flight count, so
+ * results are memoised under that key, reducing knapsack executions
+ * from O(p L^2) to O(p L).
+ */
+
+#ifndef ADAPIPE_CORE_STAGE_COST_H
+#define ADAPIPE_CORE_STAGE_COST_H
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/profiled_model.h"
+#include "core/recompute_dp.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * Cost of running layers [i, j] as stage s.
+ */
+struct StageCost
+{
+    /** False when even full recomputation exceeds device memory. */
+    bool feasible = false;
+    /** Forward time per micro-batch, f[s,i,j]. */
+    Seconds fwd = 0;
+    /** Backward (incl. recomputation) time per micro-batch. */
+    Seconds bwd = 0;
+    /** Predicted peak memory of the stage. */
+    Bytes memPeak = 0;
+    /** Knapsack outcome (decision vector over the range's units). */
+    RecomputePlanResult recompute;
+    /** Total computation units in the range. */
+    int totalUnits = 0;
+};
+
+/**
+ * Activation offloading extension (SuperNeurons / MPress, Sec. 8
+ * related work): a unit that is not saved can be *offloaded* to host
+ * memory instead of recomputed, paying two PCIe transfers per
+ * micro-batch instead of the forward recompute. The knapsack stays
+ * unchanged — each unsaved unit's penalty simply becomes
+ * min(Time_f(U), evictCost(U)).
+ */
+struct OffloadOptions
+{
+    bool enabled = false;
+    /** Effective host-link bandwidth, bytes/s (PCIe 4.0 x16 ~25e9). */
+    double bandwidth = 25.0e9;
+    /** Fraction of the transfer hidden under compute. */
+    double overlapFraction = 0.5;
+
+    /** @return per-micro-batch time to evict + fetch @p bytes. */
+    Seconds
+    evictCost(Bytes bytes) const
+    {
+        return 2.0 * static_cast<double>(bytes) / bandwidth *
+               (1.0 - overlapFraction);
+    }
+};
+
+/**
+ * Calculator configuration.
+ */
+struct StageCostOptions
+{
+    /**
+     * Fraction of device memory the planner may commit (the paper
+     * sets the DP constraint conservatively, e.g. 70 of 80 GB).
+     */
+    double memBudgetFraction = 0.875;
+    /** Charge the inter-stage P2P transfer to F_s and B_s. */
+    bool includeP2p = true;
+    /** Exploit range isomorphism (Sec. 5.3); off for the ablation. */
+    bool useIsomorphism = true;
+    /** Knapsack solver knobs. */
+    RecomputeDpOptions dp;
+    /** Optional hybrid recompute-or-offload mode. */
+    OffloadOptions offload;
+};
+
+/**
+ * Memoising stage cost calculator.
+ */
+class StageCostCalculator
+{
+  public:
+    /**
+     * @param pm profiled model (must outlive the calculator)
+     * @param p pipeline-parallel size
+     * @param n micro-batches per pipeline
+     * @param opts configuration
+     */
+    StageCostCalculator(const ProfiledModel &pm, int p, int n,
+                        StageCostOptions opts = {});
+
+    /**
+     * Adaptive-recomputation cost of layers [i, j] as stage s
+     * (memoised).
+     */
+    const StageCost &cost(int s, int i, int j);
+
+    /**
+     * Baseline cost of the same range under a uniform recomputation
+     * policy (no knapsack; used for the DAPPLE baselines).
+     */
+    StageCost baselineCost(int s, int i, int j,
+                           RecomputeBaseline mode) const;
+
+    /**
+     * Convenience overload: true = full, false = no recomputation.
+     */
+    StageCost
+    baselineCost(int s, int i, int j, bool full_recompute) const
+    {
+        return baselineCost(s, i, j,
+                            full_recompute ? RecomputeBaseline::Full
+                                           : RecomputeBaseline::None);
+    }
+
+    /** @return knapsack executions performed (ablation metric). */
+    std::size_t knapsackRuns() const { return knapsack_runs_; }
+
+    /** @return memoised lookups that hit the isomorphism cache. */
+    std::size_t cacheHits() const { return cache_hits_; }
+
+    /** @return in-flight micro-batches of stage s, min(p - s, n). */
+    int inflight(int s) const;
+
+  private:
+    StageCost compute(int s, int i, int j);
+
+    /** Static + buffer + per-mb fixed memory common to all modes. */
+    struct MemoryBreakdown
+    {
+        Bytes staticMem = 0;
+        Bytes buffer = 0;
+        Bytes input = 0;
+        Bytes alwaysSaved = 0;
+    };
+    MemoryBreakdown breakdown(int i, int j) const;
+
+    using Key = std::tuple<int, bool, bool, int, int>;
+    Key cacheKey(int s, int i, int j) const;
+
+    const ProfiledModel &pm_;
+    MemoryModel mem_model_;
+    int p_;
+    int n_;
+    StageCostOptions opts_;
+    std::map<Key, StageCost> cache_;
+    std::size_t knapsack_runs_ = 0;
+    std::size_t cache_hits_ = 0;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_STAGE_COST_H

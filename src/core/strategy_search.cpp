@@ -1,0 +1,113 @@
+#include "core/strategy_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+Seconds
+StrategyResult::iterationTime() const
+{
+    if (!result.ok)
+        return std::numeric_limits<double>::infinity();
+    return result.plan.timing.total;
+}
+
+std::vector<ParallelConfig>
+enumerateStrategies(const ModelConfig &model, const TrainConfig &train,
+                    const ClusterSpec &cluster,
+                    const StrategySearchOptions &opts)
+{
+    model.validate();
+    cluster.validate();
+    const int devices = cluster.totalDevices();
+
+    std::vector<ParallelConfig> strategies;
+    for (int t = 1; t <= opts.maxTensor; t *= 2) {
+        if (t > cluster.devicesPerNode)
+            break;
+        if (model.numHeads % t != 0 || model.numKvHeads % t != 0)
+            continue;
+        for (int p = opts.minPipeline; t * p <= devices; p *= 2) {
+            if (devices % (t * p) != 0)
+                continue;
+            if (p > model.numBlocks)
+                break;
+            const int d = devices / (t * p);
+            if (train.globalBatch % (train.microBatch * d) != 0)
+                continue;
+            const int n =
+                train.globalBatch / (train.microBatch * d);
+            if (opts.requireFullPipeline && n < p)
+                continue;
+
+            ParallelConfig par;
+            par.tensor = t;
+            par.pipeline = p;
+            par.data = d;
+            strategies.push_back(par);
+        }
+    }
+    return strategies;
+}
+
+std::vector<StrategyResult>
+sweepStrategies(const ModelConfig &model, const TrainConfig &train,
+                const ClusterSpec &cluster, PlanMethod method,
+                const StrategySearchOptions &opts)
+{
+    const std::vector<ParallelConfig> strategies =
+        enumerateStrategies(model, train, cluster, opts);
+    std::vector<StrategyResult> results(strategies.size());
+
+    auto evaluate = [&](std::size_t i) {
+        const ProfiledModel pm =
+            buildProfiledModel(model, train, strategies[i], cluster);
+        results[i].par = strategies[i];
+        results[i].result = makePlan(pm, method, opts.stageCost);
+    };
+
+    unsigned workers = opts.threads;
+    if (workers == 0)
+        workers = std::max(1u, std::thread::hardware_concurrency());
+    if (workers <= 1 || strategies.size() <= 1) {
+        for (std::size_t i = 0; i < strategies.size(); ++i)
+            evaluate(i);
+        return results;
+    }
+
+    // Static interleaved assignment: strategies are independent and
+    // results are pre-sized, so no synchronisation is needed.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w]() {
+            for (std::size_t i = w; i < strategies.size();
+                 i += workers)
+                evaluate(i);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::optional<StrategyResult>
+bestStrategy(const ModelConfig &model, const TrainConfig &train,
+             const ClusterSpec &cluster, PlanMethod method,
+             const StrategySearchOptions &opts)
+{
+    std::optional<StrategyResult> best;
+    for (auto &r : sweepStrategies(model, train, cluster, method, opts)) {
+        if (!r.result.ok)
+            continue;
+        if (!best || r.iterationTime() < best->iterationTime())
+            best = std::move(r);
+    }
+    return best;
+}
+
+} // namespace adapipe

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * 3D parallel-strategy enumeration (Sec. 7.1 / Table 3).
+ *
+ * The paper iterates all (t, p, d) strategies on cluster A and
+ * reports the best per method. This module enumerates strategies
+ * with the paper's constraints (t <= 8 and within a node, t | heads,
+ * t*p*d = devices, n >= p) and plans each one.
+ */
+
+#ifndef ADAPIPE_CORE_STRATEGY_SEARCH_H
+#define ADAPIPE_CORE_STRATEGY_SEARCH_H
+
+#include <optional>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "model/parallel.h"
+
+namespace adapipe {
+
+/** One evaluated strategy. */
+struct StrategyResult
+{
+    ParallelConfig par;
+    PlanResult result;
+
+    /** @return iteration time; infinity when infeasible. */
+    Seconds iterationTime() const;
+};
+
+/** Enumeration knobs. */
+struct StrategySearchOptions
+{
+    /** Maximum tensor-parallel size (paper: 8, one node). */
+    int maxTensor = 8;
+    /** Require at least this many pipeline stages. */
+    int minPipeline = 2;
+    /** Skip strategies where n < p (1F1B degenerates). */
+    bool requireFullPipeline = true;
+    /** Stage-cost knobs passed to the planner. */
+    StageCostOptions stageCost;
+    /**
+     * Worker threads for the sweep (strategies are independent).
+     * 0 = hardware concurrency, 1 = sequential.
+     */
+    unsigned threads = 1;
+};
+
+/**
+ * Enumerate all valid (t, p, d) strategies for the cluster.
+ */
+std::vector<ParallelConfig>
+enumerateStrategies(const ModelConfig &model, const TrainConfig &train,
+                    const ClusterSpec &cluster,
+                    const StrategySearchOptions &opts = {});
+
+/**
+ * Plan @p method under every valid strategy; results keep the
+ * enumeration order (t-major).
+ */
+std::vector<StrategyResult>
+sweepStrategies(const ModelConfig &model, const TrainConfig &train,
+                const ClusterSpec &cluster, PlanMethod method,
+                const StrategySearchOptions &opts = {});
+
+/**
+ * @return the feasible strategy with the lowest iteration time, or
+ * nullopt when every strategy OOMs.
+ */
+std::optional<StrategyResult>
+bestStrategy(const ModelConfig &model, const TrainConfig &train,
+             const ClusterSpec &cluster, PlanMethod method,
+             const StrategySearchOptions &opts = {});
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_STRATEGY_SEARCH_H

@@ -1,0 +1,51 @@
+#include "hw/cluster.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+void
+ClusterSpec::validate() const
+{
+    device.validate();
+    if (devicesPerNode <= 0 || numNodes <= 0)
+        ADAPIPE_FATAL("cluster '", name, "' has no devices");
+    if (intraNodeBandwidth <= 0 || interNodeBandwidth <= 0)
+        ADAPIPE_FATAL("cluster '", name, "' has invalid bandwidths");
+}
+
+ClusterSpec
+clusterA(int num_nodes)
+{
+    ClusterSpec c;
+    c.name = "Cluster A (DGX-A100)";
+    c.device = a100_80gb();
+    c.devicesPerNode = 8;
+    c.numNodes = num_nodes;
+    // NVLink3: 600 GB/s aggregate, ~250 GB/s effective per direction
+    // for ring collectives.
+    c.intraNodeBandwidth = 250.0e9;
+    // 800 Gbps HCA = 100 GB/s per node, shared by the ranks that
+    // actually cross nodes (one PP boundary rank pair at a time).
+    c.interNodeBandwidth = 25.0e9;
+    c.linkLatency = microseconds(5);
+    return c;
+}
+
+ClusterSpec
+clusterB(int num_nodes)
+{
+    ClusterSpec c;
+    c.name = "Cluster B (Atlas 800)";
+    c.device = ascend910_32gb();
+    c.devicesPerNode = 8;
+    c.numNodes = num_nodes;
+    // 4-NPU boards fully meshed by 30 GB/s links.
+    c.intraNodeBandwidth = 30.0e9;
+    // One 100 Gbps NIC per NPU = 12.5 GB/s.
+    c.interNodeBandwidth = 12.5e9;
+    c.linkLatency = microseconds(10);
+    return c;
+}
+
+} // namespace adapipe

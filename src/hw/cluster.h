@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cluster descriptions: node topology and interconnect bandwidths.
+ */
+
+#ifndef ADAPIPE_HW_CLUSTER_H
+#define ADAPIPE_HW_CLUSTER_H
+
+#include <string>
+
+#include "hw/device.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * A homogeneous cluster of multi-accelerator nodes.
+ *
+ * Tensor parallelism is mapped inside a node (the paper requires
+ * t <= devicesPerNode); pipeline stages talk over the inter-node
+ * network.
+ */
+struct ClusterSpec
+{
+    /** Human-readable name. */
+    std::string name;
+    /** Accelerator model installed in every node. */
+    DeviceSpec device;
+    /** Accelerators per node. */
+    int devicesPerNode = 8;
+    /** Number of nodes. */
+    int numNodes = 1;
+    /**
+     * Effective per-direction bandwidth between two accelerators in
+     * the same node (NVLink / on-board mesh), bytes/s.
+     */
+    double intraNodeBandwidth = 0;
+    /** Effective bandwidth between nodes per accelerator, bytes/s. */
+    double interNodeBandwidth = 0;
+    /** One-way message latency between pipeline stages. */
+    Seconds linkLatency = 0;
+
+    /** @return total accelerator count. */
+    int totalDevices() const { return devicesPerNode * numNodes; }
+
+    /** Validate the spec; ADAPIPE_FATAL on nonsense values. */
+    void validate() const;
+};
+
+/** @name Cluster presets (paper Sec. 7.1)
+ *  @{
+ */
+
+/**
+ * Cluster A: DGX-A100 nodes, 8x A100 80GB with NVLink, 800 Gbps
+ * InfiniBand between nodes.
+ *
+ * @param num_nodes node count (the paper uses up to 8)
+ */
+ClusterSpec clusterA(int num_nodes);
+
+/**
+ * Cluster B: Atlas 800 nodes, 8x Ascend 910 32GB, 30 GB/s on-board
+ * mesh, one 100 Gbps NIC per NPU.
+ *
+ * @param num_nodes node count (the paper uses up to 256)
+ */
+ClusterSpec clusterB(int num_nodes);
+
+/** @} */
+
+} // namespace adapipe
+
+#endif // ADAPIPE_HW_CLUSTER_H

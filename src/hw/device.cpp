@@ -1,0 +1,55 @@
+#include "hw/device.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+void
+DeviceSpec::validate() const
+{
+    if (memCapacity == 0 || peakFlops <= 0 || memBandwidth <= 0)
+        ADAPIPE_FATAL("device '", name, "' has invalid specs");
+    if (reservedBytes >= memCapacity)
+        ADAPIPE_FATAL("device '", name, "' reserve exceeds capacity");
+}
+
+DeviceSpec
+a100_80gb()
+{
+    DeviceSpec d;
+    d.name = "NVIDIA A100 80GB";
+    d.memCapacity = GiB(80);
+    d.reservedBytes = GiB(2);
+    d.peakFlops = teraFlops(312);
+    d.memBandwidth = 2.0e12;
+    d.kernelOverhead = microseconds(4);
+    return d;
+}
+
+DeviceSpec
+ascend910_32gb()
+{
+    DeviceSpec d;
+    d.name = "Ascend 910 32GB";
+    d.memCapacity = GiB(32);
+    d.reservedBytes = GiB(1.5);
+    d.peakFlops = teraFlops(256);
+    d.memBandwidth = 1.2e12;
+    d.kernelOverhead = microseconds(6);
+    return d;
+}
+
+DeviceSpec
+genericDevice24gb()
+{
+    DeviceSpec d;
+    d.name = "Generic 24GB";
+    d.memCapacity = GiB(24);
+    d.reservedBytes = GiB(1);
+    d.peakFlops = teraFlops(150);
+    d.memBandwidth = 0.9e12;
+    d.kernelOverhead = microseconds(5);
+    return d;
+}
+
+} // namespace adapipe

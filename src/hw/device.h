@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Accelerator device descriptions.
+ *
+ * The paper profiles units on real A100 GPUs and Ascend 910 NPUs; we
+ * substitute an analytic model parameterised by these specs (see
+ * DESIGN.md). A DeviceSpec carries peak half-precision throughput,
+ * memory bandwidth and capacity, plus per-kernel launch overhead.
+ */
+
+#ifndef ADAPIPE_HW_DEVICE_H
+#define ADAPIPE_HW_DEVICE_H
+
+#include <string>
+
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * Static description of one accelerator.
+ */
+struct DeviceSpec
+{
+    /** Marketing name, e.g. "NVIDIA A100 80GB". */
+    std::string name;
+    /** On-device memory capacity in bytes. */
+    Bytes memCapacity = 0;
+    /**
+     * Memory unavailable to the training state: driver context,
+     * communication-library buffers, kernel workspaces and allocator
+     * fragmentation. Real runs OOM once the model state reaches
+     * memCapacity - reservedBytes.
+     */
+    Bytes reservedBytes = 0;
+    /** Peak dense fp16/bf16 throughput in FLOP/s. */
+    Flops peakFlops = 0;
+    /** Peak HBM bandwidth in bytes/s. */
+    double memBandwidth = 0;
+    /** Fixed overhead charged per kernel / computation unit. */
+    Seconds kernelOverhead = 0;
+
+    /** @return capacity usable by parameters and activations. */
+    Bytes usableCapacity() const { return memCapacity - reservedBytes; }
+
+    /** Validate the spec; ADAPIPE_FATAL on nonsense values. */
+    void validate() const;
+};
+
+/** @name Device presets matching the paper's two clusters
+ *  @{
+ */
+
+/** NVIDIA A100-SXM 80GB (cluster A). */
+DeviceSpec a100_80gb();
+
+/** Huawei Ascend 910 32GB (cluster B). */
+DeviceSpec ascend910_32gb();
+
+/** A smaller 24 GB device for stress-testing memory limits. */
+DeviceSpec genericDevice24gb();
+
+/** @} */
+
+} // namespace adapipe
+
+#endif // ADAPIPE_HW_DEVICE_H

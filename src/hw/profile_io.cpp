@@ -1,0 +1,95 @@
+#include "hw/profile_io.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+const char *
+unitKindKey(UnitKind kind)
+{
+    return unitKindName(kind);
+}
+
+UnitKind
+unitKindFromKey(const std::string &key)
+{
+    for (UnitKind kind :
+         {UnitKind::LayerNorm, UnitKind::Gemm,
+          UnitKind::FlashAttention, UnitKind::AttnScores,
+          UnitKind::AttnSoftmax, UnitKind::AttnContext,
+          UnitKind::Embedding, UnitKind::Head}) {
+        if (key == unitKindName(kind))
+            return kind;
+    }
+    ADAPIPE_FATAL("unknown unit kind '", key, "'");
+}
+
+} // namespace
+
+JsonValue
+profileTableToJson(const ProfileTable &table)
+{
+    JsonValue root = JsonValue::object();
+    root.set("source", JsonValue::string(table.source));
+    JsonValue layers = JsonValue::array();
+    for (const auto &layer : table.layers) {
+        JsonValue units = JsonValue::array();
+        for (const UnitProfile &u : layer) {
+            JsonValue unit = JsonValue::object();
+            unit.set("name", JsonValue::string(u.name));
+            unit.set("kind", JsonValue::string(unitKindKey(u.kind)));
+            unit.set("time_fwd", JsonValue::number(u.timeFwd));
+            unit.set("time_bwd", JsonValue::number(u.timeBwd));
+            unit.set("mem_saved",
+                     JsonValue::integer(
+                         static_cast<std::int64_t>(u.memSaved)));
+            unit.set("always_saved",
+                     JsonValue::boolean(u.alwaysSaved));
+            units.push(std::move(unit));
+        }
+        layers.push(std::move(units));
+    }
+    root.set("layers", std::move(layers));
+    return root;
+}
+
+std::string
+profileTableToJsonString(const ProfileTable &table, int indent)
+{
+    return profileTableToJson(table).dump(indent);
+}
+
+ProfileTable
+profileTableFromJson(const JsonValue &json)
+{
+    ProfileTable table;
+    table.source = json.at("source").asString();
+    for (const JsonValue &layer : json.at("layers").elements()) {
+        std::vector<UnitProfile> units;
+        for (const JsonValue &unit : layer.elements()) {
+            UnitProfile u;
+            u.name = unit.at("name").asString();
+            u.kind = unitKindFromKey(unit.at("kind").asString());
+            u.timeFwd = unit.at("time_fwd").asNumber();
+            u.timeBwd = unit.at("time_bwd").asNumber();
+            u.memSaved =
+                static_cast<Bytes>(unit.at("mem_saved").asInteger());
+            u.alwaysSaved = unit.at("always_saved").asBool();
+            ADAPIPE_ASSERT(u.timeFwd >= 0 && u.timeBwd >= 0,
+                           "negative time in profile for ", u.name);
+            units.push_back(std::move(u));
+        }
+        table.layers.push_back(std::move(units));
+    }
+    return table;
+}
+
+ProfileTable
+profileTableFromJsonString(const std::string &text)
+{
+    return profileTableFromJson(JsonValue::parse(text));
+}
+
+} // namespace adapipe

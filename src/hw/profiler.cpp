@@ -1,0 +1,99 @@
+#include "hw/profiler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+OperatorProfiler::OperatorProfiler(const ClusterSpec &cluster,
+                                   const ParallelConfig &par)
+    : cluster_(cluster), par_(par)
+{
+    cluster_.validate();
+    ADAPIPE_ASSERT(par.tensor >= 1, "invalid tensor parallel size");
+    if (par.tensor > cluster.devicesPerNode) {
+        ADAPIPE_FATAL("tensor parallel size ", par.tensor,
+                      " exceeds devices per node ",
+                      cluster.devicesPerNode);
+    }
+}
+
+double
+OperatorProfiler::efficiency(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::Gemm: return 0.55;
+      case UnitKind::Head: return 0.50;
+      case UnitKind::FlashAttention: return 0.40;
+      case UnitKind::AttnScores: return 0.35;
+      case UnitKind::AttnContext: return 0.35;
+      case UnitKind::AttnSoftmax: return 0.20;
+      case UnitKind::LayerNorm: return 0.10;
+      case UnitKind::Embedding: return 0.10;
+    }
+    return 0.30;
+}
+
+Seconds
+OperatorProfiler::collectiveTime(Bytes bytes) const
+{
+    if (bytes == 0 || par_.tensor <= 1)
+        return 0;
+    // Ring collective (alpha-beta model): t - 1 latency hops plus
+    // the per-rank payload over the intra-node link. The payload is
+    // already scaled by (t-1)/t (and doubled for all-reduce) by the
+    // unit builder.
+    return static_cast<double>(par_.tensor - 1) * cluster_.linkLatency +
+           static_cast<double>(bytes) / cluster_.intraNodeBandwidth;
+}
+
+Seconds
+OperatorProfiler::p2pTime(Bytes bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    // Pipeline stages are mapped to different nodes whenever the
+    // cluster has more than one node; otherwise the transfer stays on
+    // NVLink.
+    const double bw = cluster_.numNodes > 1 ? cluster_.interNodeBandwidth
+                                            : cluster_.intraNodeBandwidth;
+    return cluster_.linkLatency + static_cast<double>(bytes) / bw;
+}
+
+UnitProfile
+OperatorProfiler::profile(const ComputationUnit &unit) const
+{
+    const DeviceSpec &dev = cluster_.device;
+    const double eff = efficiency(unit.kind);
+
+    auto roofline = [&](Flops flops, Bytes traffic) {
+        const Seconds compute = flops / (dev.peakFlops * eff);
+        const Seconds memory =
+            static_cast<double>(traffic) / dev.memBandwidth;
+        return std::max(compute, memory) + dev.kernelOverhead;
+    };
+
+    UnitProfile p;
+    p.name = unit.name;
+    p.kind = unit.kind;
+    p.timeFwd = roofline(unit.flopsFwd, unit.trafficFwd) +
+                collectiveTime(unit.commBytesFwd);
+    p.timeBwd = roofline(unit.flopsBwd, unit.trafficBwd) +
+                collectiveTime(unit.commBytesFwd);
+    p.memSaved = unit.memSaved;
+    p.alwaysSaved = unit.alwaysSaved;
+    return p;
+}
+
+std::vector<UnitProfile>
+OperatorProfiler::profileLayer(const Layer &layer) const
+{
+    std::vector<UnitProfile> profiles;
+    profiles.reserve(layer.units.size());
+    for (const auto &u : layer.units)
+        profiles.push_back(profile(u));
+    return profiles;
+}
+
+} // namespace adapipe

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic operator profiler.
+ *
+ * Stands in for the paper's "preliminary run of 5-10 iterations
+ * recording timestamps around each computation unit" (Sec. 4.2).
+ * Unit time is a roofline estimate: the maximum of compute time
+ * (FLOPs over derated peak throughput) and memory time (traffic over
+ * HBM bandwidth), plus kernel overhead and the unit's attached
+ * tensor-parallel collective time.
+ */
+
+#ifndef ADAPIPE_HW_PROFILER_H
+#define ADAPIPE_HW_PROFILER_H
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "model/parallel.h"
+#include "model/units.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * Hardware-resolved cost of one computation unit: the table entry
+ * the search algorithms consume.
+ */
+struct UnitProfile
+{
+    /** Name copied from the computation unit. */
+    std::string name;
+    /** Operator class copied from the computation unit. */
+    UnitKind kind = UnitKind::Gemm;
+    /** Forward time of the unit, Time_f(U). */
+    Seconds timeFwd = 0;
+    /** Backward time of the unit (excl. recompute), Time_b(U). */
+    Seconds timeBwd = 0;
+    /** Activation bytes alive until backward when saved, Mem(U). */
+    Bytes memSaved = 0;
+    /** Sec. 4.2 always-saved restriction flag. */
+    bool alwaysSaved = false;
+};
+
+/**
+ * Converts unit workloads into times for one device/cluster.
+ */
+class OperatorProfiler
+{
+  public:
+    /**
+     * @param cluster hardware the model runs on (validated)
+     * @param par parallel strategy; tensor size chooses the
+     *        collective bandwidth domain
+     */
+    OperatorProfiler(const ClusterSpec &cluster,
+                     const ParallelConfig &par);
+
+    /** Profile a single unit. */
+    UnitProfile profile(const ComputationUnit &unit) const;
+
+    /** Profile every unit of a layer, preserving order. */
+    std::vector<UnitProfile> profileLayer(const Layer &layer) const;
+
+    /**
+     * Time of the point-to-point activation transfer between two
+     * adjacent pipeline stages for one micro-batch.
+     *
+     * @param bytes payload per rank
+     */
+    Seconds p2pTime(Bytes bytes) const;
+
+    /**
+     * Time of a tensor-parallel collective with the given per-rank
+     * payload (already scaled by (t-1)/t by the unit builder).
+     */
+    Seconds collectiveTime(Bytes bytes) const;
+
+    /**
+     * Achievable fraction of peak FLOP/s for a unit kind; models the
+     * efficiency gap between e.g. large GEMMs and attention kernels.
+     */
+    static double efficiency(UnitKind kind);
+
+  private:
+    ClusterSpec cluster_;
+    ParallelConfig par_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_HW_PROFILER_H

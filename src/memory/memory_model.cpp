@@ -1,0 +1,148 @@
+#include "memory/memory_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+MemoryModel::MemoryModel(const ModelConfig &model,
+                         const TrainConfig &train,
+                         const ParallelConfig &par, OptimizerConfig opt)
+    : model_(model), train_(train), par_(par), opt_(opt)
+{
+    model_.validate();
+    ADAPIPE_ASSERT(par_.tensor >= 1 && par_.data >= 1 &&
+                       par_.pipeline >= 1,
+                   "invalid parallel config");
+}
+
+StaticMemory
+MemoryModel::staticMemory(std::uint64_t stage_params) const
+{
+    const double n = static_cast<double>(stage_params);
+    const double t = par_.tensor;
+    const double d = par_.data;
+    ADAPIPE_ASSERT(opt_.zeroStage >= 0 && opt_.zeroStage <= 3,
+                   "invalid ZeRO stage ", opt_.zeroStage);
+
+    // ZeRO-1 shards optimizer states, ZeRO-2 additionally gradients,
+    // ZeRO-3 additionally the parameters themselves.
+    const double param_shard = opt_.zeroStage >= 3 ? d : 1.0;
+    const double grad_shard = opt_.zeroStage >= 2 ? d : 1.0;
+    const double opt_shard = opt_.zeroStage >= 1 ? d : 1.0;
+
+    StaticMemory mem;
+    mem.params = static_cast<Bytes>(model_.dtypeBytes * n /
+                                    (t * param_shard));
+    const double grad_bytes = opt_.fp32GradAccum ? 4.0
+                                                 : model_.dtypeBytes;
+    mem.grads =
+        static_cast<Bytes>(grad_bytes * n / (t * grad_shard));
+    double opt_bytes = opt_.stateBytesPerParam;
+    if (opt_.fp32MasterParams)
+        opt_bytes += 4.0;
+    mem.optimizer =
+        static_cast<Bytes>(opt_bytes * n / (t * opt_shard));
+    return mem;
+}
+
+Bytes
+MemoryModel::stageInputBytes() const
+{
+    const bool seq_par = par_.sequenceParallel && par_.tensor > 1;
+    const double elems = static_cast<double>(train_.microBatch) *
+                         train_.seqLen * model_.hiddenSize /
+                         (seq_par ? par_.tensor : 1);
+    return static_cast<Bytes>(elems * model_.dtypeBytes);
+}
+
+Bytes
+MemoryModel::fullRecomputeSavedPerMb(const std::vector<Layer> &layers,
+                                     int first, int last) const
+{
+    ADAPIPE_ASSERT(first >= 0 && last < static_cast<int>(layers.size()) &&
+                       first <= last,
+                   "bad layer range [", first, ", ", last, "]");
+    Bytes total = 0;
+    for (int i = first; i <= last; ++i) {
+        const Layer &layer = layers[i];
+        switch (layer.kind) {
+          case LayerKind::Attention:
+            // One checkpointed block input per decoder block.
+            total += stageInputBytes();
+            break;
+          case LayerKind::FeedForward:
+            // Covered by the block input checkpoint.
+            break;
+          case LayerKind::Embedding:
+          case LayerKind::DecodingHead:
+            // Never recomputed; their children stay alive.
+            total += layer.memSavedAll();
+            break;
+        }
+    }
+    return total;
+}
+
+Bytes
+MemoryModel::noRecomputeSavedPerMb(const std::vector<Layer> &layers,
+                                   int first, int last) const
+{
+    ADAPIPE_ASSERT(first >= 0 && last < static_cast<int>(layers.size()) &&
+                       first <= last,
+                   "bad layer range [", first, ", ", last, "]");
+    Bytes total = 0;
+    for (int i = first; i <= last; ++i)
+        total += layers[i].memSavedAll();
+    return total;
+}
+
+Bytes
+MemoryModel::selectiveRecomputeSavedPerMb(
+    const std::vector<Layer> &layers, int first, int last) const
+{
+    ADAPIPE_ASSERT(first >= 0 && last < static_cast<int>(layers.size()) &&
+                       first <= last,
+                   "bad layer range [", first, ", ", last, "]");
+    Bytes total = 0;
+    for (int i = first; i <= last; ++i) {
+        for (const auto &u : layers[i].units) {
+            const bool selective =
+                u.kind == UnitKind::AttnScores ||
+                u.kind == UnitKind::AttnSoftmax ||
+                u.kind == UnitKind::AttnContext;
+            if (!selective)
+                total += u.memSaved;
+        }
+    }
+    return total;
+}
+
+Bytes
+MemoryModel::recomputeBufferBytes(const std::vector<Layer> &layers,
+                                  int first, int last) const
+{
+    ADAPIPE_ASSERT(first >= 0 && last < static_cast<int>(layers.size()) &&
+                       first <= last,
+                   "bad layer range [", first, ", ", last, "]");
+    Bytes buffer = 0;
+    for (int i = first; i <= last; ++i) {
+        if (layers[i].kind == LayerKind::Attention ||
+            layers[i].kind == LayerKind::FeedForward) {
+            buffer = std::max(buffer, layers[i].memSavedAll());
+        }
+    }
+    return buffer;
+}
+
+int
+MemoryModel::inflightMicroBatches(int s, int p, int n)
+{
+    ADAPIPE_ASSERT(s >= 0 && s < p, "stage ", s, " out of range");
+    // 1F1B keeps p - s micro-batches alive at stage s, capped by the
+    // total number of micro-batches.
+    return std::min(p - s, n);
+}
+
+} // namespace adapipe

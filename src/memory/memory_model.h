@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Per-stage memory accounting (Sec. 4.2's three-part model).
+ *
+ * Part 1 (static): parameters, gradients and ZeRO-1-sharded optimizer
+ * states — depends only on the parallel strategy.
+ * Part 2 (buffer): space to rematerialise one decoder layer's
+ * intermediates during backward; reused across layers.
+ * Part 3 (intermediates): saved activations, weighted by the number
+ * of in-flight micro-batches (p - s) of the 1F1B schedule.
+ */
+
+#ifndef ADAPIPE_MEMORY_MEMORY_MODEL_H
+#define ADAPIPE_MEMORY_MEMORY_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/model_config.h"
+#include "model/parallel.h"
+#include "model/units.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/**
+ * Optimizer memory behaviour (paper: FP32 Adam with ZeRO stage 1,
+ * plus the FP32 gradient-accumulation / master-parameter factors
+ * frameworks add).
+ */
+struct OptimizerConfig
+{
+    /** Bytes of optimizer state per parameter (Adam: 2 x fp32 = 8). */
+    double stateBytesPerParam = 8.0;
+    /** Keep an FP32 master copy of parameters (sharded with the
+     *  optimizer states). */
+    bool fp32MasterParams = true;
+    /** Accumulate gradients in FP32. */
+    bool fp32GradAccum = true;
+    /**
+     * ZeRO sharding stage over the data-parallel group:
+     * 0 = none, 1 = optimizer states (the paper's setting),
+     * 2 = + gradients, 3 = + parameters. Stages 2/3 are extensions
+     * beyond the paper, modelled for what-if studies.
+     */
+    int zeroStage = 1;
+};
+
+/**
+ * Static (recomputation-independent) memory of one pipeline stage.
+ */
+struct StaticMemory
+{
+    /** Half-precision parameter bytes per rank. */
+    Bytes params = 0;
+    /** Gradient bytes per rank (fp32 when accumulating in fp32). */
+    Bytes grads = 0;
+    /** Optimizer-state bytes per rank (ZeRO-1: divided by t*d). */
+    Bytes optimizer = 0;
+
+    /** @return sum of the three components. */
+    Bytes total() const { return params + grads + optimizer; }
+};
+
+/**
+ * Memory model of one training configuration; all query methods are
+ * per-rank quantities.
+ */
+class MemoryModel
+{
+  public:
+    /**
+     * @param model architecture (for dtype and hidden size)
+     * @param train micro-batch and sequence length
+     * @param par parallel strategy (t, d and sequence parallelism)
+     * @param opt optimizer memory behaviour
+     */
+    MemoryModel(const ModelConfig &model, const TrainConfig &train,
+                const ParallelConfig &par,
+                OptimizerConfig opt = OptimizerConfig{});
+
+    /**
+     * Static memory of a stage holding @p stage_params unsharded
+     * parameters.
+     */
+    StaticMemory staticMemory(std::uint64_t stage_params) const;
+
+    /**
+     * Bytes of the residual-stream activation entering a stage (one
+     * micro-batch). This tensor is pinned per in-flight micro-batch
+     * regardless of the recomputation strategy.
+     */
+    Bytes stageInputBytes() const;
+
+    /**
+     * Saved activation bytes of one micro-batch under Megatron-style
+     * *full recomputation*: only the input of each decoder layer is
+     * kept (one residual tensor per Attention layer; Embedding and
+     * DecodingHead layers keep their own saved tensors since they
+     * are never recomputed).
+     */
+    Bytes fullRecomputeSavedPerMb(const std::vector<Layer> &layers,
+                                  int first, int last) const;
+
+    /**
+     * Saved activation bytes of one micro-batch with *no
+     * recomputation*: every unit's children stay alive.
+     */
+    Bytes noRecomputeSavedPerMb(const std::vector<Layer> &layers,
+                                int first, int last) const;
+
+    /**
+     * Saved activation bytes of one micro-batch under *selective
+     * recomputation* (Sec. 2.2): the attention score / softmax /
+     * context units are recomputed, everything else is saved. On
+     * the flash-attention path those units do not exist and this
+     * equals noRecomputeSavedPerMb.
+     */
+    Bytes selectiveRecomputeSavedPerMb(const std::vector<Layer> &layers,
+                                       int first, int last) const;
+
+    /**
+     * Recomputation buffer bound: the largest per-layer sum of unit
+     * activations among layers [first, last] (Sec. 4.2 restricts
+     * layer outputs to be saved, so rematerialisation never needs
+     * more than one layer's intermediates at a time).
+     */
+    Bytes recomputeBufferBytes(const std::vector<Layer> &layers,
+                               int first, int last) const;
+
+    /** @return in-flight micro-batches of stage @p s (p - s). */
+    static int inflightMicroBatches(int s, int p, int n);
+
+  private:
+    const ModelConfig &model_;
+    TrainConfig train_;
+    ParallelConfig par_;
+    OptimizerConfig opt_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_MEMORY_MEMORY_MODEL_H

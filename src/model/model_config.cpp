@@ -1,0 +1,188 @@
+#include "model/model_config.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+std::uint64_t
+ModelConfig::attentionParams() const
+{
+    const std::uint64_t h = hiddenSize;
+    const std::uint64_t kv = kvProjSize();
+    // Q and output projections are h x h; K and V are h x kv (GQA).
+    std::uint64_t params = 2 * h * h + 2 * h * kv;
+    if (bias)
+        params += 2 * h + 2 * kv;
+    // Pre-attention LayerNorm (weight + bias or RMSNorm weight).
+    params += bias ? 2 * h : h;
+    return params;
+}
+
+std::uint64_t
+ModelConfig::feedForwardParams() const
+{
+    const std::uint64_t h = hiddenSize;
+    const std::uint64_t f = ffnHiddenSize;
+    // Gated FFN has gate+up+down projections, plain FFN has up+down.
+    std::uint64_t params = (gatedFfn ? 3 : 2) * h * f;
+    if (bias)
+        params += f + h + (gatedFfn ? f : 0);
+    params += bias ? 2 * h : h; // pre-FFN norm
+    return params;
+}
+
+std::uint64_t
+ModelConfig::embeddingParams() const
+{
+    return static_cast<std::uint64_t>(vocabSize) * hiddenSize;
+}
+
+std::uint64_t
+ModelConfig::decodingHeadParams() const
+{
+    // Untied output projection plus the final norm.
+    return static_cast<std::uint64_t>(vocabSize) * hiddenSize +
+           (bias ? 2u : 1u) * static_cast<std::uint64_t>(hiddenSize);
+}
+
+std::uint64_t
+ModelConfig::totalParams() const
+{
+    return embeddingParams() + decodingHeadParams() +
+           static_cast<std::uint64_t>(numBlocks) *
+               (attentionParams() + feedForwardParams());
+}
+
+void
+ModelConfig::validate() const
+{
+    if (numBlocks <= 0 || hiddenSize <= 0 || numHeads <= 0 ||
+        numKvHeads <= 0 || ffnHiddenSize <= 0 || vocabSize <= 0) {
+        ADAPIPE_FATAL("model '", name, "' has non-positive dimensions");
+    }
+    if (hiddenSize % numHeads != 0) {
+        ADAPIPE_FATAL("model '", name, "': hiddenSize ", hiddenSize,
+                      " not divisible by numHeads ", numHeads);
+    }
+    if (numHeads % numKvHeads != 0) {
+        ADAPIPE_FATAL("model '", name, "': numHeads ", numHeads,
+                      " not divisible by numKvHeads ", numKvHeads);
+    }
+    if (dtypeBytes <= 0)
+        ADAPIPE_FATAL("model '", name, "': invalid dtypeBytes");
+}
+
+ModelConfig
+gpt3_175b()
+{
+    ModelConfig m;
+    m.name = "GPT-3 175B";
+    m.numBlocks = 96;
+    m.hiddenSize = 12288;
+    m.numHeads = 96;
+    m.numKvHeads = 96;
+    m.ffnHiddenSize = 4 * 12288;
+    m.vocabSize = 50257;
+    m.gatedFfn = false;
+    m.bias = true;
+    return m;
+}
+
+ModelConfig
+llama2_70b()
+{
+    ModelConfig m;
+    m.name = "Llama 2 70B";
+    m.numBlocks = 80;
+    m.hiddenSize = 8192;
+    m.numHeads = 64;
+    m.numKvHeads = 8;
+    m.ffnHiddenSize = 28672;
+    m.vocabSize = 32000;
+    m.gatedFfn = true;
+    m.bias = false;
+    return m;
+}
+
+ModelConfig
+gpt3_13b()
+{
+    ModelConfig m;
+    m.name = "GPT-3 13B";
+    m.numBlocks = 40;
+    m.hiddenSize = 5120;
+    m.numHeads = 40;
+    m.numKvHeads = 40;
+    m.ffnHiddenSize = 4 * 5120;
+    m.vocabSize = 50257;
+    m.gatedFfn = false;
+    m.bias = true;
+    return m;
+}
+
+ModelConfig
+gpt3_6_7b()
+{
+    ModelConfig m;
+    m.name = "GPT-3 6.7B";
+    m.numBlocks = 32;
+    m.hiddenSize = 4096;
+    m.numHeads = 32;
+    m.numKvHeads = 32;
+    m.ffnHiddenSize = 4 * 4096;
+    m.vocabSize = 50257;
+    m.gatedFfn = false;
+    m.bias = true;
+    return m;
+}
+
+ModelConfig
+llama2_13b()
+{
+    ModelConfig m;
+    m.name = "Llama 2 13B";
+    m.numBlocks = 40;
+    m.hiddenSize = 5120;
+    m.numHeads = 40;
+    m.numKvHeads = 40;
+    m.ffnHiddenSize = 13824;
+    m.vocabSize = 32000;
+    m.gatedFfn = true;
+    m.bias = false;
+    return m;
+}
+
+ModelConfig
+bertLarge()
+{
+    ModelConfig m;
+    m.name = "BERT-large";
+    m.causal = false;
+    m.numBlocks = 24;
+    m.hiddenSize = 1024;
+    m.numHeads = 16;
+    m.numKvHeads = 16;
+    m.ffnHiddenSize = 4096;
+    m.vocabSize = 30522;
+    m.gatedFfn = false;
+    m.bias = true;
+    return m;
+}
+
+ModelConfig
+tinyTestModel()
+{
+    ModelConfig m;
+    m.name = "tiny-test";
+    m.numBlocks = 4;
+    m.hiddenSize = 64;
+    m.numHeads = 4;
+    m.numKvHeads = 4;
+    m.ffnHiddenSize = 256;
+    m.vocabSize = 512;
+    m.gatedFfn = false;
+    m.bias = true;
+    return m;
+}
+
+} // namespace adapipe

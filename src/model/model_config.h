@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Transformer model architecture descriptions.
+ *
+ * A ModelConfig captures everything the cost models need about a
+ * network: depth, widths, attention geometry (incl. grouped-query
+ * attention) and feed-forward style (plain GELU vs. gated SwiGLU).
+ * Presets match the two models evaluated in the paper, GPT-3 175B
+ * and Llama 2 70B, plus smaller models used in tests and examples.
+ */
+
+#ifndef ADAPIPE_MODEL_MODEL_CONFIG_H
+#define ADAPIPE_MODEL_MODEL_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace adapipe {
+
+/**
+ * Architecture of a decoder-only (or encoder) transformer.
+ */
+struct ModelConfig
+{
+    /** Human-readable name, e.g. "GPT-3 175B". */
+    std::string name;
+    /** Number of decoder blocks (each = Attention + FeedForward). */
+    int numBlocks = 0;
+    /** Hidden size h. */
+    int hiddenSize = 0;
+    /** Number of attention heads. */
+    int numHeads = 0;
+    /** Number of key/value heads (< numHeads means GQA). */
+    int numKvHeads = 0;
+    /** Feed-forward inner width. */
+    int ffnHiddenSize = 0;
+    /** Vocabulary size. */
+    int vocabSize = 0;
+    /**
+     * Gated feed-forward (SwiGLU): three projection matrices (gate,
+     * up, down) instead of two. Used by Llama 2.
+     */
+    bool gatedFfn = false;
+    /** Linear layers carry bias terms (GPT-3 yes, Llama 2 no). */
+    bool bias = true;
+    /** Causal (decoder) attention; false for encoders like BERT. */
+    bool causal = true;
+    /** Bytes per element of parameters/activations (fp16/bf16 = 2). */
+    int dtypeBytes = 2;
+
+    /** @return size of one head, hiddenSize / numHeads. */
+    int headDim() const { return hiddenSize / numHeads; }
+
+    /** @return combined K/V projection width (GQA aware). */
+    int kvProjSize() const { return numKvHeads * headDim(); }
+
+    /** @return parameters of one Attention layer (paper's P_a). */
+    std::uint64_t attentionParams() const;
+
+    /** @return parameters of one Feed-Forward layer (paper's P_f). */
+    std::uint64_t feedForwardParams() const;
+
+    /** @return parameters of the Embedding layer. */
+    std::uint64_t embeddingParams() const;
+
+    /** @return parameters of the Decoding Head (untied + final LN). */
+    std::uint64_t decodingHeadParams() const;
+
+    /** @return total parameter count of the model. */
+    std::uint64_t totalParams() const;
+
+    /** Validate internal consistency; ADAPIPE_FATAL on user error. */
+    void validate() const;
+};
+
+/** @name Model presets used in the paper and in tests
+ *  @{
+ */
+
+/** GPT-3 175B: 96 blocks, h=12288, 96 heads, GELU FFN (paper Sec 7). */
+ModelConfig gpt3_175b();
+
+/** Llama 2 70B: 80 blocks, h=8192, GQA (8 kv heads), SwiGLU FFN. */
+ModelConfig llama2_70b();
+
+/** GPT-3 13B-ish mid-size model for faster sweeps. */
+ModelConfig gpt3_13b();
+
+/** GPT-3 6.7B: entry-level configuration for laptop-scale sweeps. */
+ModelConfig gpt3_6_7b();
+
+/** Llama 2 13B: mid-size gated-FFN model. */
+ModelConfig llama2_13b();
+
+/** BERT-large-like encoder (Fig. 4 notes unit splitting fits BERT). */
+ModelConfig bertLarge();
+
+/** Tiny model for unit tests (4 blocks, h=64). */
+ModelConfig tinyTestModel();
+
+/** @} */
+
+} // namespace adapipe
+
+#endif // ADAPIPE_MODEL_MODEL_CONFIG_H

@@ -1,0 +1,30 @@
+#include "model/parallel.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+std::string
+ParallelConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << "(" << tensor << ", " << pipeline << ", " << data << ")";
+    return oss.str();
+}
+
+int
+TrainConfig::microBatches(const ParallelConfig &par) const
+{
+    ADAPIPE_ASSERT(par.data > 0 && microBatch > 0,
+                   "invalid parallel/train configuration");
+    const int denom = microBatch * par.data;
+    if (globalBatch % denom != 0) {
+        ADAPIPE_FATAL("global batch ", globalBatch,
+                      " not divisible by microBatch*d = ", denom);
+    }
+    return globalBatch / denom;
+}
+
+} // namespace adapipe

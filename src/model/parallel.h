@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallelism and training-run configuration shared by every module.
+ *
+ * Follows the paper's notation (Table 1): t = tensor-parallel size,
+ * d = data-parallel size, p = pipeline-parallel size, b = micro-batch
+ * size, n = number of micro-batches per pipeline per iteration.
+ */
+
+#ifndef ADAPIPE_MODEL_PARALLEL_H
+#define ADAPIPE_MODEL_PARALLEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace adapipe {
+
+/**
+ * A 3D parallelism strategy (t, p, d).
+ *
+ * Every stage uses the same tensor- and data-parallel size, matching
+ * the paper's restriction (Sec. 3).
+ */
+struct ParallelConfig
+{
+    /** Tensor-parallel size (t). */
+    int tensor = 1;
+    /** Pipeline-parallel size (p). */
+    int pipeline = 1;
+    /** Data-parallel size (d); ZeRO-1 shards optimizer states. */
+    int data = 1;
+    /**
+     * Megatron-style sequence parallelism: activations outside the
+     * tensor-parallel GEMMs are sharded over t as well (paper Sec. 1
+     * enables it for all experiments).
+     */
+    bool sequenceParallel = true;
+    /**
+     * Flash attention fuses softmax/dropout/bmm and removes their
+     * O(s^2) activations (paper Sec. 2.2 enables it everywhere).
+     */
+    bool flashAttention = true;
+
+    /** @return total number of devices, t * p * d. */
+    int totalDevices() const { return tensor * pipeline * data; }
+
+    /** @return "(t, p, d)" string used in Table 3. */
+    std::string toString() const;
+};
+
+/**
+ * Per-iteration training workload configuration.
+ */
+struct TrainConfig
+{
+    /** Micro-batch size (b); the paper fixes b = 1. */
+    int microBatch = 1;
+    /** Sequence length in tokens (s). */
+    int seqLen = 4096;
+    /** Global batch size in samples across all data-parallel ranks. */
+    int globalBatch = 128;
+
+    /**
+     * @return number of micro-batches n one pipeline processes per
+     * iteration: globalBatch / (microBatch * d).
+     */
+    int microBatches(const ParallelConfig &par) const;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_MODEL_PARALLEL_H

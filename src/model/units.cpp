@@ -1,0 +1,388 @@
+#include "model/units.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+const char *
+unitKindName(UnitKind kind)
+{
+    switch (kind) {
+      case UnitKind::LayerNorm: return "layernorm";
+      case UnitKind::Gemm: return "gemm";
+      case UnitKind::FlashAttention: return "flash_attention";
+      case UnitKind::AttnScores: return "attn_scores";
+      case UnitKind::AttnSoftmax: return "attn_softmax";
+      case UnitKind::AttnContext: return "attn_context";
+      case UnitKind::Embedding: return "embedding";
+      case UnitKind::Head: return "head";
+    }
+    return "?";
+}
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Embedding: return "Embedding";
+      case LayerKind::Attention: return "Attention";
+      case LayerKind::FeedForward: return "FeedForward";
+      case LayerKind::DecodingHead: return "DecodingHead";
+    }
+    return "?";
+}
+
+Flops
+Layer::flopsFwd() const
+{
+    Flops total = 0;
+    for (const auto &u : units)
+        total += u.flopsFwd;
+    return total;
+}
+
+Bytes
+Layer::memSavedAll() const
+{
+    Bytes total = 0;
+    for (const auto &u : units)
+        total += u.memSaved;
+    return total;
+}
+
+namespace {
+
+/**
+ * Helper that knows the sharded tensor shapes of one (model, train,
+ * parallel) combination and emits computation units.
+ */
+class UnitBuilder
+{
+  public:
+    UnitBuilder(const ModelConfig &m, const TrainConfig &tr,
+                const ParallelConfig &par)
+        : m_(m), b_(tr.microBatch), s_(tr.seqLen), t_(par.tensor),
+          seq_par_(par.sequenceParallel && par.tensor > 1),
+          flash_(par.flashAttention)
+    {}
+
+    Layer embeddingLayer(int index) const;
+    Layer attentionLayer(int index) const;
+    Layer feedForwardLayer(int index) const;
+    Layer decodingHeadLayer(int index) const;
+
+  private:
+    /** Elements of a (b, s, width) activation fully sharded over t. */
+    double
+    shardedElems(double width) const
+    {
+        return static_cast<double>(b_) * s_ * width / t_;
+    }
+
+    /**
+     * Bytes of a residual-stream-width activation: sharded over t
+     * only when sequence parallelism is on.
+     */
+    Bytes
+    residualBytes() const
+    {
+        const double elems = static_cast<double>(b_) * s_ * m_.hiddenSize /
+                             (seq_par_ ? t_ : 1);
+        return static_cast<Bytes>(elems * m_.dtypeBytes);
+    }
+
+    /** Bytes of a TP-sharded activation of the given width. */
+    Bytes
+    shardedBytes(double width) const
+    {
+        return static_cast<Bytes>(shardedElems(width) * m_.dtypeBytes);
+    }
+
+    /**
+     * Payload of one sequence-parallel all-gather / reduce-scatter
+     * (or, without sequence parallelism, one all-reduce) of the
+     * residual stream, in bytes sent per rank.
+     */
+    Bytes
+    collectiveBytes() const
+    {
+        if (t_ <= 1)
+            return 0;
+        const double full = static_cast<double>(b_) * s_ *
+                            m_.hiddenSize * m_.dtypeBytes;
+        const double frac = static_cast<double>(t_ - 1) / t_;
+        // All-reduce moves twice the ring payload of AG/RS.
+        return static_cast<Bytes>(full * frac * (seq_par_ ? 1.0 : 2.0));
+    }
+
+    ComputationUnit gemmUnit(const std::string &name, double rows,
+                             double in_width, double out_width,
+                             bool sharded_out) const;
+    ComputationUnit normUnit(const std::string &name) const;
+
+    const ModelConfig &m_;
+    int b_;
+    int s_;
+    int t_;
+    bool seq_par_;
+    bool flash_;
+};
+
+ComputationUnit
+UnitBuilder::gemmUnit(const std::string &name, double rows,
+                      double in_width, double out_width,
+                      bool sharded_out) const
+{
+    ComputationUnit u;
+    u.name = name;
+    u.kind = UnitKind::Gemm;
+    // One GEMM of (rows x in_width) . (in_width x out_width/t).
+    const double flops = 2.0 * rows * in_width * out_width / t_;
+    u.flopsFwd = flops;
+    u.flopsBwd = 2.0 * flops; // dX and dW GEMMs
+    const double w_bytes = in_width * out_width / t_ * m_.dtypeBytes;
+    const double in_bytes = rows * in_width * m_.dtypeBytes;
+    const double out_bytes = rows * out_width / t_ * m_.dtypeBytes;
+    u.trafficFwd = static_cast<Bytes>(w_bytes + in_bytes + out_bytes);
+    u.trafficBwd = static_cast<Bytes>(2 * (w_bytes + in_bytes + out_bytes));
+    u.memSaved = sharded_out ? shardedBytes(out_width) : residualBytes();
+    return u;
+}
+
+ComputationUnit
+UnitBuilder::normUnit(const std::string &name) const
+{
+    ComputationUnit u;
+    u.name = name;
+    u.kind = UnitKind::LayerNorm;
+    const double tokens = static_cast<double>(b_) * s_ /
+                          (seq_par_ ? t_ : 1);
+    const double elems = tokens * m_.hiddenSize;
+    u.flopsFwd = 10.0 * elems;
+    u.flopsBwd = 20.0 * elems;
+    u.trafficFwd = static_cast<Bytes>(3.0 * elems * m_.dtypeBytes);
+    u.trafficBwd = static_cast<Bytes>(5.0 * elems * m_.dtypeBytes);
+    // Output plus fp32 mean/rstd statistics.
+    u.memSaved = residualBytes() + static_cast<Bytes>(tokens * 8.0);
+    return u;
+}
+
+Layer
+UnitBuilder::embeddingLayer(int index) const
+{
+    Layer layer;
+    layer.kind = LayerKind::Embedding;
+    layer.index = index;
+    layer.params = m_.embeddingParams();
+
+    ComputationUnit u;
+    u.name = "embed.lookup";
+    u.kind = UnitKind::Embedding;
+    const double out_bytes = static_cast<double>(b_) * s_ *
+                             m_.hiddenSize * m_.dtypeBytes;
+    u.flopsFwd = static_cast<double>(b_) * s_ * m_.hiddenSize;
+    u.flopsBwd = u.flopsFwd;
+    u.trafficFwd = static_cast<Bytes>(2.0 * out_bytes);
+    u.trafficBwd = static_cast<Bytes>(2.0 * out_bytes);
+    // Vocab-parallel embedding all-reduces its partial outputs.
+    u.commBytesFwd = collectiveBytes();
+    u.memSaved = residualBytes();
+    u.alwaysSaved = true; // stage-boundary tensor
+    layer.units.push_back(std::move(u));
+    return layer;
+}
+
+Layer
+UnitBuilder::attentionLayer(int index) const
+{
+    Layer layer;
+    layer.kind = LayerKind::Attention;
+    layer.index = index;
+    layer.params = m_.attentionParams();
+
+    const double h = m_.hiddenSize;
+    const double kv = m_.kvProjSize();
+    const double rows = static_cast<double>(b_) * s_;
+
+    layer.units.push_back(normUnit("attn.norm"));
+
+    ComputationUnit q = gemmUnit("attn.q_proj", rows, h, h, true);
+    // The pre-QKV all-gather of the sequence-parallel residual is
+    // attached to the first projection consuming it.
+    q.commBytesFwd = collectiveBytes();
+    layer.units.push_back(std::move(q));
+    layer.units.push_back(gemmUnit("attn.k_proj", rows, h, kv, true));
+    layer.units.push_back(gemmUnit("attn.v_proj", rows, h, kv, true));
+
+    // Causal attention halves the score matmuls via the triangular
+    // mask; encoders (BERT) attend fully.
+    const double causal_factor = m_.causal ? 0.5 : 1.0;
+
+    if (flash_) {
+        ComputationUnit fa;
+        fa.name = "attn.flash";
+        fa.kind = UnitKind::FlashAttention;
+        // Two matmuls of s x s x h.
+        const double flops = causal_factor * 4.0 * rows * s_ * h / t_;
+        fa.flopsFwd = flops;
+        fa.flopsBwd = 2.5 * flops; // flash backward recomputes P
+        const double qkv_bytes = 3.0 * shardedElems(h) * m_.dtypeBytes;
+        fa.trafficFwd = static_cast<Bytes>(2.0 * qkv_bytes);
+        fa.trafficBwd = static_cast<Bytes>(4.0 * qkv_bytes);
+        // Output plus the fp32 log-sum-exp statistics flash keeps
+        // internally for its backward pass.
+        fa.memSaved = shardedBytes(h) +
+                      static_cast<Bytes>(rows * m_.numHeads / t_ * 4.0);
+        layer.units.push_back(std::move(fa));
+    } else {
+        const double heads_per_rank =
+            static_cast<double>(m_.numHeads) / t_;
+        const double score_elems = rows * s_ * heads_per_rank;
+
+        ComputationUnit sc;
+        sc.name = "attn.scores";
+        sc.kind = UnitKind::AttnScores;
+        sc.flopsFwd = causal_factor * 2.0 * rows * s_ * h / t_;
+        sc.flopsBwd = 2.0 * sc.flopsFwd;
+        sc.trafficFwd =
+            static_cast<Bytes>(score_elems * m_.dtypeBytes);
+        sc.trafficBwd = 2 * sc.trafficFwd;
+        sc.memSaved = static_cast<Bytes>(score_elems * m_.dtypeBytes);
+        layer.units.push_back(std::move(sc));
+
+        ComputationUnit sm;
+        sm.name = "attn.softmax";
+        sm.kind = UnitKind::AttnSoftmax;
+        sm.flopsFwd = 5.0 * score_elems;
+        sm.flopsBwd = 8.0 * score_elems;
+        sm.trafficFwd =
+            static_cast<Bytes>(2.0 * score_elems * m_.dtypeBytes);
+        sm.trafficBwd = sm.trafficFwd;
+        // Probabilities plus the dropout mask (1 byte/elem).
+        sm.memSaved = static_cast<Bytes>(score_elems *
+                                         (m_.dtypeBytes + 1.0));
+        layer.units.push_back(std::move(sm));
+
+        ComputationUnit cx;
+        cx.name = "attn.context";
+        cx.kind = UnitKind::AttnContext;
+        cx.flopsFwd = causal_factor * 2.0 * rows * s_ * h / t_;
+        cx.flopsBwd = 2.0 * cx.flopsFwd;
+        cx.trafficFwd =
+            static_cast<Bytes>(score_elems * m_.dtypeBytes);
+        cx.trafficBwd = 2 * cx.trafficFwd;
+        cx.memSaved = shardedBytes(h);
+        layer.units.push_back(std::move(cx));
+    }
+
+    ComputationUnit out = gemmUnit("attn.out_proj", rows, h, h, false);
+    out.commBytesFwd = collectiveBytes();
+    out.alwaysSaved = true; // Sec. 4.2 restriction
+    layer.units.push_back(std::move(out));
+    return layer;
+}
+
+Layer
+UnitBuilder::feedForwardLayer(int index) const
+{
+    Layer layer;
+    layer.kind = LayerKind::FeedForward;
+    layer.index = index;
+    layer.params = m_.feedForwardParams();
+
+    const double h = m_.hiddenSize;
+    const double f = m_.ffnHiddenSize;
+    const double rows = static_cast<double>(b_) * s_;
+
+    layer.units.push_back(normUnit("ffn.norm"));
+
+    if (m_.gatedFfn) {
+        ComputationUnit gate = gemmUnit("ffn.gate_proj", rows, h, f,
+                                        true);
+        gate.commBytesFwd = collectiveBytes();
+        layer.units.push_back(std::move(gate));
+
+        // Up projection plus the fused silu(gate) * up product; the
+        // product (input of down_proj) is this unit's second child.
+        ComputationUnit up = gemmUnit("ffn.up_proj", rows, h, f, true);
+        up.flopsFwd += 8.0 * shardedElems(f);
+        up.flopsBwd += 12.0 * shardedElems(f);
+        up.memSaved = 2 * shardedBytes(f);
+        layer.units.push_back(std::move(up));
+    } else {
+        // Up projection + GELU; both the pre-activation (needed for
+        // GELU backward) and the activated output are children.
+        ComputationUnit up = gemmUnit("ffn.up_proj", rows, h, f, true);
+        up.commBytesFwd = collectiveBytes();
+        up.flopsFwd += 8.0 * shardedElems(f);
+        up.flopsBwd += 12.0 * shardedElems(f);
+        up.memSaved = 2 * shardedBytes(f);
+        layer.units.push_back(std::move(up));
+    }
+
+    ComputationUnit down = gemmUnit("ffn.down_proj", rows, f, h, false);
+    // Down projection contracts the sharded dimension: its "t-th" of
+    // the weight is f/t x h, same FLOPs as computed with out width h.
+    down.flopsFwd = 2.0 * rows * f * h / t_;
+    down.flopsBwd = 2.0 * down.flopsFwd;
+    down.commBytesFwd = collectiveBytes();
+    down.alwaysSaved = true; // Sec. 4.2 restriction
+    layer.units.push_back(std::move(down));
+    return layer;
+}
+
+Layer
+UnitBuilder::decodingHeadLayer(int index) const
+{
+    Layer layer;
+    layer.kind = LayerKind::DecodingHead;
+    layer.index = index;
+    layer.params = m_.decodingHeadParams();
+
+    layer.units.push_back(normUnit("head.norm"));
+
+    const double rows = static_cast<double>(b_) * s_;
+    ComputationUnit u = gemmUnit("head.proj", rows, m_.hiddenSize,
+                                 m_.vocabSize, true);
+    u.kind = UnitKind::Head;
+    // Fused softmax cross-entropy over the vocab shard.
+    u.flopsFwd += 5.0 * shardedElems(m_.vocabSize);
+    u.flopsBwd += 5.0 * shardedElems(m_.vocabSize);
+    u.commBytesFwd = collectiveBytes();
+    u.memSaved = shardedBytes(m_.vocabSize) +
+                 static_cast<Bytes>(rows * 4.0);
+    u.alwaysSaved = true; // loss inputs live until backward
+    layer.units.push_back(std::move(u));
+    return layer;
+}
+
+} // namespace
+
+std::vector<Layer>
+buildLayerSequence(const ModelConfig &model, const TrainConfig &train,
+                   const ParallelConfig &par)
+{
+    model.validate();
+    ADAPIPE_ASSERT(train.microBatch > 0 && train.seqLen > 0,
+                   "invalid train config");
+    if (model.numHeads % par.tensor != 0 ||
+        model.numKvHeads % par.tensor != 0) {
+        ADAPIPE_FATAL("tensor parallel size ", par.tensor,
+                      " does not divide head counts of ", model.name);
+    }
+
+    UnitBuilder builder(model, train, par);
+    std::vector<Layer> layers;
+    layers.reserve(2 * model.numBlocks + 2);
+
+    int index = 0;
+    layers.push_back(builder.embeddingLayer(index++));
+    for (int blk = 0; blk < model.numBlocks; ++blk) {
+        layers.push_back(builder.attentionLayer(index++));
+        layers.push_back(builder.feedForwardLayer(index++));
+    }
+    layers.push_back(builder.decodingHeadLayer(index++));
+    return layers;
+}
+
+} // namespace adapipe

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Computation units and layers: the abstraction of Sec. 4.1 / Fig. 4.
+ *
+ * A computation unit is the minimal group of operators that is
+ * recomputed or saved together; operators whose intermediates are
+ * never materialised (transpose, addition, ...) are folded into the
+ * unit of the tensor they produce. Each unit carries its workload
+ * (FLOPs, memory traffic, TP-collective payload) and the bytes of
+ * activations that live until backward when the unit is *saved*.
+ * Hardware-dependent time comes later, from hw::OperatorProfiler.
+ */
+
+#ifndef ADAPIPE_MODEL_UNITS_H
+#define ADAPIPE_MODEL_UNITS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_config.h"
+#include "model/parallel.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/** Operator class of a computation unit (drives roofline efficiency). */
+enum class UnitKind {
+    LayerNorm,      ///< Layer/RMS norm (bandwidth bound)
+    Gemm,           ///< dense projection (compute bound)
+    FlashAttention, ///< fused attention kernel
+    AttnScores,     ///< unfused Q.K^T batched matmul
+    AttnSoftmax,    ///< unfused softmax (+dropout)
+    AttnContext,    ///< unfused P.V batched matmul
+    Embedding,      ///< token-embedding gather
+    Head,           ///< vocabulary projection + cross entropy
+};
+
+/** @return short human-readable name of a UnitKind. */
+const char *unitKindName(UnitKind kind);
+
+/**
+ * One computation unit (Sec. 4.1).
+ *
+ * All per-rank quantities: FLOPs and bytes are what a single
+ * accelerator in the tensor-parallel group executes/stores for one
+ * micro-batch.
+ */
+struct ComputationUnit
+{
+    /** Qualified name, e.g. "attn.q_proj". */
+    std::string name;
+    /** Operator class. */
+    UnitKind kind = UnitKind::Gemm;
+    /** Forward floating-point operations. */
+    Flops flopsFwd = 0;
+    /** Backward floating-point operations (excl. recomputation). */
+    Flops flopsBwd = 0;
+    /** Forward HBM traffic in bytes (roofline denominator). */
+    Bytes trafficFwd = 0;
+    /** Backward HBM traffic in bytes. */
+    Bytes trafficBwd = 0;
+    /**
+     * Bytes of child tensors (output + internally saved tensors)
+     * that persist until backward when the unit is configured as
+     * saved; zero cost when recomputed.
+     */
+    Bytes memSaved = 0;
+    /**
+     * Tensor-parallel collective payload (bytes) attached to this
+     * unit's forward pass; backward mirrors it. Zero when t = 1.
+     */
+    Bytes commBytesFwd = 0;
+    /**
+     * The Sec. 4.2 restriction: outputs of the Attention and
+     * Feed-Forward layers (and stage-boundary tensors) are always
+     * saved and never enter the knapsack.
+     */
+    bool alwaysSaved = false;
+};
+
+/** Kind of a partitionable layer (Sec. 5: the unit of partitioning). */
+enum class LayerKind {
+    Embedding,
+    Attention,
+    FeedForward,
+    DecodingHead,
+};
+
+/** @return short human-readable name of a LayerKind. */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * One partitionable layer: a sub-sequence boundary candidate for
+ * adaptive partitioning, owning its computation units.
+ */
+struct Layer
+{
+    /** Layer type. */
+    LayerKind kind = LayerKind::Attention;
+    /** Index within the model's layer sequence. */
+    int index = 0;
+    /** Unsharded parameter count of this layer. */
+    std::uint64_t params = 0;
+    /** The layer's computation units in execution order. */
+    std::vector<ComputationUnit> units;
+
+    /** @return summed forward FLOPs of all units. */
+    Flops flopsFwd() const;
+    /** @return summed memSaved over all units (saved-everything). */
+    Bytes memSavedAll() const;
+};
+
+/**
+ * Build the model's layer sequence
+ * [Embedding, (Attention, FeedForward) x numBlocks, DecodingHead]
+ * with per-rank unit workloads for the given training and
+ * parallelism configuration.
+ *
+ * @param model architecture description (validated)
+ * @param train micro-batch size and sequence length
+ * @param par tensor-parallel size, sequence parallelism and flash
+ *        attention switches (pipeline/data sizes are not needed to
+ *        size the units)
+ */
+std::vector<Layer> buildLayerSequence(const ModelConfig &model,
+                                      const TrainConfig &train,
+                                      const ParallelConfig &par);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_MODEL_UNITS_H

@@ -1,0 +1,372 @@
+#include "sim/baseline_eval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/partition_dp.h"
+#include "memory/memory_model.h"
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+/** Compose the OOM message for the first over-capacity device. */
+std::string
+oomMessage(const std::vector<Bytes> &mem, Bytes capacity)
+{
+    for (std::size_t d = 0; d < mem.size(); ++d) {
+        if (mem[d] > capacity) {
+            std::ostringstream oss;
+            oss << "device " << d << " needs " << formatBytes(mem[d])
+                << " of " << formatBytes(capacity);
+            return oss.str();
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+const char *
+baselineScheduleName(BaselineSchedule sched)
+{
+    switch (sched) {
+      case BaselineSchedule::Dapple: return "DAPPLE";
+      case BaselineSchedule::GPipe: return "GPipe";
+      case BaselineSchedule::Chimera: return "Chimera";
+      case BaselineSchedule::ChimeraD: return "ChimeraD";
+    }
+    return "?";
+}
+
+EndToEndResult
+simulatePlan(const ProfiledModel &pm, const PipelinePlan &plan)
+{
+    const int p = static_cast<int>(plan.stages.size());
+    ADAPIPE_ASSERT(p == pm.par.pipeline,
+                   "plan does not match the profiled model");
+    std::vector<StageTimes> times;
+    times.reserve(p);
+    for (const auto &sp : plan.stages)
+        times.push_back({sp.timeFwd, sp.timeBwd});
+
+    // P2P time is already charged inside the stage times by the
+    // planner (StageCostOptions::includeP2p), so the simulator runs
+    // with zero transfer cost to avoid double counting.
+    const SimResult sim =
+        simulate(build1F1B(p, plan.microBatches), times, {});
+
+    EndToEndResult result;
+    result.feasible = true;
+    result.iterationTime = sim.iterationTime;
+    result.peakAlive = sim.peakAlive;
+    result.bubbleTime = sim.totalBubbleTime();
+    for (const auto &sp : plan.stages) {
+        result.deviceMem.push_back(sp.memPeak);
+        result.microStepTime.push_back(sp.timeFwd + sp.timeBwd);
+    }
+    return result;
+}
+
+namespace {
+
+/** Per-micro-batch saved activations under a uniform policy. */
+Bytes
+activationsPerMb(const MemoryModel &mem_model, const ProfiledModel &pm,
+                 RecomputeBaseline mode, int i, int j)
+{
+    switch (mode) {
+      case RecomputeBaseline::Full:
+        return mem_model.fullRecomputeSavedPerMb(pm.rawLayers, i, j);
+      case RecomputeBaseline::None:
+        return mem_model.noRecomputeSavedPerMb(pm.rawLayers, i, j);
+      case RecomputeBaseline::Selective:
+        return mem_model.selectiveRecomputeSavedPerMb(pm.rawLayers, i,
+                                                      j);
+    }
+    return 0;
+}
+
+/** Rematerialisation buffer under a uniform policy. */
+Bytes
+bufferBytes(const MemoryModel &mem_model, const ProfiledModel &pm,
+            RecomputeBaseline mode, int i, int j)
+{
+    switch (mode) {
+      case RecomputeBaseline::Full:
+        return mem_model.recomputeBufferBytes(pm.rawLayers, i, j);
+      case RecomputeBaseline::None:
+        return 0;
+      case RecomputeBaseline::Selective: {
+        // Bounded by one layer's recomputed attention internals.
+        Bytes buf = 0;
+        for (int l = i; l <= j; ++l) {
+            Bytes layer = 0;
+            for (const auto &u : pm.rawLayers[l].units) {
+                if (u.kind == UnitKind::AttnScores ||
+                    u.kind == UnitKind::AttnSoftmax ||
+                    u.kind == UnitKind::AttnContext) {
+                    layer += u.memSaved;
+                }
+            }
+            buf = std::max(buf, layer);
+        }
+        return buf;
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+EndToEndResult
+evaluateBaseline(const ProfiledModel &pm, BaselineSchedule sched,
+                 RecomputeBaseline mode, StageCostOptions opts)
+{
+    const int p = pm.par.pipeline;
+    const int n = pm.train.microBatches(pm.par);
+    const auto ranges = evenPartition(pm.numLayers(), p);
+    StageCostCalculator calc(pm, p, n, opts);
+    MemoryModel mem_model(pm.model, pm.train, pm.par, pm.optimizer);
+
+    // Per-stage times and per-micro-batch activation bytes.
+    std::vector<StageTimes> times(p);
+    std::vector<Bytes> act_per_mb(p);
+    std::vector<StaticMemory> static_mem(p);
+    std::vector<Bytes> buffer(p, 0);
+    for (int s = 0; s < p; ++s) {
+        const auto [i, j] = ranges[s];
+        const StageCost c = calc.baselineCost(s, i, j, mode);
+        times[s] = {c.fwd, c.bwd};
+        static_mem[s] =
+            mem_model.staticMemory(pm.rangeParams(i, j));
+        const Bytes input = (i > 0) ? pm.stageInputBytes : 0;
+        act_per_mb[s] =
+            input + activationsPerMb(mem_model, pm, mode, i, j);
+        buffer[s] = bufferBytes(mem_model, pm, mode, i, j);
+    }
+
+    Schedule schedule;
+    switch (sched) {
+      case BaselineSchedule::Dapple:
+        schedule = build1F1B(p, n);
+        break;
+      case BaselineSchedule::GPipe:
+        schedule = buildGPipe(p, n);
+        break;
+      case BaselineSchedule::Chimera:
+        schedule = buildChimera(p, n);
+        break;
+      case BaselineSchedule::ChimeraD:
+        schedule = buildChimeraD(p, n);
+        break;
+    }
+
+    const SimResult sim = simulate(schedule, times, {pm.p2pTime});
+
+    EndToEndResult result;
+    result.iterationTime = sim.iterationTime;
+    result.peakAlive = sim.peakAlive;
+    result.bubbleTime = sim.totalBubbleTime();
+    result.deviceMem.resize(p);
+    result.microStepTime.resize(p);
+    for (int d = 0; d < p; ++d)
+        result.microStepTime[d] = times[d].fwd + times[d].bwd;
+
+    const bool bidirectional = schedule.numChains == 2;
+    for (int d = 0; d < p; ++d) {
+        Bytes static_total = static_mem[d].total();
+        Bytes act = act_per_mb[d];
+        Bytes buf = buffer[d];
+        if (bidirectional) {
+            // Device d also hosts the opposite chain's stage p-1-d:
+            // parameters and gradients are duplicated, but the two
+            // chains form a data-parallel pair, so ZeRO-1 shards the
+            // optimizer states over twice as many ranks. Peak alive
+            // counts both chains, so charge the average
+            // per-micro-batch footprint.
+            const int mirror = p - 1 - d;
+            static_total = static_mem[d].params + static_mem[d].grads +
+                           static_mem[mirror].params +
+                           static_mem[mirror].grads +
+                           (static_mem[d].optimizer +
+                            static_mem[mirror].optimizer) /
+                               2;
+            act = (act_per_mb[d] + act_per_mb[mirror]) / 2;
+            buf = std::max(buf, buffer[mirror]);
+        }
+        result.deviceMem[d] =
+            static_total + buf +
+            static_cast<Bytes>(sim.peakAlive[d]) * act;
+    }
+
+    const std::string oom =
+        oomMessage(result.deviceMem, pm.memCapacity);
+    result.feasible = oom.empty();
+    result.oomReason = oom;
+    return result;
+}
+
+EndToEndResult
+evaluateBPipe(const ProfiledModel &pm, RecomputeBaseline mode,
+              StageCostOptions opts)
+{
+    const int p = pm.par.pipeline;
+    const int n = pm.train.microBatches(pm.par);
+    const auto ranges = evenPartition(pm.numLayers(), p);
+    StageCostCalculator calc(pm, p, n, opts);
+    MemoryModel mem_model(pm.model, pm.train, pm.par, pm.optimizer);
+
+    // Per-stage activation demand and per-device budget.
+    std::vector<StageTimes> times(p);
+    std::vector<Bytes> act_per_mb(p);
+    std::vector<std::int64_t> act_budget(p);
+    std::vector<std::int64_t> overflow(p); // demand - budget
+    for (int s = 0; s < p; ++s) {
+        const auto [i, j] = ranges[s];
+        const StageCost c = calc.baselineCost(s, i, j, mode);
+        times[s] = {c.fwd, c.bwd};
+        const Bytes input = (i > 0) ? pm.stageInputBytes : 0;
+        act_per_mb[s] =
+            input + activationsPerMb(mem_model, pm, mode, i, j);
+        const Bytes fixed =
+            mem_model.staticMemory(pm.rangeParams(i, j)).total() +
+            bufferBytes(mem_model, pm, mode, i, j);
+        act_budget[s] = static_cast<std::int64_t>(pm.memCapacity) -
+                        static_cast<std::int64_t>(fixed);
+        const std::int64_t demand =
+            static_cast<std::int64_t>(calc.inflight(s)) *
+            static_cast<std::int64_t>(act_per_mb[s]);
+        overflow[s] = demand - act_budget[s];
+    }
+
+    // Balance within pairs (s, p-1-s); eviction adds two inter-node
+    // transfers per evicted byte per micro-batch on both partners.
+    EndToEndResult result;
+    result.feasible = true;
+    result.deviceMem.resize(p);
+    result.microStepTime.resize(p);
+    std::vector<std::int64_t> used_act(p);
+    for (int s = 0; s < p; ++s) {
+        used_act[s] = static_cast<std::int64_t>(calc.inflight(s)) *
+                      static_cast<std::int64_t>(act_per_mb[s]);
+    }
+    for (int s = 0; s < p / 2; ++s) {
+        const int partner = p - 1 - s;
+        // The early stage overflows (more in-flight micro-batches);
+        // the late one has the spare capacity.
+        const std::int64_t spare =
+            std::max<std::int64_t>(0, -overflow[partner]);
+        const std::int64_t want =
+            std::max<std::int64_t>(0, overflow[s]);
+        const std::int64_t moved = std::min(want, spare);
+        const std::int64_t residual = want - moved;
+        if (residual > 0) {
+            result.feasible = false;
+            std::ostringstream oss;
+            oss << "stage " << s << " overflows its pair by "
+                << formatBytes(static_cast<Bytes>(residual));
+            result.oomReason = oss.str();
+        }
+        used_act[s] -= moved;
+        used_act[partner] += moved;
+        if (moved > 0) {
+            // Per micro-batch: evict after forward, fetch before
+            // backward — two transfers through the inter-stage
+            // path, occupying both partners.
+            const double per_mb =
+                static_cast<double>(moved) / calc.inflight(s);
+            const Seconds cost =
+                2.0 * (pm.p2pTime + per_mb / pm.p2pBandwidth);
+            times[s].fwd += cost / 2;
+            times[s].bwd += cost / 2;
+            times[partner].fwd += cost / 2;
+            times[partner].bwd += cost / 2;
+        }
+    }
+    for (int s = 0; s < p; ++s) {
+        const Bytes fixed = static_cast<Bytes>(
+            static_cast<std::int64_t>(pm.memCapacity) -
+            act_budget[s]);
+        result.deviceMem[s] =
+            fixed + static_cast<Bytes>(
+                        std::max<std::int64_t>(0, used_act[s]));
+    }
+
+    const SimResult sim =
+        simulate(build1F1B(p, n), times, {pm.p2pTime});
+    result.iterationTime = sim.iterationTime;
+    result.peakAlive = sim.peakAlive;
+    result.bubbleTime = sim.totalBubbleTime();
+    for (int d = 0; d < p; ++d)
+        result.microStepTime[d] = times[d].fwd + times[d].bwd;
+    return result;
+}
+
+EndToEndResult
+evaluateInterleaved(const ProfiledModel &pm, int v,
+                    RecomputeBaseline mode, StageCostOptions opts)
+{
+    const int p = pm.par.pipeline;
+    const int n = pm.train.microBatches(pm.par);
+    ADAPIPE_ASSERT(v >= 1, "need at least one virtual chunk");
+
+    // Chunk the layer sequence into v * p virtual stages; chunk g
+    // runs on device g % p.
+    const int chunks = v * p;
+    const auto ranges = evenPartition(pm.numLayers(), chunks);
+    StageCostCalculator calc(pm, p, n, opts);
+    MemoryModel mem_model(pm.model, pm.train, pm.par, pm.optimizer);
+
+    std::vector<StageTimes> times(chunks);
+    std::vector<Bytes> act_per_mb(chunks);
+    std::vector<Bytes> static_mem(chunks);
+    std::vector<Bytes> buffer(chunks, 0);
+    for (int g = 0; g < chunks; ++g) {
+        const auto [i, j] = ranges[g];
+        // Times are position-independent; use stage 0's view.
+        const StageCost c = calc.baselineCost(0, i, j, mode);
+        times[g] = {c.fwd, c.bwd};
+        static_mem[g] =
+            mem_model.staticMemory(pm.rangeParams(i, j)).total();
+        const Bytes input = (i > 0) ? pm.stageInputBytes : 0;
+        act_per_mb[g] =
+            input + activationsPerMb(mem_model, pm, mode, i, j);
+        buffer[g] = bufferBytes(mem_model, pm, mode, i, j);
+    }
+
+    const Schedule schedule = buildInterleaved1F1B(p, n, v);
+    const SimResult sim = simulate(schedule, times, {pm.p2pTime});
+
+    EndToEndResult result;
+    result.iterationTime = sim.iterationTime;
+    result.peakAlive = sim.peakAlive;
+    result.bubbleTime = sim.totalBubbleTime();
+    result.deviceMem.resize(p);
+    result.microStepTime.assign(p, 0);
+    for (int d = 0; d < p; ++d) {
+        Bytes static_total = 0;
+        Bytes act_avg = 0;
+        Bytes buf = 0;
+        for (int c = 0; c < v; ++c) {
+            const int g = c * p + d;
+            static_total += static_mem[g];
+            act_avg += act_per_mb[g];
+            buf = std::max(buf, buffer[g]);
+            result.microStepTime[d] += times[g].fwd + times[g].bwd;
+        }
+        act_avg /= v;
+        result.deviceMem[d] =
+            static_total + buf +
+            static_cast<Bytes>(sim.peakAlive[d]) * act_avg;
+    }
+
+    const std::string oom =
+        oomMessage(result.deviceMem, pm.memCapacity);
+    result.feasible = oom.empty();
+    result.oomReason = oom;
+    return result;
+}
+
+} // namespace adapipe

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end evaluation of plans and baseline schedules.
+ *
+ * This is the experiment-level glue used by the benchmark
+ * harnesses: it executes a plan (or a Chimera/GPipe baseline) in the
+ * event-driven simulator and combines the resulting activation
+ * in-flight counts with the memory model into per-device peak
+ * memory, mirroring how the paper measures iteration time and peak
+ * allocation on the real clusters.
+ */
+
+#ifndef ADAPIPE_SIM_BASELINE_EVAL_H
+#define ADAPIPE_SIM_BASELINE_EVAL_H
+
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/profiled_model.h"
+#include "core/stage_cost.h"
+#include "sim/pipeline_sim.h"
+
+namespace adapipe {
+
+/** Which baseline schedule to run. */
+enum class BaselineSchedule {
+    Dapple,  ///< 1F1B (DAPPLE / Megatron-LM)
+    GPipe,   ///< all-forward-then-all-backward
+    Chimera, ///< bidirectional pipelines
+    ChimeraD ///< Chimera with forward doubling
+};
+
+/** @return display name ("DAPPLE", "Chimera", ...). */
+const char *baselineScheduleName(BaselineSchedule sched);
+
+/**
+ * Result of one end-to-end evaluation.
+ */
+struct EndToEndResult
+{
+    bool feasible = false;
+    std::string oomReason;
+    /** Simulated iteration time. */
+    Seconds iterationTime = 0;
+    /** Peak memory per device. */
+    std::vector<Bytes> deviceMem;
+    /** Peak in-flight micro-batch activations per device. */
+    std::vector<int> peakAlive;
+    /** Per-position micro-step time F_s + B_s (Fig. 9's metric). */
+    std::vector<Seconds> microStepTime;
+    /** Total bubble time across devices. */
+    Seconds bubbleTime = 0;
+};
+
+/**
+ * Execute a planner-produced plan (AdaPipe, Even Partitioning or a
+ * DAPPLE baseline) under the 1F1B schedule.
+ */
+EndToEndResult simulatePlan(const ProfiledModel &pm,
+                            const PipelinePlan &plan);
+
+/**
+ * Execute a baseline schedule with the uniform even partition and a
+ * uniform recomputation policy. Chimera variants duplicate stage
+ * parameters on every device and account both chains' activations.
+ *
+ * @param pm profiled model (carries t, p, d)
+ * @param sched baseline schedule
+ * @param mode uniform recomputation policy of every stage
+ * @param opts stage-cost options (p2p accounting)
+ */
+EndToEndResult evaluateBaseline(const ProfiledModel &pm,
+                                BaselineSchedule sched,
+                                RecomputeBaseline mode,
+                                StageCostOptions opts = {});
+
+/** Convenience overload: true = full, false = no recomputation. */
+inline EndToEndResult
+evaluateBaseline(const ProfiledModel &pm, BaselineSchedule sched,
+                 bool full_recompute, StageCostOptions opts = {})
+{
+    return evaluateBaseline(pm, sched,
+                            full_recompute ? RecomputeBaseline::Full
+                                           : RecomputeBaseline::None,
+                            opts);
+}
+
+/**
+ * Evaluate a BPipe-style memory-balanced 1F1B (related work,
+ * Sec. 8): device s pairs with device p-1-s and evicts overflowing
+ * activations to its partner's spare memory, paying two inter-node
+ * transfers per evicted byte per micro-batch. Feasible when every
+ * pair's combined activation demand fits the pair's combined budget
+ * — the first stage must share a node path with the last, which is
+ * why BPipe constrains the tensor-parallel size (paper Sec. 8).
+ *
+ * @param pm profiled model
+ * @param mode uniform recomputation policy of every stage
+ * @param opts stage-cost options
+ */
+EndToEndResult evaluateBPipe(const ProfiledModel &pm,
+                             RecomputeBaseline mode,
+                             StageCostOptions opts = {});
+
+/**
+ * Execute Megatron's interleaved 1F1B with v virtual chunks per
+ * device under a uniform recomputation policy (background system of
+ * Sec. 2.1; an extension experiment here). Each device's memory
+ * charges its v chunks' static state and the simulator's in-flight
+ * chunk activations.
+ *
+ * @param pm profiled model
+ * @param v virtual chunks per device (v >= 1; L must split into
+ *        v * p chunk boundaries)
+ * @param mode uniform recomputation policy
+ * @param opts stage-cost options
+ */
+EndToEndResult evaluateInterleaved(const ProfiledModel &pm, int v,
+                                   RecomputeBaseline mode,
+                                   StageCostOptions opts = {});
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SIM_BASELINE_EVAL_H

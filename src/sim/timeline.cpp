@@ -1,0 +1,48 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+std::string
+renderTimeline(const Schedule &sched, const SimResult &result,
+               int width)
+{
+    ADAPIPE_ASSERT(width > 10, "timeline width too small");
+    ADAPIPE_ASSERT(result.records.size() == sched.ops.size(),
+                   "result does not match schedule");
+
+    const double scale = result.iterationTime > 0
+                             ? width / result.iterationTime
+                             : 0.0;
+    std::vector<std::string> rows(sched.numDevices,
+                                  std::string(width, '.'));
+
+    for (std::size_t i = 0; i < sched.ops.size(); ++i) {
+        const PipeOp &op = sched.ops[i];
+        const OpRecord &rec = result.records[i];
+        int c0 = static_cast<int>(rec.start * scale);
+        int c1 = static_cast<int>(rec.end * scale);
+        c0 = std::clamp(c0, 0, width - 1);
+        c1 = std::clamp(c1, c0 + 1, width);
+        const char glyph =
+            op.kind == OpKind::Forward
+                ? static_cast<char>('0' + op.microBatch % 10)
+                : static_cast<char>('a' + op.microBatch % 26);
+        for (int c = c0; c < c1; ++c)
+            rows[op.device][c] = glyph;
+    }
+
+    std::ostringstream oss;
+    oss << sched.name << " (p=" << sched.numDevices
+        << ", n=" << sched.numMicroBatches << ")\n";
+    for (int dev = 0; dev < sched.numDevices; ++dev)
+        oss << "dev" << dev << " |" << rows[dev] << "|\n";
+    return oss.str();
+}
+
+} // namespace adapipe

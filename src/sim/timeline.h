@@ -1,0 +1,31 @@
+/**
+ * @file
+ * ASCII rendering of simulated pipeline timelines (used by the
+ * schedule-explorer example and the Fig. 2/3 benches).
+ */
+
+#ifndef ADAPIPE_SIM_TIMELINE_H
+#define ADAPIPE_SIM_TIMELINE_H
+
+#include <string>
+
+#include "sim/pipeline_sim.h"
+#include "sim/schedule.h"
+
+namespace adapipe {
+
+/**
+ * Render one device row per line. Forward passes print the
+ * micro-batch digit (mb % 10), backward passes print a letter
+ * ('a' + mb % 26), idle time prints '.'.
+ *
+ * @param sched the schedule that was simulated
+ * @param result simulation result for @p sched
+ * @param width number of character columns for the full iteration
+ */
+std::string renderTimeline(const Schedule &sched,
+                           const SimResult &result, int width = 100);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SIM_TIMELINE_H

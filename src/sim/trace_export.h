@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Chrome-trace export of simulated timelines.
+ *
+ * Emits the Trace Event Format consumed by chrome://tracing and
+ * Perfetto: one row per device, one complete ("X") event per
+ * simulated forward/backward op. Lets users inspect schedules with
+ * the same tooling they use for real profiler output.
+ */
+
+#ifndef ADAPIPE_SIM_TRACE_EXPORT_H
+#define ADAPIPE_SIM_TRACE_EXPORT_H
+
+#include <string>
+
+#include "sim/pipeline_sim.h"
+#include "sim/schedule.h"
+
+namespace adapipe {
+
+/**
+ * Render the simulation as a Trace Event Format JSON document.
+ *
+ * @param sched the executed schedule
+ * @param result its simulation result
+ * @return JSON string (traceEvents array wrapped in an object)
+ */
+std::string toChromeTrace(const Schedule &sched,
+                          const SimResult &result);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SIM_TRACE_EXPORT_H

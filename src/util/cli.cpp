@@ -1,0 +1,141 @@
+#include "util/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+CliParser::CliParser(std::string program)
+    : program_(std::move(program))
+{}
+
+void
+CliParser::addString(const std::string &name, std::string def,
+                     std::string help)
+{
+    ADAPIPE_ASSERT(!options_.count(name), "duplicate flag --", name);
+    options_[name] =
+        Option{Kind::String, def, std::move(def), std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addInt(const std::string &name, long long def,
+                  std::string help)
+{
+    ADAPIPE_ASSERT(!options_.count(name), "duplicate flag --", name);
+    const std::string text = std::to_string(def);
+    options_[name] =
+        Option{Kind::Int, text, text, std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string &name, std::string help)
+{
+    ADAPIPE_ASSERT(!options_.count(name), "duplicate flag --", name);
+    options_[name] =
+        Option{Kind::Flag, "false", "false", std::move(help)};
+    order_.push_back(name);
+}
+
+std::string
+CliParser::usage() const
+{
+    std::ostringstream oss;
+    oss << "usage: " << program_ << " [options]\n";
+    for (const std::string &name : order_) {
+        const Option &opt = options_.at(name);
+        oss << "  --" << name;
+        if (opt.kind != Kind::Flag)
+            oss << " <" << (opt.kind == Kind::Int ? "int" : "str")
+                << ">";
+        oss << "  " << opt.help;
+        if (opt.kind != Kind::Flag)
+            oss << " (default: " << opt.def << ")";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+void
+CliParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        arg = arg.substr(2);
+        if (arg == "help") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        std::string value;
+        bool has_value = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(arg);
+        if (it == options_.end())
+            ADAPIPE_FATAL("unknown flag --", arg, "\n", usage());
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            ADAPIPE_ASSERT(!has_value, "switch --", arg,
+                           " takes no value");
+            opt.flag_set = true;
+            opt.value = "true";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                ADAPIPE_FATAL("flag --", arg, " needs a value");
+            value = argv[++i];
+        }
+        if (opt.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                ADAPIPE_FATAL("flag --", arg,
+                              " needs an integer, got '", value, "'");
+        }
+        opt.value = std::move(value);
+    }
+}
+
+const CliParser::Option &
+CliParser::find(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    ADAPIPE_ASSERT(it != options_.end(), "undeclared flag --", name);
+    ADAPIPE_ASSERT(it->second.kind == kind, "flag --", name,
+                   " accessed with the wrong type");
+    return it->second;
+}
+
+const std::string &
+CliParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+long long
+CliParser::getInt(const std::string &name) const
+{
+    return std::stoll(find(name, Kind::Int).value);
+}
+
+bool
+CliParser::getFlag(const std::string &name) const
+{
+    return find(name, Kind::Flag).flag_set;
+}
+
+} // namespace adapipe

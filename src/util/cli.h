@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tiny command-line flag parser for the examples and tools.
+ *
+ * Supports "--name value" and "--name=value" long flags plus bare
+ * "--switch" booleans. Unknown flags are fatal (user error), so
+ * typos do not silently fall through to defaults.
+ */
+
+#ifndef ADAPIPE_UTIL_CLI_H
+#define ADAPIPE_UTIL_CLI_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adapipe {
+
+/**
+ * Declarative flag set.
+ *
+ * @code
+ *   CliParser cli("export_plan");
+ *   cli.addString("model", "gpt3", "model preset");
+ *   cli.addInt("seq", 8192, "sequence length");
+ *   cli.addFlag("verbose", "print progress");
+ *   cli.parse(argc, argv);
+ *   int seq = cli.getInt("seq");
+ * @endcode
+ */
+class CliParser
+{
+  public:
+    /** @param program name shown in the usage text. */
+    explicit CliParser(std::string program);
+
+    /** Declare a string flag with a default. */
+    void addString(const std::string &name, std::string def,
+                   std::string help);
+
+    /** Declare an integer flag with a default. */
+    void addInt(const std::string &name, long long def,
+                std::string help);
+
+    /** Declare a boolean switch (default false). */
+    void addFlag(const std::string &name, std::string help);
+
+    /**
+     * Parse argv. "--help" prints usage and exits(0). Unknown flags,
+     * missing values and non-numeric integers are fatal.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** @return value of a declared string flag. */
+    const std::string &getString(const std::string &name) const;
+
+    /** @return value of a declared integer flag. */
+    long long getInt(const std::string &name) const;
+
+    /** @return whether a declared switch was given. */
+    bool getFlag(const std::string &name) const;
+
+    /** @return positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** @return the usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string def;
+        std::string help;
+        bool flag_set = false;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string program_;
+    std::vector<std::string> order_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_CLI_H

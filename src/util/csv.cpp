@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+std::string
+csvQuote(const std::string &field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> headers)
+    : os_(os), columns_(headers.size())
+{
+    ADAPIPE_ASSERT(columns_ > 0, "csv needs at least one column");
+    writeCells(headers);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    ADAPIPE_ASSERT(cells.size() == columns_,
+                   "csv row has ", cells.size(), " cells, expected ",
+                   columns_);
+    writeCells(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::writeCells(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os_ << ",";
+        os_ << csvQuote(cells[i]);
+    }
+    os_ << "\n";
+}
+
+} // namespace adapipe

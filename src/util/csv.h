@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CSV writer so bench output can be post-processed (plotting) in
+ * addition to the human-readable ASCII tables.
+ */
+
+#ifndef ADAPIPE_UTIL_CSV_H
+#define ADAPIPE_UTIL_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adapipe {
+
+/**
+ * Streaming CSV writer with RFC-4180 quoting.
+ *
+ * The writer does not own the stream; callers keep it alive for the
+ * writer's lifetime.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind the writer to @p os and emit the header row. */
+    CsvWriter(std::ostream &os, std::vector<std::string> headers);
+
+    /** Write one data row; must match the header column count. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** @return rows written (excluding the header). */
+    std::size_t rowCount() const { return rows_; }
+
+  private:
+    void writeCells(const std::vector<std::string> &cells);
+
+    std::ostream &os_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/** Quote a single CSV field per RFC 4180 when necessary. */
+std::string csvQuote(const std::string &field);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_CSV_H

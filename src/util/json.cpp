@@ -1,0 +1,453 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+JsonValue
+JsonValue::null()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::boolean(bool value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::integer(std::int64_t value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Integer;
+    v.integer_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::string(std::string value)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(value);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+void
+JsonValue::push(JsonValue value)
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Array, "push on non-array");
+    elements_.push_back(std::move(value));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Object, "set on non-object");
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+}
+
+bool
+JsonValue::asBool() const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Bool, "not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ == Kind::Integer)
+        return static_cast<double>(integer_);
+    ADAPIPE_ASSERT(kind_ == Kind::Number, "not a number");
+    return number_;
+}
+
+std::int64_t
+JsonValue::asInteger() const
+{
+    if (kind_ == Kind::Number) {
+        ADAPIPE_ASSERT(number_ == std::floor(number_),
+                       "number is not an integer");
+        return static_cast<std::int64_t>(number_);
+    }
+    ADAPIPE_ASSERT(kind_ == Kind::Integer, "not an integer");
+    return integer_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::String, "not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::elements() const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Array, "not an array");
+    return elements_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Object, "not an object");
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return v;
+    }
+    ADAPIPE_FATAL("missing JSON key '", key, "'");
+}
+
+bool
+JsonValue::contains(const std::string &key) const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Object, "not an object");
+    for (const auto &[k, v] : members_) {
+        (void)v;
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+namespace {
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Integer: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(integer_));
+        out += buf;
+        break;
+      }
+      case Kind::Number: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        escapeInto(out, string_);
+        break;
+      case Kind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            elements_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!elements_.empty())
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            escapeInto(out, members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over the writer's subset. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        ADAPIPE_ASSERT(pos_ == text_.size(),
+                       "trailing characters in JSON at offset ", pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        ADAPIPE_ASSERT(pos_ < text_.size(), "unexpected end of JSON");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        ADAPIPE_ASSERT(peek() == c, "expected '", c, "' at offset ",
+                       pos_);
+        ++pos_;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        skipWs();
+        if (text_.compare(pos_, word.size(), word) == 0) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return JsonValue::string(string());
+        if (consume("true"))
+            return JsonValue::boolean(true);
+        if (consume("false"))
+            return JsonValue::boolean(false);
+        if (consume("null"))
+            return JsonValue::null();
+        return number();
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            ADAPIPE_ASSERT(pos_ < text_.size(),
+                           "unterminated JSON string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                ADAPIPE_ASSERT(pos_ < text_.size(),
+                               "unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    ADAPIPE_ASSERT(pos_ + 4 <= text_.size(),
+                                   "bad unicode escape");
+                    const int code = std::stoi(
+                        text_.substr(pos_, 4), nullptr, 16);
+                    pos_ += 4;
+                    // ASCII-only escapes are produced by the writer.
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    ADAPIPE_FATAL("bad escape '\\", e, "'");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        bool is_integer = true;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_integer = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        ADAPIPE_ASSERT(pos_ > start, "expected a number at offset ",
+                       pos_);
+        const std::string token = text_.substr(start, pos_ - start);
+        if (is_integer)
+            return JsonValue::integer(std::stoll(token));
+        return JsonValue::number(std::stod(token));
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue out = JsonValue::array();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.push(value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                break;
+            ADAPIPE_ASSERT(c == ',', "expected ',' in array");
+        }
+        return out;
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue out = JsonValue::object();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            const std::string key = string();
+            expect(':');
+            out.set(key, value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                break;
+            ADAPIPE_ASSERT(c == ',', "expected ',' in object");
+        }
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace adapipe

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON writer (no external dependencies).
+ *
+ * Produces deterministic, order-preserving JSON for plan export and
+ * trace files. Writing-only by design; the matching reader in
+ * core/plan_io.cpp parses just the subset this writer emits.
+ */
+
+#ifndef ADAPIPE_UTIL_JSON_H
+#define ADAPIPE_UTIL_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adapipe {
+
+/**
+ * A JSON value: null, bool, number, string, array or object.
+ * Build with the static factories, render with dump().
+ */
+class JsonValue
+{
+  public:
+    /** @return a JSON null. */
+    static JsonValue null();
+    /** @return a JSON boolean. */
+    static JsonValue boolean(bool value);
+    /** @return a JSON number (doubles render shortest-round-trip). */
+    static JsonValue number(double value);
+    /** @return a JSON integer (rendered without exponent). */
+    static JsonValue integer(std::int64_t value);
+    /** @return a JSON string (escaped on dump). */
+    static JsonValue string(std::string value);
+    /** @return an empty JSON array. */
+    static JsonValue array();
+    /** @return an empty JSON object. */
+    static JsonValue object();
+
+    /** Append an element; panics unless this is an array. */
+    void push(JsonValue value);
+
+    /** Set a key; panics unless this is an object. */
+    void set(const std::string &key, JsonValue value);
+
+    /** @name Introspection (used by the plan reader)
+     *  @{
+     */
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Number || kind_ == Kind::Integer;
+    }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const;
+    double asNumber() const;
+    std::int64_t asInteger() const;
+    const std::string &asString() const;
+    /** Array elements; panics unless array. */
+    const std::vector<JsonValue> &elements() const;
+    /** Object lookup; panics when missing. */
+    const JsonValue &at(const std::string &key) const;
+    /** @return whether the object has @p key. */
+    bool contains(const std::string &key) const;
+    /** @} */
+
+    /**
+     * Render to a string.
+     * @param indent spaces per level; 0 = compact single line
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse a JSON document (subset: no unicode escapes beyond
+     * \\uXXXX pass-through, no comments). ADAPIPE_FATAL on malformed
+     * input.
+     */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    enum class Kind {
+        Null,
+        Bool,
+        Number,
+        Integer,
+        String,
+        Array,
+        Object,
+    };
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::int64_t integer_ = 0;
+    std::string string_;
+    std::vector<JsonValue> elements_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_JSON_H

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adapipe {
+
+namespace {
+
+std::atomic<bool> verbose_enabled{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerboseLogging(bool enabled)
+{
+    verbose_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+verboseLogging()
+{
+    return verbose_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::fprintf(stderr, "[adapipe:%s] %s\n", levelName(level),
+                 msg.c_str());
+}
+
+void
+terminate(LogLevel level, const char *file, int line,
+          const std::string &msg)
+{
+    std::fprintf(stderr, "[adapipe:%s] %s:%d: %s\n", levelName(level),
+                 file, line, msg.c_str());
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace adapipe

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user-caused
+ * conditions the program cannot continue from (bad configuration),
+ * and warn()/inform() report non-fatal conditions.
+ */
+
+#ifndef ADAPIPE_UTIL_LOGGING_H
+#define ADAPIPE_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace adapipe {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail {
+
+/**
+ * Emit a formatted message to stderr and, for Fatal/Panic levels,
+ * terminate the process (exit(1) resp. abort()).
+ *
+ * @param level severity of the message
+ * @param file source file of the call site
+ * @param line source line of the call site
+ * @param msg fully formatted message body
+ */
+[[noreturn]] void
+terminate(LogLevel level, const char *file, int line,
+          const std::string &msg);
+
+/** Emit a non-fatal message to stderr. */
+void emit(LogLevel level, const std::string &msg);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Global verbosity switch; when false, inform() is suppressed. */
+void setVerboseLogging(bool enabled);
+
+/** @return whether inform() messages are currently printed. */
+bool verboseLogging();
+
+} // namespace adapipe
+
+/**
+ * Report an internal invariant violation and abort. Use only for
+ * conditions that indicate a bug in adapipe itself.
+ */
+#define ADAPIPE_PANIC(...)                                              \
+    ::adapipe::detail::terminate(::adapipe::LogLevel::Panic, __FILE__, \
+                                 __LINE__,                              \
+                                 ::adapipe::detail::concat(__VA_ARGS__))
+
+/**
+ * Report a user-caused unrecoverable condition (bad configuration,
+ * impossible request) and exit.
+ */
+#define ADAPIPE_FATAL(...)                                              \
+    ::adapipe::detail::terminate(::adapipe::LogLevel::Fatal, __FILE__, \
+                                 __LINE__,                              \
+                                 ::adapipe::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define ADAPIPE_WARN(...)                                               \
+    ::adapipe::detail::emit(::adapipe::LogLevel::Warn,                  \
+                            ::adapipe::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status (suppressed unless verbose). */
+#define ADAPIPE_INFORM(...)                                             \
+    do {                                                                \
+        if (::adapipe::verboseLogging()) {                              \
+            ::adapipe::detail::emit(                                    \
+                ::adapipe::LogLevel::Inform,                            \
+                ::adapipe::detail::concat(__VA_ARGS__));                \
+        }                                                               \
+    } while (false)
+
+/** Assert an internal invariant; panics with the message on failure. */
+#define ADAPIPE_ASSERT(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ADAPIPE_PANIC("assertion '" #cond "' failed: ",             \
+                          ::adapipe::detail::concat(__VA_ARGS__));      \
+        }                                                               \
+    } while (false)
+
+#endif // ADAPIPE_UTIL_LOGGING_H

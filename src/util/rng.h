@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (SplitMix64 seeded
+ * xoshiro256**). adapipe never uses the global C++ RNG facilities so
+ * that every experiment is reproducible bit-for-bit.
+ */
+
+#ifndef ADAPIPE_UTIL_RNG_H
+#define ADAPIPE_UTIL_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace adapipe {
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator so it can be used with the
+ * <random> distributions, though adapipe mostly uses the direct
+ * helpers below.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** @return next raw 64-bit output. */
+    result_type operator()();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** @return standard normal sample (Box-Muller, no caching). */
+    double normal();
+
+    /** @return normal sample with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_RNG_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small streaming-statistics helpers used by the simulator (bubble
+ * accounting, utilisation) and the convergence benches.
+ */
+
+#ifndef ADAPIPE_UTIL_STATS_H
+#define ADAPIPE_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace adapipe {
+
+/**
+ * Streaming accumulator for count / mean / variance / extrema
+ * (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double value);
+
+    /** @return number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** @return sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** @return sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest observation (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** @return largest observation (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** @return sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * @return the @p q quantile (0 <= q <= 1) of @p values using linear
+ * interpolation; panics on an empty vector.
+ */
+double quantile(std::vector<double> values, double q);
+
+/** @return geometric mean of @p values (all must be positive). */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_STATS_H

@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ADAPIPE_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ADAPIPE_ASSERT(cells.size() <= headers_.size(),
+                   "row has ", cells.size(), " cells but table has ",
+                   headers_.size(), " columns");
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace adapipe

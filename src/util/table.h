@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal ASCII table printer used by the benchmark harnesses to
+ * reproduce the rows of the paper's tables and figures.
+ */
+
+#ifndef ADAPIPE_UTIL_TABLE_H
+#define ADAPIPE_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adapipe {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Method", "Time", "Speedup"});
+ *   t.addRow({"DAPPLE-Full", "76.8 s", "1.00"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /**
+     * Append one row.
+     *
+     * @param cells one string per column; short rows are padded with
+     *        empty cells, long rows are a caller bug and panic.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** @return number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the table (headers, rule, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string (used by tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_TABLE_H

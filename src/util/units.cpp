@@ -1,0 +1,53 @@
+#include "util/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace adapipe {
+
+std::string
+formatBytes(Bytes bytes, int precision)
+{
+    static const std::array<const char *, 5> suffixes = {
+        "B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < suffixes.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, value,
+                  suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatSeconds(Seconds seconds, int precision)
+{
+    const char *suffix = "s";
+    double value = seconds;
+    if (seconds < 1e-6) {
+        value = seconds * 1e9;
+        suffix = "ns";
+    } else if (seconds < 1e-3) {
+        value = seconds * 1e6;
+        suffix = "us";
+    } else if (seconds < 1.0) {
+        value = seconds * 1e3;
+        suffix = "ms";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, value, suffix);
+    return buf;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+} // namespace adapipe

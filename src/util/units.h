@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Strongly named unit helpers for bytes, seconds and FLOP counts.
+ *
+ * The cost models in adapipe pass around a lot of raw quantities;
+ * these helpers keep magnitudes readable (GiB(80)) and give a single
+ * place for human-readable formatting used by the benches and the
+ * table printer.
+ */
+
+#ifndef ADAPIPE_UTIL_UNITS_H
+#define ADAPIPE_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace adapipe {
+
+/** Bytes are tracked as unsigned 64-bit integers. */
+using Bytes = std::uint64_t;
+
+/** Simulated durations are tracked in seconds as double. */
+using Seconds = double;
+
+/** Floating-point operation counts. */
+using Flops = double;
+
+/** @return @p n kibibytes expressed in bytes. */
+constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * 1024.0); }
+
+/** @return @p n mebibytes expressed in bytes. */
+constexpr Bytes
+MiB(double n)
+{
+    return static_cast<Bytes>(n * 1024.0 * 1024.0);
+}
+
+/** @return @p n gibibytes expressed in bytes. */
+constexpr Bytes
+GiB(double n)
+{
+    return static_cast<Bytes>(n * 1024.0 * 1024.0 * 1024.0);
+}
+
+/** @return @p n tera-FLOPs. */
+constexpr Flops teraFlops(double n) { return n * 1e12; }
+
+/** @return @p n giga-FLOPs. */
+constexpr Flops gigaFlops(double n) { return n * 1e9; }
+
+/** @return @p n microseconds expressed in seconds. */
+constexpr Seconds microseconds(double n) { return n * 1e-6; }
+
+/** @return @p n milliseconds expressed in seconds. */
+constexpr Seconds milliseconds(double n) { return n * 1e-3; }
+
+/**
+ * Format a byte count with a binary suffix, e.g. "68.3 GiB".
+ *
+ * @param bytes quantity to format
+ * @param precision digits after the decimal point
+ */
+std::string formatBytes(Bytes bytes, int precision = 1);
+
+/**
+ * Format a duration with an adaptive suffix, e.g. "12.4 ms".
+ *
+ * @param seconds quantity to format
+ * @param precision digits after the decimal point
+ */
+std::string formatSeconds(Seconds seconds, int precision = 2);
+
+/** Format a raw double with fixed @p precision, e.g. "1.32". */
+std::string formatDouble(double value, int precision = 2);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_UNITS_H

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Gradient checks for the extended op set (SiLU, RMSNorm, column
+ * slice/concat) and the Llama-style model variants (multi-head
+ * attention, SwiGLU, RMSNorm blocks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/module.h"
+#include "autograd/ops.h"
+#include "autograd/optim.h"
+#include "autograd/trainer.h"
+#include "util/rng.h"
+
+namespace adapipe {
+namespace {
+
+template <typename F>
+Tensor
+numericalGrad(F f, Variable &x, float eps = 1e-3f)
+{
+    Tensor grad(x.value().shape());
+    for (std::int64_t i = 0; i < x.value().numel(); ++i) {
+        const float orig = x.value()[i];
+        x.mutableValue()[i] = orig + eps;
+        const float hi = f();
+        x.mutableValue()[i] = orig - eps;
+        const float lo = f();
+        x.mutableValue()[i] = orig;
+        grad[i] = (hi - lo) / (2 * eps);
+    }
+    return grad;
+}
+
+void
+expectGradNear(const Tensor &analytic, const Tensor &numeric,
+               float tol = 2e-2f)
+{
+    ASSERT_EQ(analytic.numel(), numeric.numel());
+    for (std::int64_t i = 0; i < analytic.numel(); ++i)
+        EXPECT_NEAR(analytic[i], numeric[i], tol) << "element " << i;
+}
+
+TEST(AutogradOps, SiluForwardValues)
+{
+    Variable x(Tensor::full({3}, 0.0f), false);
+    EXPECT_FLOAT_EQ(ops::silu(x).value()[0], 0.0f);
+    Variable y(Tensor::full({1}, 10.0f), false);
+    EXPECT_NEAR(ops::silu(y).value()[0], 10.0f, 1e-3f);
+}
+
+TEST(AutogradOps, SiluGradient)
+{
+    Rng rng(11);
+    Variable x(Tensor::randn({2, 6}, rng), true);
+    auto loss = [&]() {
+        NoGradGuard guard;
+        Variable out = ops::silu(x);
+        float sum = 0;
+        for (std::int64_t i = 0; i < out.value().numel(); ++i)
+            sum += out.value()[i];
+        return sum;
+    };
+    x.zeroGrad();
+    ops::silu(x).backward();
+    expectGradNear(x.grad(), numericalGrad(loss, x));
+}
+
+TEST(AutogradOps, RmsNormGradient)
+{
+    Rng rng(12);
+    Variable x(Tensor::randn({3, 5}, rng), true);
+    Variable gamma(Tensor::full({5}, 1.3f), true);
+    auto loss = [&]() {
+        NoGradGuard guard;
+        Variable out = ops::rmsNorm(x, gamma);
+        float sum = 0;
+        for (std::int64_t i = 0; i < out.value().numel(); ++i)
+            sum += out.value()[i] * (i % 2 == 0 ? 1.0f : -0.5f);
+        return sum;
+    };
+    x.zeroGrad();
+    gamma.zeroGrad();
+    Variable out = ops::rmsNorm(x, gamma);
+    Tensor weights(out.value().shape());
+    for (std::int64_t i = 0; i < weights.numel(); ++i)
+        weights[i] = i % 2 == 0 ? 1.0f : -0.5f;
+    ops::mul(out, Variable(std::move(weights), false)).backward();
+    expectGradNear(x.grad(), numericalGrad(loss, x));
+    expectGradNear(gamma.grad(), numericalGrad(loss, gamma));
+}
+
+TEST(AutogradOps, RmsNormRowsHaveUnitRms)
+{
+    Rng rng(13);
+    Variable x(Tensor::randn({4, 8}, rng, 2.0f), false);
+    Variable gamma(Tensor::full({8}, 1.0f), false);
+    const Variable out = ops::rmsNorm(x, gamma);
+    for (int i = 0; i < 4; ++i) {
+        float sq = 0;
+        for (int j = 0; j < 8; ++j)
+            sq += out.value().at(i, j) * out.value().at(i, j);
+        EXPECT_NEAR(std::sqrt(sq / 8), 1.0f, 1e-3f);
+    }
+}
+
+TEST(AutogradOps, SliceConcatRoundTrip)
+{
+    Rng rng(14);
+    Variable x(Tensor::randn({3, 6}, rng), true);
+    Variable a = ops::sliceCols(x, 0, 2);
+    Variable b = ops::sliceCols(x, 2, 4);
+    Variable back = ops::concatCols({a, b});
+    ASSERT_TRUE(back.value().sameShape(x.value()));
+    for (std::int64_t i = 0; i < x.value().numel(); ++i)
+        EXPECT_EQ(back.value()[i], x.value()[i]);
+
+    x.zeroGrad();
+    back.backward();
+    // Identity mapping: gradient of ones everywhere.
+    for (std::int64_t i = 0; i < x.grad().numel(); ++i)
+        EXPECT_FLOAT_EQ(x.grad()[i], 1.0f);
+}
+
+TEST(AutogradOps, SliceGradientRoutesToColumns)
+{
+    Variable x(Tensor::full({2, 4}, 1.0f), true);
+    x.zeroGrad();
+    ops::sliceCols(x, 1, 2).backward();
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_FLOAT_EQ(x.grad().at(i, 0), 0.0f);
+        EXPECT_FLOAT_EQ(x.grad().at(i, 1), 1.0f);
+        EXPECT_FLOAT_EQ(x.grad().at(i, 2), 1.0f);
+        EXPECT_FLOAT_EQ(x.grad().at(i, 3), 0.0f);
+    }
+}
+
+TEST(AutogradOps, SliceRejectsOutOfRange)
+{
+    Variable x(Tensor::full({2, 4}, 1.0f), false);
+    EXPECT_DEATH(ops::sliceCols(x, 3, 2), "bad column slice");
+}
+
+TEST(LlamaStyle, MultiHeadAttentionGradCheck)
+{
+    Rng rng(15);
+    CausalSelfAttention attn(8, 2, rng);
+    Variable x(Tensor::randn({4, 8}, rng), true);
+    auto loss = [&]() {
+        NoGradGuard guard;
+        Variable out = attn.forward(x);
+        float sum = 0;
+        for (std::int64_t i = 0; i < out.value().numel(); ++i)
+            sum += out.value()[i];
+        return sum;
+    };
+    x.zeroGrad();
+    for (auto &p : attn.params())
+        p.zeroGrad();
+    attn.forward(x).backward();
+    expectGradNear(x.grad(), numericalGrad(loss, x), 3e-2f);
+}
+
+TEST(LlamaStyle, GatedFfnGradCheck)
+{
+    Rng rng(16);
+    FeedForwardModule ffn(6, 12, /*gated=*/true, rng);
+    Variable x(Tensor::randn({3, 6}, rng), true);
+    auto loss = [&]() {
+        NoGradGuard guard;
+        Variable out = ffn.forward(x);
+        float sum = 0;
+        for (std::int64_t i = 0; i < out.value().numel(); ++i)
+            sum += out.value()[i];
+        return sum;
+    };
+    x.zeroGrad();
+    for (auto &p : ffn.params())
+        p.zeroGrad();
+    ffn.forward(x).backward();
+    expectGradNear(x.grad(), numericalGrad(loss, x), 3e-2f);
+    EXPECT_EQ(ffn.params().size(), 6u); // gate/up/down weight+bias
+}
+
+TEST(LlamaStyle, TinyLlamaLearns)
+{
+    TinyLmConfig cfg;
+    cfg.vocab = 32;
+    cfg.dim = 24;
+    cfg.blocks = 2;
+    cfg.ffnHidden = 48;
+    cfg.maxSeq = 32;
+    cfg.numHeads = 4;
+    cfg.gatedFfn = true;
+    cfg.rmsNorm = true;
+    TinyLM model(cfg);
+
+    TrainOptions opts;
+    opts.steps = 120;
+    opts.seqLen = 24;
+    opts.lr = 5e-3f;
+    const TrainStats stats = trainTinyLM(model, opts);
+    double tail = 0;
+    for (int i = 0; i < 10; ++i)
+        tail += stats.losses[stats.losses.size() - 1 - i];
+    tail /= 10;
+    EXPECT_LT(tail, stats.losses.front() * 0.5);
+}
+
+TEST(LlamaStyle, CheckpointBitExactOnLlamaBlocks)
+{
+    TinyLmConfig cfg;
+    cfg.vocab = 32;
+    cfg.dim = 16;
+    cfg.blocks = 2;
+    cfg.ffnHidden = 32;
+    cfg.maxSeq = 32;
+    cfg.numHeads = 2;
+    cfg.gatedFfn = true;
+    cfg.rmsNorm = true;
+
+    TrainOptions opts;
+    opts.steps = 12;
+    opts.seqLen = 16;
+
+    auto run = [&](BlockRecompute mode) {
+        TinyLM model(cfg);
+        TrainOptions o = opts;
+        o.recompute.assign(cfg.blocks, mode);
+        return trainTinyLM(model, o).losses;
+    };
+    const auto none = run(BlockRecompute::None);
+    const auto full = run(BlockRecompute::Full);
+    for (std::size_t i = 0; i < none.size(); ++i)
+        EXPECT_EQ(none[i], full[i]) << "step " << i;
+}
+
+TEST(Optim, ClipGradNormScalesDown)
+{
+    Variable a(Tensor::full({4}, 1.0f), true);
+    Variable b(Tensor::full({3}, 1.0f), true);
+    a.zeroGrad();
+    b.zeroGrad();
+    for (std::int64_t i = 0; i < 4; ++i)
+        a.impl()->grad[i] = 3.0f;
+    for (std::int64_t i = 0; i < 3; ++i)
+        b.impl()->grad[i] = 4.0f;
+    // Global norm = sqrt(4*9 + 3*16) = sqrt(84).
+    const float norm = clipGradNorm({a, b}, 1.0f);
+    EXPECT_NEAR(norm, std::sqrt(84.0f), 1e-5f);
+    double after = 0;
+    for (std::int64_t i = 0; i < 4; ++i)
+        after += a.grad()[i] * a.grad()[i];
+    for (std::int64_t i = 0; i < 3; ++i)
+        after += b.grad()[i] * b.grad()[i];
+    EXPECT_NEAR(std::sqrt(after), 1.0f, 1e-5f);
+}
+
+TEST(Optim, ClipGradNormNoOpBelowThreshold)
+{
+    Variable a(Tensor::full({2}, 1.0f), true);
+    a.zeroGrad();
+    a.impl()->grad[0] = 0.3f;
+    a.impl()->grad[1] = 0.4f;
+    const float norm = clipGradNorm({a}, 10.0f);
+    EXPECT_NEAR(norm, 0.5f, 1e-6f);
+    EXPECT_FLOAT_EQ(a.grad()[0], 0.3f);
+    EXPECT_FLOAT_EQ(a.grad()[1], 0.4f);
+}
+
+TEST(Optim, AdamWeightDecayShrinksParams)
+{
+    // Zero gradients: pure decoupled decay.
+    Variable x(Tensor::full({4}, 2.0f), true);
+    Adam adam({x}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f,
+              /*weight_decay=*/0.5f);
+    adam.zeroGrad();
+    adam.step();
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(x.value()[i], 2.0f - 0.1f * 0.5f * 2.0f, 1e-5f);
+}
+
+TEST(LlamaStyle, RmsNormHasNoBetaParam)
+{
+    LayerNormModule ln(8, /*rms=*/false);
+    LayerNormModule rms(8, /*rms=*/true);
+    EXPECT_EQ(ln.params().size(), 2u);
+    EXPECT_EQ(rms.params().size(), 1u);
+}
+
+} // namespace
+} // namespace adapipe

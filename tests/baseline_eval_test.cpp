@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the end-to-end evaluation layer (sim/baseline_eval):
+ * memory composition of the baseline schedules and consistency of
+ * the two evaluation routes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+#include "sim/baseline_eval.h"
+
+namespace adapipe {
+namespace {
+
+class BaselineEvalTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    ParallelConfig par;
+    ClusterSpec cluster = clusterA(4);
+
+    void
+    SetUp() override
+    {
+        train.seqLen = 8192;
+        train.globalBatch = 32;
+        par.tensor = 8;
+        par.pipeline = 4;
+        par.data = 1;
+    }
+
+    ProfiledModel
+    profiled() const
+    {
+        return buildProfiledModel(model, train, par, cluster);
+    }
+};
+
+TEST_F(BaselineEvalTest, ScheduleNames)
+{
+    EXPECT_STREQ(baselineScheduleName(BaselineSchedule::Dapple),
+                 "DAPPLE");
+    EXPECT_STREQ(baselineScheduleName(BaselineSchedule::GPipe),
+                 "GPipe");
+    EXPECT_STREQ(baselineScheduleName(BaselineSchedule::Chimera),
+                 "Chimera");
+    EXPECT_STREQ(baselineScheduleName(BaselineSchedule::ChimeraD),
+                 "ChimeraD");
+}
+
+TEST_F(BaselineEvalTest, DappleNonMemoryDecreasesWithStage)
+{
+    // Fig. 8's DAPPLE-Non slope: interior stages drop by one
+    // micro-batch of activations each.
+    const ProfiledModel pm = profiled();
+    const auto r =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, false);
+    for (int s = 1; s < par.pipeline - 1; ++s)
+        EXPECT_LT(r.deviceMem[s + 1], r.deviceMem[s]) << "stage " << s;
+}
+
+TEST_F(BaselineEvalTest, FullRecomputeUsesLessMemoryThanNone)
+{
+    const ProfiledModel pm = profiled();
+    const auto full =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, true);
+    const auto non =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, false);
+    for (int s = 0; s < par.pipeline; ++s)
+        EXPECT_LT(full.deviceMem[s], non.deviceMem[s]);
+    // ... but takes longer.
+    EXPECT_GT(full.iterationTime, non.iterationTime);
+}
+
+TEST_F(BaselineEvalTest, ChimeraDuplicatesParamsNotOptimizer)
+{
+    // Chimera-Full vs DAPPLE-Full: extra memory is bounded by the
+    // duplicated fp16 params + grads (optimizer is re-sharded over
+    // the two chains).
+    const ProfiledModel pm = profiled();
+    const auto dapple =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, true);
+    const auto chimera =
+        evaluateBaseline(pm, BaselineSchedule::Chimera, true);
+    MemoryModel mm(model, train, par);
+    const StaticMemory stage =
+        mm.staticMemory(pm.rangeParams(0, pm.numLayers() - 1) /
+                        par.pipeline);
+    for (int d = 0; d < par.pipeline; ++d) {
+        EXPECT_GT(chimera.deviceMem[d], dapple.deviceMem[d]);
+        // The duplication overhead never exceeds ~2x one stage's
+        // params+grads plus activation noise.
+        EXPECT_LT(chimera.deviceMem[d],
+                  dapple.deviceMem[d] +
+                      2 * (stage.params + stage.grads) +
+                      GiB(4));
+    }
+}
+
+TEST_F(BaselineEvalTest, ChimeraDStoresMoreThanChimera)
+{
+    // Fig. 8: forward doubling doubles in-flight activations.
+    const ProfiledModel pm = profiled();
+    const auto chi =
+        evaluateBaseline(pm, BaselineSchedule::Chimera, false);
+    const auto chid =
+        evaluateBaseline(pm, BaselineSchedule::ChimeraD, false);
+    int chi_peak = 0;
+    int chid_peak = 0;
+    for (int d = 0; d < par.pipeline; ++d) {
+        chi_peak = std::max(chi_peak, chi.peakAlive[d]);
+        chid_peak = std::max(chid_peak, chid.peakAlive[d]);
+    }
+    EXPECT_GT(chid_peak, chi_peak);
+}
+
+TEST_F(BaselineEvalTest, MicroStepTimesMatchBaselineCost)
+{
+    const ProfiledModel pm = profiled();
+    const auto r =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, true);
+    // Full recompute roughly doubles forward work in backward:
+    // micro-step ~ 2F + B with B ~ 2F. All stages similar.
+    for (int s = 1; s < par.pipeline; ++s) {
+        EXPECT_NEAR(r.microStepTime[s], r.microStepTime[0],
+                    0.15 * r.microStepTime[0]);
+    }
+}
+
+TEST_F(BaselineEvalTest, SimulatePlanMatchesPlannedStages)
+{
+    const ProfiledModel pm = profiled();
+    const PlanResult r = makePlan(pm, PlanMethod::AdaPipe);
+    ASSERT_TRUE(r.ok);
+    const EndToEndResult e = simulatePlan(pm, r.plan);
+    ASSERT_EQ(e.deviceMem.size(), r.plan.stages.size());
+    for (std::size_t s = 0; s < r.plan.stages.size(); ++s) {
+        EXPECT_EQ(e.deviceMem[s], r.plan.stages[s].memPeak);
+        EXPECT_DOUBLE_EQ(e.microStepTime[s],
+                         r.plan.stages[s].timeFwd +
+                             r.plan.stages[s].timeBwd);
+    }
+    // 1F1B in-flight invariant holds for the planned schedule too.
+    for (int s = 0; s < par.pipeline; ++s)
+        EXPECT_EQ(e.peakAlive[s], par.pipeline - s);
+}
+
+TEST_F(BaselineEvalTest, GPipeSlowedByMemoryNotTime)
+{
+    const ProfiledModel pm = profiled();
+    const auto gpipe =
+        evaluateBaseline(pm, BaselineSchedule::GPipe, false);
+    const auto dapple =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, false);
+    EXPECT_NEAR(gpipe.iterationTime, dapple.iterationTime,
+                0.02 * dapple.iterationTime);
+    for (int d = 0; d < par.pipeline; ++d)
+        EXPECT_GE(gpipe.deviceMem[d], dapple.deviceMem[d]);
+}
+
+/**
+ * Property: across pipeline sizes, the DAPPLE-Non stage-0 memory
+ * grows with p (more in-flight micro-batches) while per-stage
+ * compute shrinks.
+ */
+class PipelineSizeProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PipelineSizeProperty, InflightScalesWithP)
+{
+    const int p = GetParam();
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    train.seqLen = 4096;
+    train.globalBatch = 64;
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = p;
+    par.data = 1;
+    const ClusterSpec cluster = clusterA(p);
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    const auto r =
+        evaluateBaseline(pm, BaselineSchedule::Dapple, false);
+    EXPECT_EQ(r.peakAlive.front(), p);
+    EXPECT_EQ(r.peakAlive.back(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(P, PipelineSizeProperty,
+                         ::testing::Values(2, 4, 8));
+
+} // namespace
+} // namespace adapipe

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the CLI flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace adapipe {
+namespace {
+
+CliParser
+makeParser()
+{
+    CliParser cli("test");
+    cli.addString("name", "default", "a string");
+    cli.addInt("count", 7, "an int");
+    cli.addFlag("verbose", "a switch");
+    return cli;
+}
+
+void
+parseArgs(CliParser &cli, std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApply)
+{
+    CliParser cli = makeParser();
+    parseArgs(cli, {});
+    EXPECT_EQ(cli.getString("name"), "default");
+    EXPECT_EQ(cli.getInt("count"), 7);
+    EXPECT_FALSE(cli.getFlag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValues)
+{
+    CliParser cli = makeParser();
+    parseArgs(cli, {"--name", "adapipe", "--count", "42"});
+    EXPECT_EQ(cli.getString("name"), "adapipe");
+    EXPECT_EQ(cli.getInt("count"), 42);
+}
+
+TEST(Cli, EqualsSeparatedValues)
+{
+    CliParser cli = makeParser();
+    parseArgs(cli, {"--name=x", "--count=-3", "--verbose"});
+    EXPECT_EQ(cli.getString("name"), "x");
+    EXPECT_EQ(cli.getInt("count"), -3);
+    EXPECT_TRUE(cli.getFlag("verbose"));
+}
+
+TEST(Cli, PositionalArgumentsCollected)
+{
+    CliParser cli = makeParser();
+    parseArgs(cli, {"one", "--count", "1", "two"});
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "one");
+    EXPECT_EQ(cli.positional()[1], "two");
+}
+
+TEST(Cli, UnknownFlagIsFatal)
+{
+    CliParser cli = makeParser();
+    EXPECT_DEATH(parseArgs(cli, {"--bogus", "1"}), "unknown flag");
+}
+
+TEST(Cli, MissingValueIsFatal)
+{
+    CliParser cli = makeParser();
+    EXPECT_DEATH(parseArgs(cli, {"--count"}), "needs a value");
+}
+
+TEST(Cli, NonNumericIntIsFatal)
+{
+    CliParser cli = makeParser();
+    EXPECT_DEATH(parseArgs(cli, {"--count", "abc"}),
+                 "needs an integer");
+}
+
+TEST(Cli, WrongTypeAccessPanics)
+{
+    CliParser cli = makeParser();
+    parseArgs(cli, {});
+    EXPECT_DEATH(cli.getInt("name"), "wrong type");
+    EXPECT_DEATH(cli.getString("missing"), "undeclared flag");
+}
+
+TEST(Cli, UsageListsAllOptions)
+{
+    CliParser cli = makeParser();
+    const std::string usage = cli.usage();
+    EXPECT_NE(usage.find("--name"), std::string::npos);
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+} // namespace
+} // namespace adapipe

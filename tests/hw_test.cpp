@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the hw module: device/cluster presets and the
+ * roofline profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "hw/device.h"
+#include "hw/profiler.h"
+#include "model/model_config.h"
+#include "model/units.h"
+
+namespace adapipe {
+namespace {
+
+TEST(Device, PresetsAreValid)
+{
+    a100_80gb().validate();
+    ascend910_32gb().validate();
+    genericDevice24gb().validate();
+    EXPECT_EQ(a100_80gb().memCapacity, GiB(80));
+    EXPECT_EQ(ascend910_32gb().memCapacity, GiB(32));
+}
+
+TEST(Cluster, PresetsAreValid)
+{
+    const ClusterSpec a = clusterA(8);
+    a.validate();
+    EXPECT_EQ(a.totalDevices(), 64);
+    const ClusterSpec b = clusterB(32);
+    b.validate();
+    EXPECT_EQ(b.totalDevices(), 256);
+    // The Ascend interconnect is slower in every dimension.
+    EXPECT_LT(b.intraNodeBandwidth, a.intraNodeBandwidth);
+    EXPECT_LT(b.interNodeBandwidth, a.interNodeBandwidth);
+}
+
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    ParallelConfig par;
+    ClusterSpec cluster = clusterA(4);
+
+    void
+    SetUp() override
+    {
+        train.seqLen = 4096;
+        par.tensor = 8;
+        par.pipeline = 4;
+    }
+};
+
+TEST_F(ProfilerTest, GemmIsComputeBound)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    OperatorProfiler profiler(cluster, par);
+    // attn.k_proj is a large GEMM with no attached collective: its
+    // roofline should be compute limited, i.e. time equal to
+    // flops / (peak * eff) plus the kernel overhead.
+    const Layer &attn = layers[1];
+    const ComputationUnit *kp = nullptr;
+    for (const auto &u : attn.units) {
+        if (u.name == "attn.k_proj")
+            kp = &u;
+    }
+    ASSERT_NE(kp, nullptr);
+    ASSERT_EQ(kp->commBytesFwd, 0u);
+    const UnitProfile p = profiler.profile(*kp);
+    const double compute_time =
+        kp->flopsFwd / (cluster.device.peakFlops *
+                        OperatorProfiler::efficiency(UnitKind::Gemm));
+    EXPECT_NEAR(p.timeFwd, compute_time + cluster.device.kernelOverhead,
+                1e-6);
+}
+
+TEST_F(ProfilerTest, LayerNormIsBandwidthBound)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    OperatorProfiler profiler(cluster, par);
+    const ComputationUnit &norm = layers[1].units.front();
+    ASSERT_EQ(norm.kind, UnitKind::LayerNorm);
+    const UnitProfile p = profiler.profile(norm);
+    const double mem_time = static_cast<double>(norm.trafficFwd) /
+                            cluster.device.memBandwidth;
+    EXPECT_NEAR(p.timeFwd, mem_time + cluster.device.kernelOverhead,
+                1e-5);
+}
+
+TEST_F(ProfilerTest, BackwardSlowerThanForward)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    OperatorProfiler profiler(cluster, par);
+    for (const auto &layer : layers) {
+        for (const auto &profile : profiler.profileLayer(layer)) {
+            EXPECT_GE(profile.timeBwd, profile.timeFwd)
+                << profile.name;
+        }
+    }
+}
+
+TEST_F(ProfilerTest, TensorParallelReducesUnitTime)
+{
+    OperatorProfiler profiler(cluster, par);
+    ParallelConfig par1 = par;
+    par1.tensor = 1;
+    OperatorProfiler profiler1(cluster, par1);
+
+    const auto sharded = buildLayerSequence(model, train, par);
+    const auto full = buildLayerSequence(model, train, par1);
+    // Compare the q_proj GEMM under t=8 vs t=1.
+    const UnitProfile p8 = profiler.profile(sharded[1].units[1]);
+    const UnitProfile p1 = profiler1.profile(full[1].units[1]);
+    EXPECT_LT(p8.timeFwd, p1.timeFwd);
+}
+
+TEST_F(ProfilerTest, CollectiveTimeZeroWithoutTp)
+{
+    ParallelConfig par1 = par;
+    par1.tensor = 1;
+    OperatorProfiler profiler(cluster, par1);
+    EXPECT_EQ(profiler.collectiveTime(GiB(1)), 0.0);
+    EXPECT_EQ(profiler.collectiveTime(0), 0.0);
+}
+
+TEST_F(ProfilerTest, P2pUsesInterNodeBandwidthOnMultiNode)
+{
+    OperatorProfiler profiler(cluster, par);
+    const Bytes payload = MiB(64);
+    const Seconds t = profiler.p2pTime(payload);
+    EXPECT_NEAR(t,
+                cluster.linkLatency +
+                    static_cast<double>(payload) /
+                        cluster.interNodeBandwidth,
+                1e-9);
+
+    ClusterSpec single = cluster;
+    single.numNodes = 1;
+    OperatorProfiler profiler1(single, par);
+    EXPECT_LT(profiler1.p2pTime(payload), t);
+}
+
+TEST_F(ProfilerTest, RejectsTensorLargerThanNode)
+{
+    ParallelConfig bad = par;
+    bad.tensor = 16;
+    EXPECT_DEATH(OperatorProfiler(cluster, bad),
+                 "exceeds devices per node");
+}
+
+TEST(Profiler, EfficiencyOrdering)
+{
+    // GEMMs achieve the best fraction of peak; softmax-ish and
+    // normalisation kernels the worst.
+    EXPECT_GT(OperatorProfiler::efficiency(UnitKind::Gemm),
+              OperatorProfiler::efficiency(UnitKind::FlashAttention));
+    EXPECT_GT(OperatorProfiler::efficiency(UnitKind::FlashAttention),
+              OperatorProfiler::efficiency(UnitKind::LayerNorm));
+}
+
+} // namespace
+} // namespace adapipe

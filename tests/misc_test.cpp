@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Edge cases and failure injection across modules: invalid
+ * configurations, degenerate pipeline shapes (n < p), empty ranges
+ * and the panic paths of the plan/result types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/plan.h"
+#include "core/recompute_dp.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "hw/profiler.h"
+#include "model/model_config.h"
+#include "sim/pipeline_sim.h"
+#include "sim/schedule.h"
+
+namespace adapipe {
+namespace {
+
+TEST(EdgeCases, PlanResultValuePanicsWhenInfeasible)
+{
+    PlanResult r;
+    r.ok = false;
+    r.oomReason = "stage 0 too large";
+    EXPECT_DEATH(r.value(), "infeasible");
+}
+
+TEST(EdgeCases, TrainConfigRejectsIndivisibleBatch)
+{
+    TrainConfig train;
+    train.globalBatch = 10;
+    ParallelConfig par;
+    par.data = 4;
+    EXPECT_DEATH(train.microBatches(par), "not divisible");
+}
+
+TEST(EdgeCases, ModelValidateCatchesBadGeometry)
+{
+    ModelConfig m = tinyTestModel();
+    m.hiddenSize = 65; // not divisible by 4 heads
+    EXPECT_DEATH(m.validate(), "not divisible");
+    m = tinyTestModel();
+    m.numBlocks = 0;
+    EXPECT_DEATH(m.validate(), "non-positive");
+    m = tinyTestModel();
+    m.numKvHeads = 3; // heads % kv != 0
+    EXPECT_DEATH(m.validate(), "not divisible");
+}
+
+TEST(EdgeCases, DeviceValidation)
+{
+    DeviceSpec d = a100_80gb();
+    d.reservedBytes = d.memCapacity;
+    EXPECT_DEATH(d.validate(), "reserve exceeds capacity");
+    d = a100_80gb();
+    d.peakFlops = 0;
+    EXPECT_DEATH(d.validate(), "invalid specs");
+}
+
+TEST(EdgeCases, FewerMicroBatchesThanStages)
+{
+    // n < p: the warmup caps at n forwards; the schedule is valid
+    // and every stage holds at most n activations.
+    const int p = 4;
+    const int n = 2;
+    const std::vector<StageTimes> stages(p, StageTimes{1.0, 2.0});
+    const SimResult sim = simulate(build1F1B(p, n), stages, {});
+    for (int s = 0; s < p; ++s)
+        EXPECT_LE(sim.peakAlive[s], n);
+    // The closed form assumes a full pipeline (n >= p, the paper's
+    // operating regime); with n < p its warmup terms overcount, so
+    // it degrades to a conservative upper bound here.
+    const PipelineTiming model = evaluate1F1B(stages, n);
+    EXPECT_GE(model.total, sim.iterationTime - 1e-9);
+    EXPECT_LE(model.total, 1.5 * sim.iterationTime);
+}
+
+TEST(EdgeCases, SingleMicroBatch)
+{
+    const int p = 3;
+    const std::vector<StageTimes> stages(p, StageTimes{1.0, 2.0});
+    const SimResult sim = simulate(build1F1B(p, 1), stages, {});
+    // One micro-batch: pure serial traversal, no overlap.
+    EXPECT_NEAR(sim.iterationTime, p * 3.0, 1e-9);
+    for (int s = 0; s < p; ++s)
+        EXPECT_EQ(sim.peakAlive[s], 1);
+}
+
+TEST(EdgeCases, SingleStagePipeline)
+{
+    const std::vector<StageTimes> stages{{1.0, 2.0}};
+    const SimResult sim = simulate(build1F1B(1, 5), stages, {});
+    EXPECT_NEAR(sim.iterationTime, 5 * 3.0, 1e-9);
+    EXPECT_EQ(sim.peakAlive[0], 1);
+    const PipelineTiming model = evaluate1F1B(stages, 5);
+    EXPECT_NEAR(model.total, sim.iterationTime, 1e-9);
+}
+
+TEST(EdgeCases, PlannerWithSingleStage)
+{
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    train.seqLen = 2048;
+    train.globalBatch = 4;
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 1;
+    par.data = 1;
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, clusterA(1));
+    const PlanResult r = makePlan(pm, PlanMethod::AdaPipe);
+    ASSERT_TRUE(r.ok) << r.oomReason;
+    EXPECT_EQ(r.plan.stages.size(), 1u);
+    EXPECT_EQ(r.plan.stages[0].firstLayer, 0);
+    EXPECT_EQ(r.plan.stages[0].lastLayer, pm.numLayers() - 1);
+}
+
+TEST(EdgeCases, LayerAggregatesConsistent)
+{
+    TrainConfig train;
+    train.seqLen = 1024;
+    ParallelConfig par;
+    par.tensor = 2;
+    const auto layers =
+        buildLayerSequence(tinyTestModel(), train, par);
+    for (const Layer &layer : layers) {
+        Flops fwd = 0;
+        Bytes mem = 0;
+        for (const auto &u : layer.units) {
+            fwd += u.flopsFwd;
+            mem += u.memSaved;
+        }
+        EXPECT_DOUBLE_EQ(layer.flopsFwd(), fwd);
+        EXPECT_EQ(layer.memSavedAll(), mem);
+    }
+}
+
+TEST(EdgeCases, MicroBatchSizeScalesWorkload)
+{
+    // b = 2 doubles per-micro-batch FLOPs and activations.
+    TrainConfig b1;
+    b1.microBatch = 1;
+    b1.seqLen = 1024;
+    TrainConfig b2 = b1;
+    b2.microBatch = 2;
+    ParallelConfig par;
+    par.tensor = 2;
+    const auto l1 = buildLayerSequence(tinyTestModel(), b1, par);
+    const auto l2 = buildLayerSequence(tinyTestModel(), b2, par);
+    // Compare a pure GEMM unit (attention q_proj).
+    EXPECT_NEAR(l2[1].units[1].flopsFwd / l1[1].units[1].flopsFwd,
+                2.0, 1e-9);
+    EXPECT_EQ(l2[1].units[1].memSaved, 2 * l1[1].units[1].memSaved);
+}
+
+TEST(EdgeCases, CollectiveTimeScalesWithTensorSize)
+{
+    const ClusterSpec cluster = clusterA(2);
+    ParallelConfig par2;
+    par2.tensor = 2;
+    ParallelConfig par8;
+    par8.tensor = 8;
+    OperatorProfiler p2(cluster, par2);
+    OperatorProfiler p8(cluster, par8);
+    // Same payload: more ranks = more latency hops.
+    EXPECT_LT(p2.collectiveTime(MiB(64)), p8.collectiveTime(MiB(64)));
+}
+
+TEST(EdgeCases, GPipeWithOneStageMatchesSerial)
+{
+    const std::vector<StageTimes> stages{{1.0, 2.0}};
+    const SimResult sim = simulate(buildGPipe(1, 4), stages, {});
+    EXPECT_NEAR(sim.iterationTime, 4 * 3.0, 1e-9);
+    EXPECT_EQ(sim.peakAlive[0], 4); // all forwards before backwards
+}
+
+TEST(EdgeCases, EmptyRecomputeUnitsListIsFine)
+{
+    const auto r = solveRecomputeKnapsack({}, 1 << 20);
+    EXPECT_TRUE(r.saved.empty());
+    EXPECT_EQ(r.savedUnits, 0);
+    EXPECT_DOUBLE_EQ(r.savedFwdTime, 0.0);
+}
+
+} // namespace
+} // namespace adapipe

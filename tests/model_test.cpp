@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit tests for the model module: parameter counts, layer sequence
+ * construction and computation-unit workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_config.h"
+#include "model/parallel.h"
+#include "model/units.h"
+
+namespace adapipe {
+namespace {
+
+TEST(ModelConfig, Gpt3ParamCount)
+{
+    const ModelConfig m = gpt3_175b();
+    m.validate();
+    // GPT-3 has ~175 billion parameters.
+    const double total = static_cast<double>(m.totalParams());
+    EXPECT_GT(total, 173e9);
+    EXPECT_LT(total, 178e9);
+}
+
+TEST(ModelConfig, Llama2ParamCount)
+{
+    const ModelConfig m = llama2_70b();
+    m.validate();
+    const double total = static_cast<double>(m.totalParams());
+    EXPECT_GT(total, 67e9);
+    EXPECT_LT(total, 72e9);
+}
+
+TEST(ModelConfig, GqaShrinksAttention)
+{
+    ModelConfig gqa = llama2_70b();
+    ModelConfig mha = gqa;
+    mha.numKvHeads = mha.numHeads;
+    EXPECT_LT(gqa.attentionParams(), mha.attentionParams());
+    EXPECT_EQ(gqa.kvProjSize(), 8 * gqa.headDim());
+}
+
+TEST(ModelConfig, TotalIsSumOfLayers)
+{
+    const ModelConfig m = gpt3_13b();
+    const std::uint64_t expected =
+        m.embeddingParams() + m.decodingHeadParams() +
+        static_cast<std::uint64_t>(m.numBlocks) *
+            (m.attentionParams() + m.feedForwardParams());
+    EXPECT_EQ(m.totalParams(), expected);
+}
+
+TEST(ModelConfig, MidSizePresets)
+{
+    const ModelConfig g67 = gpt3_6_7b();
+    g67.validate();
+    EXPECT_NEAR(static_cast<double>(g67.totalParams()), 6.7e9,
+                0.5e9);
+    const ModelConfig l13 = llama2_13b();
+    l13.validate();
+    EXPECT_NEAR(static_cast<double>(l13.totalParams()), 13e9,
+                0.7e9);
+    const ModelConfig bert = bertLarge();
+    bert.validate();
+    EXPECT_FALSE(bert.causal);
+}
+
+TEST(ModelConfig, CausalHalvesAttentionFlops)
+{
+    TrainConfig train;
+    train.seqLen = 512;
+    ParallelConfig par;
+    par.tensor = 2;
+
+    ModelConfig causal = bertLarge();
+    causal.causal = true;
+    const auto dec = buildLayerSequence(causal, train, par);
+    const auto enc = buildLayerSequence(bertLarge(), train, par);
+
+    auto flash_flops = [](const Layer &l) {
+        for (const auto &u : l.units) {
+            if (u.kind == UnitKind::FlashAttention)
+                return u.flopsFwd;
+        }
+        return 0.0;
+    };
+    EXPECT_NEAR(flash_flops(enc[1]) / flash_flops(dec[1]), 2.0, 1e-9);
+}
+
+TEST(TrainConfig, MicroBatchCount)
+{
+    TrainConfig train;
+    train.microBatch = 1;
+    train.globalBatch = 128;
+    ParallelConfig par;
+    par.data = 2;
+    EXPECT_EQ(train.microBatches(par), 64);
+    par.data = 1;
+    EXPECT_EQ(train.microBatches(par), 128);
+}
+
+TEST(ParallelConfig, ToString)
+{
+    ParallelConfig par;
+    par.tensor = 4;
+    par.pipeline = 8;
+    par.data = 2;
+    EXPECT_EQ(par.toString(), "(4, 8, 2)");
+    EXPECT_EQ(par.totalDevices(), 64);
+}
+
+class LayerSequenceTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = tinyTestModel();
+    TrainConfig train;
+    ParallelConfig par;
+
+    void
+    SetUp() override
+    {
+        train.microBatch = 1;
+        train.seqLen = 128;
+        par.tensor = 2;
+    }
+};
+
+TEST_F(LayerSequenceTest, StructureIsEmbedBlocksHead)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    ASSERT_EQ(layers.size(),
+              static_cast<std::size_t>(2 * model.numBlocks + 2));
+    EXPECT_EQ(layers.front().kind, LayerKind::Embedding);
+    EXPECT_EQ(layers.back().kind, LayerKind::DecodingHead);
+    for (int b = 0; b < model.numBlocks; ++b) {
+        EXPECT_EQ(layers[1 + 2 * b].kind, LayerKind::Attention);
+        EXPECT_EQ(layers[2 + 2 * b].kind, LayerKind::FeedForward);
+    }
+}
+
+TEST_F(LayerSequenceTest, LayerParamsSumToModelTotal)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    std::uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.params;
+    EXPECT_EQ(total, model.totalParams());
+}
+
+TEST_F(LayerSequenceTest, AlwaysSavedRestriction)
+{
+    const auto layers = buildLayerSequence(model, train, par);
+    for (const auto &layer : layers) {
+        if (layer.kind == LayerKind::Attention ||
+            layer.kind == LayerKind::FeedForward) {
+            // Sec. 4.2: the layer's last unit (output GEMM) is
+            // always saved; interior units are not.
+            EXPECT_TRUE(layer.units.back().alwaysSaved)
+                << "layer " << layer.index;
+            for (std::size_t u = 0; u + 1 < layer.units.size(); ++u) {
+                EXPECT_FALSE(layer.units[u].alwaysSaved)
+                    << "layer " << layer.index << " unit " << u;
+            }
+        }
+    }
+}
+
+TEST_F(LayerSequenceTest, FlashAttentionRemovesQuadraticMemory)
+{
+    par.flashAttention = true;
+    const auto flash = buildLayerSequence(model, train, par);
+    par.flashAttention = false;
+    const auto unfused = buildLayerSequence(model, train, par);
+
+    // The attention layer has strictly more saved bytes without
+    // flash attention (the s^2 score/softmax tensors).
+    const auto &fa = flash[1];
+    const auto &uf = unfused[1];
+    ASSERT_EQ(fa.kind, LayerKind::Attention);
+    EXPECT_GT(uf.memSavedAll(), fa.memSavedAll());
+    EXPECT_GT(uf.units.size(), fa.units.size());
+}
+
+TEST_F(LayerSequenceTest, TensorParallelShrinksActivations)
+{
+    par.tensor = 1;
+    const auto t1 = buildLayerSequence(model, train, par);
+    par.tensor = 2;
+    const auto t2 = buildLayerSequence(model, train, par);
+    EXPECT_GT(t1[1].memSavedAll(), t2[1].memSavedAll());
+    EXPECT_GT(t1[2].memSavedAll(), t2[2].memSavedAll());
+}
+
+TEST_F(LayerSequenceTest, SequenceLengthScalesMemoryLinearly)
+{
+    train.seqLen = 128;
+    const auto s128 = buildLayerSequence(model, train, par);
+    train.seqLen = 256;
+    const auto s256 = buildLayerSequence(model, train, par);
+    const double ratio =
+        static_cast<double>(s256[2].memSavedAll()) /
+        static_cast<double>(s128[2].memSavedAll());
+    EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST_F(LayerSequenceTest, AttentionFlopsQuadraticInSeq)
+{
+    train.seqLen = 128;
+    const auto s1 = buildLayerSequence(model, train, par);
+    train.seqLen = 256;
+    const auto s2 = buildLayerSequence(model, train, par);
+    // Find the flash attention unit.
+    auto flash_flops = [](const Layer &l) {
+        for (const auto &u : l.units) {
+            if (u.kind == UnitKind::FlashAttention)
+                return u.flopsFwd;
+        }
+        return 0.0;
+    };
+    EXPECT_NEAR(flash_flops(s2[1]) / flash_flops(s1[1]), 4.0, 0.01);
+}
+
+TEST_F(LayerSequenceTest, GatedFfnHasExtraUnit)
+{
+    model.gatedFfn = false;
+    const auto plain = buildLayerSequence(model, train, par);
+    model.gatedFfn = true;
+    const auto gated = buildLayerSequence(model, train, par);
+    EXPECT_EQ(gated[2].units.size(), plain[2].units.size() + 1);
+}
+
+TEST_F(LayerSequenceTest, RejectsBadTensorParallel)
+{
+    par.tensor = 3; // does not divide 4 heads
+    EXPECT_DEATH(buildLayerSequence(model, train, par),
+                 "does not divide");
+}
+
+} // namespace
+} // namespace adapipe

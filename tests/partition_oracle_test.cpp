@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Optimality oracle for Algorithm 1: exhaustively enumerate every
+ * partition of small layer sequences and verify the DP finds the
+ * minimum-cost one under the identical Sec. 5.1 cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "core/cost_model.h"
+#include "core/partition_dp.h"
+#include "core/profiled_model.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+
+namespace adapipe {
+namespace {
+
+/** Enumerate all ways to split [0, L) into p contiguous ranges. */
+void
+enumeratePartitions(
+    int L, int p,
+    const std::function<void(const std::vector<std::pair<int, int>> &)>
+        &visit)
+{
+    std::vector<std::pair<int, int>> ranges;
+    std::function<void(int, int)> rec = [&](int start, int stage) {
+        if (stage == p - 1) {
+            ranges.emplace_back(start, L - 1);
+            visit(ranges);
+            ranges.pop_back();
+            return;
+        }
+        for (int end = start; end <= L - (p - stage); ++end) {
+            ranges.emplace_back(start, end);
+            rec(end + 1, stage + 1);
+            ranges.pop_back();
+        }
+    };
+    rec(0, 0);
+}
+
+class PartitionOracle
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(PartitionOracle, DpMatchesExhaustiveSearch)
+{
+    const auto [p, n, seq] = GetParam();
+
+    ModelConfig model = tinyTestModel();
+    model.numBlocks = 5; // L = 12 layers keeps enumeration small
+    TrainConfig train;
+    train.seqLen = seq;
+    train.globalBatch = n;
+    ParallelConfig par;
+    par.tensor = 2;
+    par.pipeline = p;
+    par.data = 1;
+    ClusterSpec cluster = clusterA(1);
+    // Tight memory so recomputation choices differ per candidate.
+    cluster.device.memCapacity = MiB(512);
+    cluster.device.reservedBytes = 0;
+
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    const int L = pm.numLayers();
+
+    StageCostCalculator calc(pm, p, n);
+    const PartitionDpResult dp = solveAdaptivePartition(calc, L, p, n);
+
+    // Oracle: evaluate every partition through the same stage costs
+    // and closed-form timing.
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::pair<int, int>> best_ranges;
+    enumeratePartitions(
+        L, p, [&](const std::vector<std::pair<int, int>> &ranges) {
+            std::vector<StageTimes> times;
+            for (int s = 0; s < p; ++s) {
+                const StageCost &c =
+                    calc.cost(s, ranges[s].first, ranges[s].second);
+                if (!c.feasible)
+                    return;
+                times.push_back({c.fwd, c.bwd});
+            }
+            const PipelineTiming t = evaluate1F1B(times, n);
+            if (t.total < best) {
+                best = t.total;
+                best_ranges = ranges;
+            }
+        });
+
+    if (best == std::numeric_limits<double>::infinity()) {
+        EXPECT_FALSE(dp.feasible);
+        return;
+    }
+    ASSERT_TRUE(dp.feasible)
+        << "oracle found a partition the DP missed";
+    EXPECT_NEAR(dp.timing.total, best, 1e-9 * best)
+        << "p=" << p << " n=" << n << " seq=" << seq;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionOracle,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(512, 1024, 2048)));
+
+} // namespace
+} // namespace adapipe

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the planner facade and the 3D strategy search: method
+ * ordering, OOM reporting and the paper's qualitative claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "core/strategy_search.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+
+namespace adapipe {
+namespace {
+
+class PlannerTest : public ::testing::Test
+{
+  protected:
+    // The paper's GPT-3 / cluster A headline configuration: 64 A100s,
+    // (t, p, d) = (8, 8, 1).
+    ModelConfig model = gpt3_175b();
+    TrainConfig train;
+    ParallelConfig par;
+    ClusterSpec cluster = clusterA(8);
+
+    void
+    SetUp() override
+    {
+        train.seqLen = 8192;
+        train.globalBatch = 32;
+        par.tensor = 8;
+        par.pipeline = 8;
+        par.data = 1;
+    }
+
+    PlanResult
+    plan(PlanMethod method)
+    {
+        const ProfiledModel pm =
+            buildProfiledModel(model, train, par, cluster);
+        return makePlan(pm, method);
+    }
+};
+
+TEST_F(PlannerTest, AllMethodsProducePlansWhenMemoryIsAmple)
+{
+    for (PlanMethod m :
+         {PlanMethod::AdaPipe, PlanMethod::EvenPartition,
+          PlanMethod::DappleFull}) {
+        const PlanResult r = plan(m);
+        EXPECT_TRUE(r.ok) << planMethodName(m) << ": " << r.oomReason;
+        EXPECT_EQ(static_cast<int>(r.plan.stages.size()),
+                  par.pipeline);
+    }
+}
+
+TEST_F(PlannerTest, MethodOrdering)
+{
+    // AdaPipe <= Even Partitioning <= DAPPLE-Full in iteration time.
+    const PlanResult ada = plan(PlanMethod::AdaPipe);
+    const PlanResult even = plan(PlanMethod::EvenPartition);
+    const PlanResult full = plan(PlanMethod::DappleFull);
+    ASSERT_TRUE(ada.ok && even.ok && full.ok);
+    EXPECT_LE(ada.plan.timing.total, even.plan.timing.total + 1e-9);
+    EXPECT_LE(even.plan.timing.total, full.plan.timing.total + 1e-9);
+}
+
+TEST_F(PlannerTest, DappleNonOomsAtLongSequence)
+{
+    train.seqLen = 16384;
+    train.globalBatch = 16;
+    const PlanResult non = plan(PlanMethod::DappleNon);
+    EXPECT_FALSE(non.ok);
+    EXPECT_NE(non.oomReason.find("stage 0"), std::string::npos)
+        << non.oomReason;
+    // AdaPipe still fits by recomputing adaptively.
+    const PlanResult ada = plan(PlanMethod::AdaPipe);
+    EXPECT_TRUE(ada.ok) << ada.oomReason;
+}
+
+TEST_F(PlannerTest, PlanStagesCoverModelInOrder)
+{
+    const PlanResult r = plan(PlanMethod::AdaPipe);
+    ASSERT_TRUE(r.ok);
+    int next = 0;
+    for (const auto &sp : r.plan.stages) {
+        EXPECT_EQ(sp.firstLayer, next);
+        EXPECT_LE(sp.firstLayer, sp.lastLayer);
+        next = sp.lastLayer + 1;
+        EXPECT_EQ(static_cast<int>(sp.savedMask.size()),
+                  sp.totalUnits);
+    }
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    EXPECT_EQ(next, pm.numLayers());
+}
+
+TEST_F(PlannerTest, MemoryBudgetRespected)
+{
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    for (PlanMethod m :
+         {PlanMethod::AdaPipe, PlanMethod::EvenPartition}) {
+        const PlanResult r = makePlan(pm, m);
+        ASSERT_TRUE(r.ok);
+        for (const auto &sp : r.plan.stages)
+            EXPECT_LE(sp.memPeak, pm.memCapacity);
+    }
+}
+
+TEST_F(PlannerTest, SavedUnitsIncreaseWithStage)
+{
+    // Table 4: the saved-unit count grows with the stage id because
+    // later stages hold fewer in-flight micro-batches.
+    train.seqLen = 16384;
+    train.globalBatch = 16;
+    const PlanResult r = plan(PlanMethod::EvenPartition);
+    ASSERT_TRUE(r.ok) << r.oomReason;
+    const auto &stages = r.plan.stages;
+    // The knapsack counts units, not bytes, so adjacent stages can
+    // wobble by a few units; the overall trend must rise, and the
+    // last interior stage must save clearly more than the first.
+    for (std::size_t s = 2; s + 1 < stages.size(); ++s) {
+        EXPECT_GE(stages[s].savedUnits + 8, stages[s - 1].savedUnits)
+            << "stage " << s;
+    }
+    EXPECT_GT(stages[stages.size() - 2].savedUnits,
+              stages[1].savedUnits);
+}
+
+TEST_F(PlannerTest, EvenPartitionUsesBaselineSplit)
+{
+    const PlanResult even = plan(PlanMethod::EvenPartition);
+    const PlanResult full = plan(PlanMethod::DappleFull);
+    ASSERT_TRUE(even.ok && full.ok);
+    for (std::size_t s = 0; s < even.plan.stages.size(); ++s) {
+        EXPECT_EQ(even.plan.stages[s].firstLayer,
+                  full.plan.stages[s].firstLayer);
+        EXPECT_EQ(even.plan.stages[s].lastLayer,
+                  full.plan.stages[s].lastLayer);
+    }
+}
+
+TEST_F(PlannerTest, TighterMemoryBudgetFractionCostsTime)
+{
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    StageCostOptions strict;
+    strict.memBudgetFraction = 0.6;
+    StageCostOptions loose;
+    loose.memBudgetFraction = 0.95;
+    const PlanResult a = makePlan(pm, PlanMethod::AdaPipe, strict);
+    const PlanResult b = makePlan(pm, PlanMethod::AdaPipe, loose);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_GE(a.plan.timing.total, b.plan.timing.total - 1e-9);
+}
+
+class StrategySearchTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    ClusterSpec cluster = clusterA(4);
+
+    void
+    SetUp() override
+    {
+        train.seqLen = 4096;
+        train.globalBatch = 64;
+    }
+};
+
+TEST_F(StrategySearchTest, EnumerationRespectsConstraints)
+{
+    const auto strategies =
+        enumerateStrategies(model, train, cluster);
+    EXPECT_FALSE(strategies.empty());
+    for (const auto &par : strategies) {
+        EXPECT_EQ(par.totalDevices(), cluster.totalDevices());
+        EXPECT_LE(par.tensor, 8);
+        EXPECT_GE(par.pipeline, 2);
+        EXPECT_EQ(model.numHeads % par.tensor, 0);
+        const int n = train.microBatches(par);
+        EXPECT_GE(n, par.pipeline);
+    }
+}
+
+TEST_F(StrategySearchTest, BestStrategyIsFeasibleAndMinimal)
+{
+    const auto best =
+        bestStrategy(model, train, cluster, PlanMethod::AdaPipe);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_TRUE(best->result.ok);
+    for (const auto &r :
+         sweepStrategies(model, train, cluster, PlanMethod::AdaPipe)) {
+        EXPECT_LE(best->iterationTime(), r.iterationTime() + 1e-9);
+    }
+}
+
+TEST_F(StrategySearchTest, AdaPipeBestBeatsBaselineBest)
+{
+    const auto ada =
+        bestStrategy(model, train, cluster, PlanMethod::AdaPipe);
+    const auto full =
+        bestStrategy(model, train, cluster, PlanMethod::DappleFull);
+    ASSERT_TRUE(ada.has_value() && full.has_value());
+    EXPECT_LT(ada->iterationTime(), full->iterationTime());
+}
+
+TEST_F(StrategySearchTest, ParallelSweepMatchesSequential)
+{
+    StrategySearchOptions seq_opts;
+    seq_opts.threads = 1;
+    StrategySearchOptions par_opts;
+    par_opts.threads = 4;
+    const auto a = sweepStrategies(model, train, cluster,
+                                   PlanMethod::AdaPipe, seq_opts);
+    const auto b = sweepStrategies(model, train, cluster,
+                                   PlanMethod::AdaPipe, par_opts);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].par.toString(), b[i].par.toString());
+        EXPECT_EQ(a[i].result.ok, b[i].result.ok);
+        if (a[i].result.ok) {
+            EXPECT_DOUBLE_EQ(a[i].result.plan.timing.total,
+                             b[i].result.plan.timing.total);
+        }
+    }
+}
+
+TEST_F(StrategySearchTest, InfeasibleStrategiesReportOom)
+{
+    // On a tiny device everything should OOM.
+    ClusterSpec small = cluster;
+    small.device.memCapacity = GiB(1);
+    small.device.reservedBytes = 0;
+    const auto best =
+        bestStrategy(model, train, small, PlanMethod::DappleNon);
+    EXPECT_FALSE(best.has_value());
+}
+
+} // namespace
+} // namespace adapipe

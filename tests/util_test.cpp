@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the util module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace adapipe {
+namespace {
+
+TEST(Units, ByteHelpers)
+{
+    EXPECT_EQ(KiB(1), 1024u);
+    EXPECT_EQ(MiB(1), 1024u * 1024u);
+    EXPECT_EQ(GiB(80), 80ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(GiB(80), 0), "80 GiB");
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(MiB(1.5)), "1.5 MiB");
+}
+
+TEST(Units, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(1.5), "1.50 s");
+    EXPECT_EQ(formatSeconds(milliseconds(12.3), 1), "12.3 ms");
+    EXPECT_EQ(formatSeconds(microseconds(4), 0), "4 us");
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"a", "method"});
+    t.addRow({"1", "AdaPipe"});
+    t.addRow({"22", "x"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("| a  | method  |"), std::string::npos);
+    EXPECT_NE(s.find("| 22 | x       |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, PadsShortRows)
+{
+    Table t({"a", "b"});
+    t.addRow({"only"});
+    EXPECT_NE(t.toString().find("| only | "), std::string::npos);
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::ostringstream oss;
+    CsvWriter csv(oss, {"x", "y"});
+    csv.writeRow({"1", "2"});
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+    EXPECT_EQ(csv.rowCount(), 1u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(99);
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(rng.normal(2.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Stats, RunningStatsBasics)
+{
+    RunningStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, Quantile)
+{
+    std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace adapipe
