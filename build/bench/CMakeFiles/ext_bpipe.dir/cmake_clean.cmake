@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bpipe.dir/ext_bpipe.cpp.o"
+  "CMakeFiles/ext_bpipe.dir/ext_bpipe.cpp.o.d"
+  "ext_bpipe"
+  "ext_bpipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bpipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interleaved_1f1b.dir/ext_interleaved_1f1b.cpp.o"
+  "CMakeFiles/ext_interleaved_1f1b.dir/ext_interleaved_1f1b.cpp.o.d"
+  "ext_interleaved_1f1b"
+  "ext_interleaved_1f1b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interleaved_1f1b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

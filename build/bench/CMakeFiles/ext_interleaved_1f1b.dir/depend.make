@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_interleaved_1f1b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_budget.dir/ext_memory_budget.cpp.o"
+  "CMakeFiles/ext_memory_budget.dir/ext_memory_budget.cpp.o.d"
+  "ext_memory_budget"
+  "ext_memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_microbatch_sensitivity.dir/ext_microbatch_sensitivity.cpp.o"
+  "CMakeFiles/ext_microbatch_sensitivity.dir/ext_microbatch_sensitivity.cpp.o.d"
+  "ext_microbatch_sensitivity"
+  "ext_microbatch_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_microbatch_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_offload.dir/ext_offload.cpp.o"
+  "CMakeFiles/ext_offload.dir/ext_offload.cpp.o.d"
+  "ext_offload"
+  "ext_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_selective_recompute.dir/ext_selective_recompute.cpp.o"
+  "CMakeFiles/ext_selective_recompute.dir/ext_selective_recompute.cpp.o.d"
+  "ext_selective_recompute"
+  "ext_selective_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_selective_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

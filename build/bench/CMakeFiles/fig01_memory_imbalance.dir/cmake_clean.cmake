@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_memory_imbalance.dir/fig01_memory_imbalance.cpp.o"
+  "CMakeFiles/fig01_memory_imbalance.dir/fig01_memory_imbalance.cpp.o.d"
+  "fig01_memory_imbalance"
+  "fig01_memory_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_memory_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

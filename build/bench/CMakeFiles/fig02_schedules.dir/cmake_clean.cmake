@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_schedules.dir/fig02_schedules.cpp.o"
+  "CMakeFiles/fig02_schedules.dir/fig02_schedules.cpp.o.d"
+  "fig02_schedules"
+  "fig02_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

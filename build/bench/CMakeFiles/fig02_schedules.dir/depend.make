@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_schedules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_computation_units.dir/fig04_computation_units.cpp.o"
+  "CMakeFiles/fig04_computation_units.dir/fig04_computation_units.cpp.o.d"
+  "fig04_computation_units"
+  "fig04_computation_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_computation_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_llama2_cluster_a.dir/fig05_llama2_cluster_a.cpp.o"
+  "CMakeFiles/fig05_llama2_cluster_a.dir/fig05_llama2_cluster_a.cpp.o.d"
+  "fig05_llama2_cluster_a"
+  "fig05_llama2_cluster_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_llama2_cluster_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_llama2_cluster_a.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gpt3_cluster_a.dir/fig06_gpt3_cluster_a.cpp.o"
+  "CMakeFiles/fig06_gpt3_cluster_a.dir/fig06_gpt3_cluster_a.cpp.o.d"
+  "fig06_gpt3_cluster_a"
+  "fig06_gpt3_cluster_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gpt3_cluster_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

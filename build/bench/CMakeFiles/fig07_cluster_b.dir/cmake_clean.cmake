@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cluster_b.dir/fig07_cluster_b.cpp.o"
+  "CMakeFiles/fig07_cluster_b.dir/fig07_cluster_b.cpp.o.d"
+  "fig07_cluster_b"
+  "fig07_cluster_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cluster_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

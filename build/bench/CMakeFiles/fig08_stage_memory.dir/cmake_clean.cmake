@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_stage_memory.dir/fig08_stage_memory.cpp.o"
+  "CMakeFiles/fig08_stage_memory.dir/fig08_stage_memory.cpp.o.d"
+  "fig08_stage_memory"
+  "fig08_stage_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_stage_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_stage_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_performance.dir/search_performance.cpp.o"
+  "CMakeFiles/search_performance.dir/search_performance.cpp.o.d"
+  "search_performance"
+  "search_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_parallel_strategies.dir/tab03_parallel_strategies.cpp.o"
+  "CMakeFiles/tab03_parallel_strategies.dir/tab03_parallel_strategies.cpp.o.d"
+  "tab03_parallel_strategies"
+  "tab03_parallel_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_parallel_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_plan_configuration.dir/tab04_plan_configuration.cpp.o"
+  "CMakeFiles/tab04_plan_configuration.dir/tab04_plan_configuration.cpp.o.d"
+  "tab04_plan_configuration"
+  "tab04_plan_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_plan_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

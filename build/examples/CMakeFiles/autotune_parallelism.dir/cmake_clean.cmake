@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_parallelism.dir/autotune_parallelism.cpp.o"
+  "CMakeFiles/autotune_parallelism.dir/autotune_parallelism.cpp.o.d"
+  "autotune_parallelism"
+  "autotune_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

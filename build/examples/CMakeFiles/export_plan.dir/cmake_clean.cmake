@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_plan.dir/export_plan.cpp.o"
+  "CMakeFiles/export_plan.dir/export_plan.cpp.o.d"
+  "export_plan"
+  "export_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

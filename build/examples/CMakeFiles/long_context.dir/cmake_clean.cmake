@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_context.dir/long_context.cpp.o"
+  "CMakeFiles/long_context.dir/long_context.cpp.o.d"
+  "long_context"
+  "long_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

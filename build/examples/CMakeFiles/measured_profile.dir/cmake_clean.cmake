@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_profile.dir/measured_profile.cpp.o"
+  "CMakeFiles/measured_profile.dir/measured_profile.cpp.o.d"
+  "measured_profile"
+  "measured_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

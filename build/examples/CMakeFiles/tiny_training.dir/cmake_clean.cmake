@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_training.dir/tiny_training.cpp.o"
+  "CMakeFiles/tiny_training.dir/tiny_training.cpp.o.d"
+  "tiny_training"
+  "tiny_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_autograd.dir/checkpoint.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/module.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/module.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/ops.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/optim.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/optim.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/tensor.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/tensor.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/trainer.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/trainer.cpp.o.d"
+  "CMakeFiles/adapipe_autograd.dir/variable.cpp.o"
+  "CMakeFiles/adapipe_autograd.dir/variable.cpp.o.d"
+  "libadapipe_autograd.a"
+  "libadapipe_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

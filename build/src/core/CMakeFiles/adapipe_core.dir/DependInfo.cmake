@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/adapipe_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/partition_dp.cpp" "src/core/CMakeFiles/adapipe_core.dir/partition_dp.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/partition_dp.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/adapipe_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/adapipe_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/adapipe_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/profiled_model.cpp" "src/core/CMakeFiles/adapipe_core.dir/profiled_model.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/profiled_model.cpp.o.d"
+  "/root/repo/src/core/recompute_dp.cpp" "src/core/CMakeFiles/adapipe_core.dir/recompute_dp.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/recompute_dp.cpp.o.d"
+  "/root/repo/src/core/stage_cost.cpp" "src/core/CMakeFiles/adapipe_core.dir/stage_cost.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/stage_cost.cpp.o.d"
+  "/root/repo/src/core/strategy_search.cpp" "src/core/CMakeFiles/adapipe_core.dir/strategy_search.cpp.o" "gcc" "src/core/CMakeFiles/adapipe_core.dir/strategy_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/adapipe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/adapipe_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/adapipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

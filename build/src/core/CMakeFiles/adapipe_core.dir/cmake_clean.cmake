@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_core.dir/cost_model.cpp.o"
+  "CMakeFiles/adapipe_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/partition_dp.cpp.o"
+  "CMakeFiles/adapipe_core.dir/partition_dp.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/plan.cpp.o"
+  "CMakeFiles/adapipe_core.dir/plan.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/plan_io.cpp.o"
+  "CMakeFiles/adapipe_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/planner.cpp.o"
+  "CMakeFiles/adapipe_core.dir/planner.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/profiled_model.cpp.o"
+  "CMakeFiles/adapipe_core.dir/profiled_model.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/recompute_dp.cpp.o"
+  "CMakeFiles/adapipe_core.dir/recompute_dp.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/stage_cost.cpp.o"
+  "CMakeFiles/adapipe_core.dir/stage_cost.cpp.o.d"
+  "CMakeFiles/adapipe_core.dir/strategy_search.cpp.o"
+  "CMakeFiles/adapipe_core.dir/strategy_search.cpp.o.d"
+  "libadapipe_core.a"
+  "libadapipe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cluster.cpp" "src/hw/CMakeFiles/adapipe_hw.dir/cluster.cpp.o" "gcc" "src/hw/CMakeFiles/adapipe_hw.dir/cluster.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/adapipe_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/adapipe_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/profile_io.cpp" "src/hw/CMakeFiles/adapipe_hw.dir/profile_io.cpp.o" "gcc" "src/hw/CMakeFiles/adapipe_hw.dir/profile_io.cpp.o.d"
+  "/root/repo/src/hw/profiler.cpp" "src/hw/CMakeFiles/adapipe_hw.dir/profiler.cpp.o" "gcc" "src/hw/CMakeFiles/adapipe_hw.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/adapipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_hw.dir/cluster.cpp.o"
+  "CMakeFiles/adapipe_hw.dir/cluster.cpp.o.d"
+  "CMakeFiles/adapipe_hw.dir/device.cpp.o"
+  "CMakeFiles/adapipe_hw.dir/device.cpp.o.d"
+  "CMakeFiles/adapipe_hw.dir/profile_io.cpp.o"
+  "CMakeFiles/adapipe_hw.dir/profile_io.cpp.o.d"
+  "CMakeFiles/adapipe_hw.dir/profiler.cpp.o"
+  "CMakeFiles/adapipe_hw.dir/profiler.cpp.o.d"
+  "libadapipe_hw.a"
+  "libadapipe_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_memory.dir/memory_model.cpp.o"
+  "CMakeFiles/adapipe_memory.dir/memory_model.cpp.o.d"
+  "libadapipe_memory.a"
+  "libadapipe_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/model_config.cpp" "src/model/CMakeFiles/adapipe_model.dir/model_config.cpp.o" "gcc" "src/model/CMakeFiles/adapipe_model.dir/model_config.cpp.o.d"
+  "/root/repo/src/model/parallel.cpp" "src/model/CMakeFiles/adapipe_model.dir/parallel.cpp.o" "gcc" "src/model/CMakeFiles/adapipe_model.dir/parallel.cpp.o.d"
+  "/root/repo/src/model/units.cpp" "src/model/CMakeFiles/adapipe_model.dir/units.cpp.o" "gcc" "src/model/CMakeFiles/adapipe_model.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adapipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_model.dir/model_config.cpp.o"
+  "CMakeFiles/adapipe_model.dir/model_config.cpp.o.d"
+  "CMakeFiles/adapipe_model.dir/parallel.cpp.o"
+  "CMakeFiles/adapipe_model.dir/parallel.cpp.o.d"
+  "CMakeFiles/adapipe_model.dir/units.cpp.o"
+  "CMakeFiles/adapipe_model.dir/units.cpp.o.d"
+  "libadapipe_model.a"
+  "libadapipe_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

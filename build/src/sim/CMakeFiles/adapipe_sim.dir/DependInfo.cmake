@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baseline_eval.cpp" "src/sim/CMakeFiles/adapipe_sim.dir/baseline_eval.cpp.o" "gcc" "src/sim/CMakeFiles/adapipe_sim.dir/baseline_eval.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/adapipe_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/adapipe_sim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/adapipe_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/adapipe_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/adapipe_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/adapipe_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/adapipe_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/adapipe_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adapipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/adapipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapipe_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/adapipe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/adapipe_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

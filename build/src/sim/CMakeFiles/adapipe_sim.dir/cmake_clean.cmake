@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_sim.dir/baseline_eval.cpp.o"
+  "CMakeFiles/adapipe_sim.dir/baseline_eval.cpp.o.d"
+  "CMakeFiles/adapipe_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/adapipe_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/adapipe_sim.dir/schedule.cpp.o"
+  "CMakeFiles/adapipe_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/adapipe_sim.dir/timeline.cpp.o"
+  "CMakeFiles/adapipe_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/adapipe_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/adapipe_sim.dir/trace_export.cpp.o.d"
+  "libadapipe_sim.a"
+  "libadapipe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

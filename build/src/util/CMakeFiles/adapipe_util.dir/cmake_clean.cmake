@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapipe_util.dir/cli.cpp.o"
+  "CMakeFiles/adapipe_util.dir/cli.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/csv.cpp.o"
+  "CMakeFiles/adapipe_util.dir/csv.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/json.cpp.o"
+  "CMakeFiles/adapipe_util.dir/json.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/logging.cpp.o"
+  "CMakeFiles/adapipe_util.dir/logging.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/rng.cpp.o"
+  "CMakeFiles/adapipe_util.dir/rng.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/stats.cpp.o"
+  "CMakeFiles/adapipe_util.dir/stats.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/table.cpp.o"
+  "CMakeFiles/adapipe_util.dir/table.cpp.o.d"
+  "CMakeFiles/adapipe_util.dir/units.cpp.o"
+  "CMakeFiles/adapipe_util.dir/units.cpp.o.d"
+  "libadapipe_util.a"
+  "libadapipe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapipe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadapipe_util.a"
+)

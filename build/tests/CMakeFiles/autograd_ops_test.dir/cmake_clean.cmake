@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_ops_test.dir/autograd_ops_test.cpp.o"
+  "CMakeFiles/autograd_ops_test.dir/autograd_ops_test.cpp.o.d"
+  "autograd_ops_test"
+  "autograd_ops_test.pdb"
+  "autograd_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_eval_test.cpp" "tests/CMakeFiles/baseline_eval_test.dir/baseline_eval_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_eval_test.dir/baseline_eval_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adapipe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adapipe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/adapipe_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/adapipe_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/adapipe_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/adapipe_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adapipe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

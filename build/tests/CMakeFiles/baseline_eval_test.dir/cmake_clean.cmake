@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_eval_test.dir/baseline_eval_test.cpp.o"
+  "CMakeFiles/baseline_eval_test.dir/baseline_eval_test.cpp.o.d"
+  "baseline_eval_test"
+  "baseline_eval_test.pdb"
+  "baseline_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

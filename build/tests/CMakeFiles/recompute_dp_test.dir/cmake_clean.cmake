@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recompute_dp_test.dir/recompute_dp_test.cpp.o"
+  "CMakeFiles/recompute_dp_test.dir/recompute_dp_test.cpp.o.d"
+  "recompute_dp_test"
+  "recompute_dp_test.pdb"
+  "recompute_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recompute_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
