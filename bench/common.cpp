@@ -6,12 +6,57 @@
 #include <limits>
 #include <memory>
 
+#include "obs/macros.h"
+#include "obs/sinks.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace adapipe {
 namespace bench {
+
+MetricsSession::MetricsSession(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string prefix = "--metrics-out";
+        if (arg == prefix && i + 1 < argc) {
+            path_ = argv[i + 1];
+            break;
+        }
+        if (arg.rfind(prefix + "=", 0) == 0) {
+            path_ = arg.substr(prefix.size() + 1);
+            break;
+        }
+    }
+    if (path_.empty()) {
+        if (const char *env = std::getenv("ADAPIPE_METRICS_OUT"))
+            path_ = env;
+    }
+    if (!path_.empty()) {
+        obs::install(&registry_);
+        installed_ = true;
+    }
+}
+
+MetricsSession::~MetricsSession()
+{
+    if (!installed_)
+        return;
+    obs::install(nullptr);
+    std::ofstream out(path_);
+    if (!out.good()) {
+        std::cerr << "warning: cannot write metrics to " << path_
+                  << "\n";
+        return;
+    }
+    const bool csv = path_.size() >= 4 &&
+                     path_.compare(path_.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        obs::writeCsvSummary(registry_, out);
+    else
+        obs::writeJsonLines(registry_, out);
+}
 
 std::vector<Method>
 clusterAMethods()
@@ -44,6 +89,8 @@ evaluateMethod(const ModelConfig &model, const TrainConfig &train,
                const ParallelConfig &par, const ClusterSpec &cluster,
                const Method &method)
 {
+    ADAPIPE_OBS_SPAN(obs_span, "bench.evaluate_method");
+    ADAPIPE_OBS_COUNT("bench.cells", 1);
     CellResult cell;
     cell.method = method.name;
     cell.strategy = par;
@@ -93,6 +140,7 @@ bestOverStrategies(const ModelConfig &model, const TrainConfig &train,
                    const ClusterSpec &cluster, const Method &method,
                    const StrategySearchOptions &opts)
 {
+    ADAPIPE_OBS_SPAN(obs_span, "bench.best_over_strategies");
     CellResult best;
     best.method = method.name;
     best.oomReason = "all strategies OOM";

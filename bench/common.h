@@ -20,10 +20,43 @@
 #include "core/strategy_search.h"
 #include "hw/cluster.h"
 #include "model/model_config.h"
+#include "obs/registry.h"
 #include "sim/baseline_eval.h"
 
 namespace adapipe {
 namespace bench {
+
+/**
+ * RAII observability session for the bench harnesses.
+ *
+ * Scans argv for "--metrics-out <path>" / "--metrics-out=<path>"
+ * (falling back to the ADAPIPE_METRICS_OUT environment variable),
+ * installs a registry on the calling thread for the session's
+ * lifetime and writes it out on destruction: JSON-lines by default,
+ * or a CSV summary when the path ends in ".csv". Without a path the
+ * session is inert, so harness mains can construct one
+ * unconditionally.
+ */
+class MetricsSession
+{
+  public:
+    MetricsSession(int argc, const char *const *argv);
+    ~MetricsSession();
+
+    MetricsSession(const MetricsSession &) = delete;
+    MetricsSession &operator=(const MetricsSession &) = delete;
+
+    /** @return the session's registry (empty when inert). */
+    obs::Registry &registry() { return registry_; }
+
+    /** @return the output path; empty when the session is inert. */
+    const std::string &path() const { return path_; }
+
+  private:
+    obs::Registry registry_;
+    std::string path_;
+    bool installed_ = false;
+};
 
 /** Identifier of one evaluated method (planner- or schedule-based). */
 struct Method

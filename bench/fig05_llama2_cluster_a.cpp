@@ -16,8 +16,9 @@
 using namespace adapipe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::MetricsSession metrics(argc, argv);
     bench::runClusterAFigure(
         llama2_70b(), clusterA(4),
         {{4096, 128}, {8192, 64}, {16384, 32}});

@@ -16,8 +16,9 @@
 using namespace adapipe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::MetricsSession metrics(argc, argv);
     bench::runClusterAFigure(
         gpt3_175b(), clusterA(8),
         {{4096, 128}, {8192, 64}, {16384, 32}});

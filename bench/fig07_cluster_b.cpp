@@ -37,8 +37,9 @@ struct Workload
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    MetricsSession metrics(argc, argv);
     std::vector<Workload> workloads;
     {
         Workload w{llama2_70b(), 16, {}, 256};

@@ -15,6 +15,7 @@
 #include "core/planner.h"
 #include "core/profiled_model.h"
 #include "core/recompute_dp.h"
+#include "core/strategy_search.h"
 #include "hw/cluster.h"
 #include "model/model_config.h"
 #include "util/rng.h"
@@ -93,6 +94,32 @@ BENCHMARK(BM_PartitionDpScaling)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepStrategies(benchmark::State &state)
+{
+    // The full cluster-A strategy sweep for GPT-3; Arg is the worker
+    // count (1 = the serial reference). This is the wall-time gate
+    // for observability overhead: with ADAPIPE_OBS off it must match
+    // the pre-instrumentation baseline, and with it on but no
+    // registry installed (as here) the cost is one thread-local load
+    // per counter site.
+    StrategySearchOptions opts;
+    opts.threads = static_cast<unsigned>(state.range(0));
+    const ModelConfig model = gpt3_175b();
+    TrainConfig train;
+    train.seqLen = 4096;
+    train.globalBatch = 128;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sweepStrategies(model, train, clusterA(8),
+                            PlanMethod::AdaPipe, opts));
+    }
+}
+BENCHMARK(BM_SweepStrategies)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -24,8 +24,9 @@ using namespace adapipe;
 using namespace adapipe::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    MetricsSession metrics(argc, argv);
     const ModelConfig model = gpt3_175b();
     const ClusterSpec cluster = clusterA(8);
     TrainConfig train;

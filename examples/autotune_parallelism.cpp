@@ -5,16 +5,22 @@
  * (a Table-3-style report for arbitrary configurations).
  *
  * Usage: autotune_parallelism [gpt3|llama2|gpt3-13b] [seq] [nodes]
+ *            [--threads N] [--metrics-out m.jsonl]
  */
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/strategy_search.h"
 #include "hw/cluster.h"
 #include "model/model_config.h"
+#include "obs/registry.h"
+#include "obs/sinks.h"
+#include "util/cli.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -23,9 +29,16 @@ using namespace adapipe;
 int
 main(int argc, char **argv)
 {
-    const std::string which = argc > 1 ? argv[1] : "gpt3";
-    const int seq = argc > 2 ? std::atoi(argv[2]) : 8192;
-    const int nodes = argc > 3 ? std::atoi(argv[3]) : 8;
+    CliParser cli("autotune_parallelism");
+    cli.addInt("threads", 1, "sweep workers (0 = all cores)");
+    cli.addString("metrics-out", "",
+                  "write search metrics as JSON-lines");
+    cli.parse(argc, argv);
+    const auto &pos = cli.positional();
+
+    const std::string which = !pos.empty() ? pos[0] : "gpt3";
+    const int seq = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 8192;
+    const int nodes = pos.size() > 2 ? std::atoi(pos[2].c_str()) : 8;
 
     ModelConfig model;
     if (which == "gpt3") {
@@ -49,8 +62,13 @@ main(int argc, char **argv)
               << " on " << cluster.totalDevices() << " GPUs (global "
               << "batch " << train.globalBatch << ")\n\n";
 
+    obs::Registry metrics;
+    obs::ScopedRegistry obs_scope(&metrics);
+
+    StrategySearchOptions opts;
+    opts.threads = static_cast<unsigned>(cli.getInt("threads"));
     auto results = sweepStrategies(model, train, cluster,
-                                   PlanMethod::AdaPipe);
+                                   PlanMethod::AdaPipe, opts);
     std::sort(results.begin(), results.end(),
               [](const StrategyResult &a, const StrategyResult &b) {
                   return a.iterationTime() < b.iterationTime();
@@ -74,5 +92,13 @@ main(int argc, char **argv)
                       formatBytes(plan.stages.front().memPeak)});
     }
     table.print(std::cout);
+
+    const std::string metrics_out = cli.getString("metrics-out");
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        ADAPIPE_ASSERT(out.good(), "cannot write ", metrics_out);
+        obs::writeJsonLines(metrics, out);
+        std::cout << "\nmetrics -> " << metrics_out << "\n";
+    }
     return 0;
 }

@@ -1,39 +1,87 @@
 /**
  * @file
  * Quickstart: plan GPT-3 175B training on a 64-GPU A100 cluster with
- * AdaPipe and compare against the DAPPLE baselines.
+ * AdaPipe, compare against the DAPPLE baselines, sweep all (t, p, d)
+ * strategies for the best configuration and simulate the winning
+ * plan.
  *
  * Demonstrates the core public API:
  *   ModelConfig / TrainConfig / ParallelConfig / ClusterSpec
- *   -> buildProfiledModel -> makePlan -> PipelinePlan.
+ *   -> buildProfiledModel -> makePlan -> PipelinePlan
+ *   -> bestStrategy -> simulatePlan
+ * and the observability subsystem: pass --metrics-out to dump what
+ * the search explored (see docs/observability.md).
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "core/planner.h"
 #include "core/profiled_model.h"
+#include "core/strategy_search.h"
 #include "hw/cluster.h"
 #include "model/model_config.h"
+#include "obs/registry.h"
+#include "obs/sinks.h"
+#include "sim/baseline_eval.h"
+#include "util/cli.h"
+#include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
 
 using namespace adapipe;
 
-int
-main()
+namespace {
+
+void
+writeSink(const std::string &path, const std::string &content)
 {
+    std::ofstream out(path);
+    ADAPIPE_ASSERT(out.good(), "cannot write ", path);
+    out << content;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("quickstart");
+    cli.addInt("seq", 16384, "sequence length");
+    cli.addInt("global-batch", 32, "global batch size");
+    cli.addInt("nodes", 8, "cluster A nodes (8 GPUs each)");
+    cli.addInt("threads", 1, "strategy sweep workers (0 = all cores)");
+    cli.addString("metrics-out", "",
+                  "write search metrics as JSON-lines");
+    cli.addString("metrics-csv", "", "write search metrics CSV summary");
+    cli.addString("metrics-trace", "",
+                  "write search spans as a Chrome trace");
+    cli.parse(argc, argv);
+
+    // One registry observes everything this run explores; the sinks
+    // below write it out at the end.
+    obs::Registry metrics;
+    obs::ScopedRegistry obs_scope(&metrics);
+
     const ModelConfig model = gpt3_175b();
-    const ClusterSpec cluster = clusterA(8); // 64 GPUs
+    const ClusterSpec cluster =
+        clusterA(static_cast<int>(cli.getInt("nodes")));
 
     TrainConfig train;
     train.microBatch = 1;
-    train.seqLen = 16384;
-    train.globalBatch = 32;
+    train.seqLen = static_cast<int>(cli.getInt("seq"));
+    train.globalBatch = static_cast<int>(cli.getInt("global-batch"));
 
     ParallelConfig par;
     par.tensor = 8;
     par.pipeline = 8;
-    par.data = 1;
+    par.data = cluster.totalDevices() / (par.tensor * par.pipeline);
+    if (par.data < 1) {
+        std::cerr << "error: the fixed (t=8, p=8) reference strategy "
+                     "needs at least 8 nodes; got --nodes "
+                  << cli.getInt("nodes") << "\n";
+        return 1;
+    }
 
     std::cout << "Planning " << model.name << " (seq "
               << train.seqLen << ", strategy " << par.toString()
@@ -83,6 +131,45 @@ main()
                  formatBytes(sp.memPeak)});
         }
         stages.print(std::cout);
+    }
+
+    // Sweep every valid (t, p, d) strategy and simulate the winner
+    // in the event-driven engine.
+    StrategySearchOptions sweep_opts;
+    sweep_opts.threads =
+        static_cast<unsigned>(cli.getInt("threads"));
+    const auto best = bestStrategy(model, train, cluster,
+                                   PlanMethod::AdaPipe, sweep_opts);
+    if (best) {
+        const ProfiledModel best_pm = buildProfiledModel(
+            model, train, best->par, cluster);
+        const EndToEndResult sim =
+            simulatePlan(best_pm, best->result.plan);
+        std::cout << "\nBest strategy over the full sweep: "
+                  << best->par.toString() << " — cost model "
+                  << formatSeconds(best->iterationTime())
+                  << ", simulated "
+                  << formatSeconds(sim.iterationTime) << "\n";
+    } else {
+        std::cout << "\nNo feasible strategy found in the sweep.\n";
+    }
+
+    const std::string metrics_out = cli.getString("metrics-out");
+    if (!metrics_out.empty()) {
+        writeSink(metrics_out, obs::toJsonLines(metrics));
+        std::cout << "metrics -> " << metrics_out << "\n";
+    }
+    const std::string metrics_csv = cli.getString("metrics-csv");
+    if (!metrics_csv.empty()) {
+        std::ofstream out(metrics_csv);
+        ADAPIPE_ASSERT(out.good(), "cannot write ", metrics_csv);
+        obs::writeCsvSummary(metrics, out);
+        std::cout << "metrics summary -> " << metrics_csv << "\n";
+    }
+    const std::string metrics_trace = cli.getString("metrics-trace");
+    if (!metrics_trace.empty()) {
+        writeSink(metrics_trace, obs::spansToChromeTrace(metrics));
+        std::cout << "span trace -> " << metrics_trace << "\n";
     }
     return 0;
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerate the golden plan fixtures consumed by golden_plan_test.
+#
+# Run this ONLY when a planner change intentionally alters the plans
+# (cost model fix, DP improvement, schema change); commit the diff
+# together with the change that caused it and explain the delta in
+# the commit message. golden_plan_test failing without a planner
+# change means a regression, not a stale fixture.
+#
+# Usage: scripts/update_golden_plans.sh [build-dir]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+export_plan="$build/examples/export_plan"
+fixtures="$repo/tests/fixtures"
+
+if [[ ! -x "$export_plan" ]]; then
+    echo "error: $export_plan not built (cmake --build $build)" >&2
+    exit 1
+fi
+
+# Keep these configurations in lockstep with golden_plan_test.cpp.
+"$export_plan" --model gpt3 --seq 16384 --nodes 8 \
+    --tensor 8 --pipeline 8 --data 1 --global-batch 32 \
+    --method adapipe \
+    --plan-out "$fixtures/gpt3_175b_adapipe_plan.json"
+
+"$export_plan" --model llama2 --seq 4096 --nodes 8 \
+    --tensor 4 --pipeline 8 --data 2 --global-batch 64 \
+    --method adapipe \
+    --plan-out "$fixtures/llama2_70b_adapipe_plan.json"
+
+echo "updated fixtures in $fixtures:"
+git -C "$repo" status --short tests/fixtures || true

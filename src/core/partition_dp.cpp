@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/cost_model.h"
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -35,7 +36,14 @@ solveAdaptivePartition(StageCostCalculator &calc, int num_layers, int p,
     ADAPIPE_ASSERT(p >= 1 && num_layers >= p,
                    "need at least one layer per stage (L=", num_layers,
                    ", p=", p, ")");
+    ADAPIPE_OBS_SPAN(obs_span, "partition_dp.solve");
+    ADAPIPE_OBS_COUNT("partition_dp.runs", 1);
     const int L = num_layers;
+    // Exploration counters accumulate locally and flush once so the
+    // DP inner loop never touches the registry.
+    std::int64_t states_visited = 0;
+    std::int64_t transitions = 0;
+    std::int64_t infeasible = 0;
 
     // dp[s][i]: best plan for layers i..L-1 on stages s..p-1. Stage s
     // can only start at i in [s, L - (p - s)] (one layer minimum per
@@ -45,9 +53,12 @@ solveAdaptivePartition(StageCostCalculator &calc, int num_layers, int p,
 
     // Base case: the last stage takes everything from i to L-1.
     for (int i = p - 1; i <= L - 1; ++i) {
+        ++states_visited;
         const StageCost &c = calc.cost(p - 1, i, L - 1);
-        if (!c.feasible)
+        if (!c.feasible) {
+            ++infeasible;
             continue;
+        }
         State st;
         st.f = c.fwd;
         st.b = c.bwd;
@@ -63,14 +74,18 @@ solveAdaptivePartition(StageCostCalculator &calc, int num_layers, int p,
     for (int s = p - 2; s >= 0; --s) {
         const int max_i = L - (p - s);
         for (int i = s; i <= max_i; ++i) {
+            ++states_visited;
             State best;
             for (int j = i; j <= max_i; ++j) {
                 const State &next = dp[s + 1][j + 1];
                 if (!next.valid())
                     continue;
+                ++transitions;
                 const StageCost &c = calc.cost(s, i, j);
-                if (!c.feasible)
+                if (!c.feasible) {
+                    ++infeasible;
                     continue;
+                }
                 const double warm = static_cast<double>(p - s - 1);
                 State cand;
                 cand.f = c.fwd;
@@ -91,10 +106,16 @@ solveAdaptivePartition(StageCostCalculator &calc, int num_layers, int p,
         }
     }
 
+    ADAPIPE_OBS_COUNT("partition_dp.states_visited", states_visited);
+    ADAPIPE_OBS_COUNT("partition_dp.transitions", transitions);
+    ADAPIPE_OBS_COUNT("partition_dp.infeasible_cells", infeasible);
+
     PartitionDpResult result;
     const State &root = dp[0][0];
-    if (!root.valid())
+    if (!root.valid()) {
+        ADAPIPE_OBS_COUNT("partition_dp.infeasible_runs", 1);
         return result;
+    }
 
     result.feasible = true;
     result.timing.warmup = root.w;

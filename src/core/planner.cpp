@@ -4,6 +4,7 @@
 
 #include "core/cost_model.h"
 #include "core/partition_dp.h"
+#include "obs/macros.h"
 #include "util/logging.h"
 #include "util/units.h"
 
@@ -76,6 +77,8 @@ PlanResult
 makePlan(const ProfiledModel &pm, PlanMethod method,
          StageCostOptions opts)
 {
+    ADAPIPE_OBS_SPAN(obs_span, "planner.make_plan");
+    ADAPIPE_OBS_COUNT("planner.plans", 1);
     const int p = pm.par.pipeline;
     const int L = pm.numLayers();
     ADAPIPE_ASSERT(p >= 1 && p <= L, "pipeline size ", p,
@@ -85,10 +88,28 @@ makePlan(const ProfiledModel &pm, PlanMethod method,
     StageCostCalculator calc(pm, p, n, opts);
     PlanResult result;
 
+#if ADAPIPE_OBS_ENABLED
+    // The calculator tracks hits/misses itself (its lookup path is
+    // too hot for per-call instrumentation); flush the totals on
+    // every exit from this function.
+    struct FlushStageCostStats
+    {
+        const StageCostCalculator &calc;
+        ~FlushStageCostStats()
+        {
+            ADAPIPE_OBS_COUNT("stage_cost.cache_hits",
+                              calc.cacheHits());
+            ADAPIPE_OBS_COUNT("stage_cost.evaluations",
+                              calc.evaluations());
+        }
+    } flush_stats{calc};
+#endif
+
     if (method == PlanMethod::AdaPipe) {
         const PartitionDpResult dp =
             solveAdaptivePartition(calc, L, p, n);
         if (!dp.feasible) {
+            ADAPIPE_OBS_COUNT("planner.infeasible", 1);
             result.oomReason = "no memory-feasible partition";
             return result;
         }
@@ -111,6 +132,7 @@ makePlan(const ProfiledModel &pm, PlanMethod method,
     const PartitionDpResult fixed =
         evaluateFixedPartition(calc, ranges, n, baseline);
     if (!fixed.feasible) {
+        ADAPIPE_OBS_COUNT("planner.infeasible", 1);
         result.oomReason = diagnoseOom(pm, calc, ranges, baseline);
         return result;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -47,6 +48,8 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
                        const RecomputeDpOptions &opts)
 {
     ADAPIPE_ASSERT(opts.maxBuckets > 0, "maxBuckets must be positive");
+    ADAPIPE_OBS_COUNT("recompute_dp.runs", 1);
+    ADAPIPE_OBS_COUNT("recompute_dp.units", units.size());
 
     RecomputePlanResult result;
     result.saved.assign(units.size(), false);
@@ -72,6 +75,7 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
     }
     if (total_cost <= budget) {
         // Everything fits; skip the DP entirely.
+        ADAPIPE_OBS_COUNT("recompute_dp.fastpath", 1);
         for (std::size_t i : opt_idx)
             result.saved[i] = true;
         finalize(units, result);
@@ -96,12 +100,14 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
     std::vector<std::vector<bool>> choice(
         opt_idx.size(), std::vector<bool>(cap + 1, false));
 
+    std::int64_t cells = 0; // flushed once; hot loop stays clean
     for (std::size_t k = 0; k < opt_idx.size(); ++k) {
         const UnitProfile &u = units[opt_idx[k]];
         const auto cost = static_cast<std::size_t>(
             (static_cast<std::int64_t>(u.memSaved) + gran - 1) / gran);
         if (cost > cap)
             continue;
+        cells += static_cast<std::int64_t>(cap - cost + 1);
         for (std::size_t m = cap; m >= cost; --m) {
             const Seconds candidate = dp[m - cost] + u.timeFwd;
             if (candidate > dp[m]) {
@@ -110,6 +116,7 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
             }
         }
     }
+    ADAPIPE_OBS_COUNT("recompute_dp.cells", cells);
 
     // Backtrack the decision path.
     std::size_t m = cap;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -66,6 +67,9 @@ StageCostCalculator::cost(int s, int i, int j)
     const Key key = cacheKey(s, i, j);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+        // Hot path: millions of lookups per sweep. Hits/misses are
+        // tracked in members and flushed to the obs registry once per
+        // plan (planner.cpp), never from here.
         ++cache_hits_;
         return it->second;
     }

@@ -139,6 +139,9 @@ class StageCostCalculator
     /** @return memoised lookups that hit the isomorphism cache. */
     std::size_t cacheHits() const { return cache_hits_; }
 
+    /** @return distinct stage costs computed (cache misses). */
+    std::size_t evaluations() const { return cache_.size(); }
+
     /** @return in-flight micro-batches of stage s, min(p - s, n). */
     int inflight(int s) const;
 

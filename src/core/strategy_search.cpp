@@ -4,6 +4,7 @@
 #include <limits>
 #include <thread>
 
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -26,23 +27,32 @@ enumerateStrategies(const ModelConfig &model, const TrainConfig &train,
     const int devices = cluster.totalDevices();
 
     std::vector<ParallelConfig> strategies;
+    std::int64_t considered = 0;
+    std::int64_t pruned = 0;
     for (int t = 1; t <= opts.maxTensor; t *= 2) {
         if (t > cluster.devicesPerNode)
             break;
         if (model.numHeads % t != 0 || model.numKvHeads % t != 0)
             continue;
         for (int p = opts.minPipeline; t * p <= devices; p *= 2) {
-            if (devices % (t * p) != 0)
+            ++considered;
+            if (devices % (t * p) != 0) {
+                ++pruned;
                 continue;
+            }
             if (p > model.numBlocks)
                 break;
             const int d = devices / (t * p);
-            if (train.globalBatch % (train.microBatch * d) != 0)
+            if (train.globalBatch % (train.microBatch * d) != 0) {
+                ++pruned;
                 continue;
+            }
             const int n =
                 train.globalBatch / (train.microBatch * d);
-            if (opts.requireFullPipeline && n < p)
+            if (opts.requireFullPipeline && n < p) {
+                ++pruned;
                 continue;
+            }
 
             ParallelConfig par;
             par.tensor = t;
@@ -51,6 +61,11 @@ enumerateStrategies(const ModelConfig &model, const TrainConfig &train,
             strategies.push_back(par);
         }
     }
+    ADAPIPE_OBS_COUNT("strategy_search.strategies_considered",
+                      considered);
+    ADAPIPE_OBS_COUNT("strategy_search.strategies_pruned", pruned);
+    ADAPIPE_OBS_COUNT("strategy_search.strategies_emitted",
+                      strategies.size());
     return strategies;
 }
 
@@ -59,6 +74,7 @@ sweepStrategies(const ModelConfig &model, const TrainConfig &train,
                 const ClusterSpec &cluster, PlanMethod method,
                 const StrategySearchOptions &opts)
 {
+    ADAPIPE_OBS_SPAN(obs_span, "strategy_search.sweep");
     const std::vector<ParallelConfig> strategies =
         enumerateStrategies(model, train, cluster, opts);
     std::vector<StrategyResult> results(strategies.size());
@@ -70,21 +86,46 @@ sweepStrategies(const ModelConfig &model, const TrainConfig &train,
         results[i].result = makePlan(pm, method, opts.stageCost);
     };
 
+    auto tally = [&]() {
+        ADAPIPE_OBS_COUNT("strategy_search.strategies_planned",
+                          results.size());
+        std::int64_t infeasible = 0;
+        for (const StrategyResult &r : results) {
+            if (!r.result.ok)
+                ++infeasible;
+        }
+        ADAPIPE_OBS_COUNT("strategy_search.plans_infeasible",
+                          infeasible);
+    };
+
     unsigned workers = opts.threads;
     if (workers == 0)
         workers = std::max(1u, std::thread::hardware_concurrency());
     if (workers <= 1 || strategies.size() <= 1) {
         for (std::size_t i = 0; i < strategies.size(); ++i)
             evaluate(i);
+        tally();
         return results;
     }
 
     // Static interleaved assignment: strategies are independent and
-    // results are pre-sized, so no synchronisation is needed.
+    // results are pre-sized, so no synchronisation is needed. Workers
+    // record metrics into private registries that merge into the
+    // caller's registry after join — the hot path stays lock-free and
+    // merged counters are identical for any worker count.
+#if ADAPIPE_OBS_ENABLED
+    obs::Registry *parent = obs::current();
+    std::vector<obs::Registry> worker_metrics(
+        parent ? workers : 0u);
+#endif
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
         pool.emplace_back([&, w]() {
+#if ADAPIPE_OBS_ENABLED
+            obs::ScopedRegistry scope(
+                parent ? &worker_metrics[w] : nullptr);
+#endif
             for (std::size_t i = w; i < strategies.size();
                  i += workers)
                 evaluate(i);
@@ -92,6 +133,13 @@ sweepStrategies(const ModelConfig &model, const TrainConfig &train,
     }
     for (auto &t : pool)
         t.join();
+#if ADAPIPE_OBS_ENABLED
+    if (parent) {
+        for (const obs::Registry &m : worker_metrics)
+            parent->merge(m);
+    }
+#endif
+    tally();
     return results;
 }
 
@@ -100,6 +148,10 @@ bestStrategy(const ModelConfig &model, const TrainConfig &train,
              const ClusterSpec &cluster, PlanMethod method,
              const StrategySearchOptions &opts)
 {
+    // Results keep enumeration (t-major) order independent of
+    // opts.threads, and the strict < keeps the earliest-enumerated
+    // strategy on ties — bestStrategy is deterministic for any
+    // worker count (tested by strategy_determinism_test).
     std::optional<StrategyResult> best;
     for (auto &r : sweepStrategies(model, train, cluster, method, opts)) {
         if (!r.result.ok)

@@ -1,0 +1,132 @@
+#include "obs/registry.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace adapipe {
+namespace obs {
+
+namespace detail {
+thread_local Registry *tl_registry = nullptr;
+} // namespace detail
+
+namespace {
+
+thread_local int tl_depth = 0;
+
+using Clock = std::chrono::steady_clock;
+
+/** Process-wide epoch so all threads share one timeline. */
+Clock::time_point
+epoch()
+{
+    static const Clock::time_point e = Clock::now();
+    return e;
+}
+
+} // namespace
+
+void
+Registry::add(const std::string &name, std::int64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+Registry::set(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+void
+Registry::record(SpanRecord span)
+{
+    spans_.push_back(std::move(span));
+}
+
+std::int64_t
+Registry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+Registry::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void
+Registry::merge(const Registry &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : other.gauges_)
+        gauges_[name] = value;
+    spans_.insert(spans_.end(), other.spans_.begin(),
+                  other.spans_.end());
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    spans_.clear();
+}
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     epoch())
+        .count();
+}
+
+std::uint32_t
+threadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+ScopedRegistry::ScopedRegistry(Registry *registry)
+    : prev_(detail::tl_registry)
+{
+    detail::tl_registry = registry;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    detail::tl_registry = prev_;
+}
+
+ScopedSpan::ScopedSpan(const char *name)
+    : registry_(detail::tl_registry), name_(name)
+{
+    if (!registry_)
+        return;
+    startUs_ = nowUs();
+    depth_ = tl_depth++;
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!registry_)
+        return;
+    --tl_depth;
+    SpanRecord span;
+    span.name = name_;
+    span.startUs = startUs_;
+    span.durUs = nowUs() - startUs_;
+    span.depth = depth_;
+    span.thread = threadId();
+    registry_->record(std::move(span));
+}
+
+} // namespace obs
+} // namespace adapipe

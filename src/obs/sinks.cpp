@@ -1,0 +1,122 @@
+#include "obs/sinks.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace adapipe {
+namespace obs {
+
+std::string
+toJsonLines(const Registry &registry)
+{
+    std::ostringstream oss;
+    writeJsonLines(registry, oss);
+    return oss.str();
+}
+
+void
+writeJsonLines(const Registry &registry, std::ostream &os)
+{
+    for (const auto &[name, value] : registry.counters()) {
+        JsonValue line = JsonValue::object();
+        line.set("type", JsonValue::string("counter"));
+        line.set("name", JsonValue::string(name));
+        line.set("value", JsonValue::integer(value));
+        os << line.dump(0) << "\n";
+    }
+    for (const auto &[name, value] : registry.gauges()) {
+        JsonValue line = JsonValue::object();
+        line.set("type", JsonValue::string("gauge"));
+        line.set("name", JsonValue::string(name));
+        line.set("value", JsonValue::number(value));
+        os << line.dump(0) << "\n";
+    }
+    for (const SpanRecord &span : registry.spans()) {
+        JsonValue line = JsonValue::object();
+        line.set("type", JsonValue::string("span"));
+        line.set("name", JsonValue::string(span.name));
+        line.set("start_us", JsonValue::number(span.startUs));
+        line.set("dur_us", JsonValue::number(span.durUs));
+        line.set("depth", JsonValue::integer(span.depth));
+        line.set("thread", JsonValue::integer(span.thread));
+        os << line.dump(0) << "\n";
+    }
+}
+
+void
+writeCsvSummary(const Registry &registry, std::ostream &os)
+{
+    CsvWriter csv(os, {"kind", "name", "count", "value"});
+    for (const auto &[name, value] : registry.counters())
+        csv.writeRow({"counter", name, "1", std::to_string(value)});
+    for (const auto &[name, value] : registry.gauges()) {
+        std::ostringstream v;
+        v << value;
+        csv.writeRow({"gauge", name, "1", v.str()});
+    }
+    // Spans aggregate per name: occurrences + total microseconds.
+    std::map<std::string, std::pair<std::size_t, double>> agg;
+    for (const SpanRecord &span : registry.spans()) {
+        auto &[count, total] = agg[span.name];
+        ++count;
+        total += span.durUs;
+    }
+    for (const auto &[name, stat] : agg) {
+        std::ostringstream v;
+        v << stat.second;
+        csv.writeRow(
+            {"span", name, std::to_string(stat.first), v.str()});
+    }
+}
+
+void
+appendSpanTraceEvents(const Registry &registry, JsonValue &events,
+                      int pid)
+{
+    std::set<std::uint32_t> threads;
+    for (const SpanRecord &span : registry.spans()) {
+        threads.insert(span.thread);
+        JsonValue ev = JsonValue::object();
+        ev.set("name", JsonValue::string(span.name));
+        ev.set("cat", JsonValue::string("search"));
+        ev.set("ph", JsonValue::string("X"));
+        ev.set("ts", JsonValue::number(span.startUs));
+        ev.set("dur", JsonValue::number(span.durUs));
+        ev.set("pid", JsonValue::integer(pid));
+        ev.set("tid", JsonValue::integer(span.thread));
+        JsonValue args = JsonValue::object();
+        args.set("depth", JsonValue::integer(span.depth));
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+    for (std::uint32_t tid : threads) {
+        JsonValue meta = JsonValue::object();
+        meta.set("name", JsonValue::string("thread_name"));
+        meta.set("ph", JsonValue::string("M"));
+        meta.set("pid", JsonValue::integer(pid));
+        meta.set("tid", JsonValue::integer(tid));
+        JsonValue args = JsonValue::object();
+        args.set("name", JsonValue::string("search thread " +
+                                           std::to_string(tid)));
+        meta.set("args", std::move(args));
+        events.push(std::move(meta));
+    }
+}
+
+std::string
+spansToChromeTrace(const Registry &registry)
+{
+    JsonValue events = JsonValue::array();
+    appendSpanTraceEvents(registry, events, 0);
+    JsonValue root = JsonValue::object();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", JsonValue::string("ms"));
+    return root.dump(0);
+}
+
+} // namespace obs
+} // namespace adapipe

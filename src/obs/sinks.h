@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Pluggable output sinks for the observability registry.
+ *
+ * Three formats, one source of truth:
+ *  - JSON-lines: one self-describing object per line ("counter",
+ *    "gauge" or "span"); the format benches and tests consume.
+ *  - CSV summary via util/csv: counters and gauges verbatim, spans
+ *    aggregated per name (count + total duration).
+ *  - Chrome trace: spans as complete ("X") events on the search
+ *    threads' timeline, loadable in chrome://tracing / Perfetto next
+ *    to the simulator traces from sim/trace_export.
+ */
+
+#ifndef ADAPIPE_OBS_SINKS_H
+#define ADAPIPE_OBS_SINKS_H
+
+#include <ostream>
+#include <string>
+
+#include "obs/registry.h"
+#include "util/json.h"
+
+namespace adapipe {
+namespace obs {
+
+/** Render the registry as JSON-lines (one object per line). */
+std::string toJsonLines(const Registry &registry);
+
+/** Write JSON-lines to @p os. */
+void writeJsonLines(const Registry &registry, std::ostream &os);
+
+/**
+ * Write a CSV summary to @p os. Columns: kind, name, count, value.
+ * Counters/gauges carry count 1 and their value; spans aggregate per
+ * name with count = occurrences and value = total microseconds.
+ */
+void writeCsvSummary(const Registry &registry, std::ostream &os);
+
+/**
+ * Append the registry's spans to a Chrome-trace events array
+ * (shared with sim/trace_export so planner spans and simulated
+ * timelines can land in one trace).
+ *
+ * @param registry source of spans
+ * @param events JSON array of trace events to append to
+ * @param pid trace process id to file the spans under
+ */
+void appendSpanTraceEvents(const Registry &registry, JsonValue &events,
+                           int pid);
+
+/** Render the registry's spans as a standalone Chrome trace. */
+std::string spansToChromeTrace(const Registry &registry);
+
+} // namespace obs
+} // namespace adapipe
+
+#endif // ADAPIPE_OBS_SINKS_H

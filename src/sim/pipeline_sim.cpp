@@ -5,6 +5,7 @@
 #include <map>
 #include <tuple>
 
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -184,13 +185,20 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
     ADAPIPE_ASSERT(static_cast<int>(stage_times.size()) >=
                        sched.chainLength,
                    "need stage times for every chain position");
+    ADAPIPE_OBS_SPAN(obs_span, "sim.simulate");
+    ADAPIPE_OBS_COUNT("sim.runs", 1);
+    ADAPIPE_OBS_COUNT("sim.events", sched.ops.size());
 
     OpIndex index(sched);
     // Dependencies are precomputed once: the scheduling loops below
     // probe them O(ops^2) times.
     std::vector<std::vector<std::size_t>> deps(sched.ops.size());
-    for (std::size_t i = 0; i < sched.ops.size(); ++i)
+    std::int64_t edges = 0;
+    for (std::size_t i = 0; i < sched.ops.size(); ++i) {
         deps[i] = index.deps(i);
+        edges += static_cast<std::int64_t>(deps[i].size());
+    }
+    ADAPIPE_OBS_COUNT("sim.dependency_edges", edges);
 
     SimResult result;
     result.scheduleName = sched.name;

@@ -1,12 +1,30 @@
 #include "sim/trace_export.h"
 
+#include "obs/sinks.h"
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace adapipe {
 
-std::string
-toChromeTrace(const Schedule &sched, const SimResult &result)
+namespace {
+
+JsonValue
+traceRoot(const Schedule &sched, JsonValue events)
+{
+    JsonValue root = JsonValue::object();
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", JsonValue::string("ms"));
+    root.set("otherData",
+             [&] {
+                 JsonValue o = JsonValue::object();
+                 o.set("schedule", JsonValue::string(sched.name));
+                 return o;
+             }());
+    return root;
+}
+
+JsonValue
+scheduleEvents(const Schedule &sched, const SimResult &result)
 {
     ADAPIPE_ASSERT(result.records.size() == sched.ops.size(),
                    "result does not match schedule");
@@ -56,16 +74,26 @@ toChromeTrace(const Schedule &sched, const SimResult &result)
         meta.set("args", std::move(args));
         events.push(std::move(meta));
     }
+    return events;
+}
 
-    JsonValue root = JsonValue::object();
-    root.set("traceEvents", std::move(events));
-    root.set("displayTimeUnit", JsonValue::string("ms"));
-    root.set("otherData",
-             [&] {
-                 JsonValue o = JsonValue::object();
-                 o.set("schedule", JsonValue::string(sched.name));
-                 return o;
-             }());
+} // namespace
+
+std::string
+toChromeTrace(const Schedule &sched, const SimResult &result)
+{
+    return traceRoot(sched, scheduleEvents(sched, result)).dump(0);
+}
+
+std::string
+toChromeTrace(const Schedule &sched, const SimResult &result,
+              const obs::Registry &metrics)
+{
+    JsonValue events = scheduleEvents(sched, result);
+    // Search spans go under pid 1 so the viewer groups them apart
+    // from the simulated devices (pid 0).
+    obs::appendSpanTraceEvents(metrics, events, 1);
+    JsonValue root = traceRoot(sched, std::move(events));
     return root.dump(0);
 }
 

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "obs/registry.h"
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
 
@@ -27,6 +28,20 @@ namespace adapipe {
  */
 std::string toChromeTrace(const Schedule &sched,
                           const SimResult &result);
+
+/**
+ * As above, but additionally files the observability registry's
+ * search spans under a second trace process ("planner"), so the
+ * simulated device timeline and where the search spent its time can
+ * be inspected in one chrome://tracing / Perfetto view.
+ *
+ * @param sched the executed schedule
+ * @param result its simulation result
+ * @param metrics search spans to include (may be empty)
+ */
+std::string toChromeTrace(const Schedule &sched,
+                          const SimResult &result,
+                          const obs::Registry &metrics);
 
 } // namespace adapipe
 

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Golden-plan regression tests: re-plan the two paper workloads
+ * (GPT-3 175B and Llama 2 70B on cluster A) and compare against the
+ * committed fixtures in tests/fixtures/. Any planner, cost-model or
+ * serialization change that alters the emitted plans fails here and
+ * forces an explicit, reviewable fixture update
+ * (scripts/update_golden_plans.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/plan_io.h"
+#include "core/planner.h"
+#include "core/profiled_model.h"
+#include "hw/cluster.h"
+#include "model/model_config.h"
+
+namespace adapipe {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path
+                           << " (run scripts/update_golden_plans.sh)";
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(ADAPIPE_FIXTURE_DIR) + "/" + name;
+}
+
+struct GoldenCase
+{
+    const char *fixture;
+    ModelConfig model;
+    int seq;
+    int globalBatch;
+    int tensor;
+    int pipeline;
+    int data;
+};
+
+void
+checkGolden(const GoldenCase &c)
+{
+    TrainConfig train;
+    train.seqLen = c.seq;
+    train.globalBatch = c.globalBatch;
+    ParallelConfig par;
+    par.tensor = c.tensor;
+    par.pipeline = c.pipeline;
+    par.data = c.data;
+
+    const ProfiledModel pm =
+        buildProfiledModel(c.model, train, par, clusterA(8));
+    const PlanResult result = makePlan(pm, PlanMethod::AdaPipe);
+    ASSERT_TRUE(result.ok) << result.oomReason;
+
+    const std::string text = readFile(fixturePath(c.fixture));
+    ASSERT_FALSE(text.empty());
+
+    // Parse-then-dump both sides: the comparison is over JSON
+    // content, insensitive to whitespace or key formatting drift.
+    const PipelinePlan golden = planFromJsonString(text);
+    EXPECT_EQ(planToJsonString(result.plan, 0),
+              planToJsonString(golden, 0))
+        << c.fixture
+        << ": plan changed; if intentional, run "
+           "scripts/update_golden_plans.sh and commit the diff";
+
+    // Spot checks that survive even a fixture refresh: the golden
+    // workloads must stay feasible with the paper's shape.
+    EXPECT_EQ(static_cast<int>(result.plan.stages.size()),
+              c.pipeline);
+    EXPECT_GT(result.plan.timing.total, 0.0);
+}
+
+TEST(GoldenPlan, Gpt3_175B_ClusterA)
+{
+    GoldenCase c;
+    c.fixture = "gpt3_175b_adapipe_plan.json";
+    c.model = gpt3_175b();
+    c.seq = 16384;
+    c.globalBatch = 32;
+    c.tensor = 8;
+    c.pipeline = 8;
+    c.data = 1;
+    checkGolden(c);
+}
+
+TEST(GoldenPlan, Llama2_70B_ClusterA)
+{
+    GoldenCase c;
+    c.fixture = "llama2_70b_adapipe_plan.json";
+    c.model = llama2_70b();
+    c.seq = 4096;
+    c.globalBatch = 64;
+    c.tensor = 4;
+    c.pipeline = 8;
+    c.data = 2;
+    checkGolden(c);
+}
+
+TEST(GoldenPlan, FixturesRoundTripThroughPlanIo)
+{
+    // The committed fixtures themselves must survive a parse/dump
+    // round trip (guards the reader against schema drift).
+    for (const char *name : {"gpt3_175b_adapipe_plan.json",
+                             "llama2_70b_adapipe_plan.json"}) {
+        const std::string text = readFile(fixturePath(name));
+        const PipelinePlan plan = planFromJsonString(text);
+        const PipelinePlan again =
+            planFromJsonString(planToJsonString(plan));
+        EXPECT_EQ(planToJsonString(plan, 0),
+                  planToJsonString(again, 0))
+            << name;
+    }
+}
+
+} // namespace
+} // namespace adapipe

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Optimality oracle for the Sec. 4.3 recomputation knapsack:
+ * exhaustively enumerate every save-subset of small unit sets (all
+ * 2^U of them, independently of the library's bruteForceRecompute)
+ * and verify the DP matches the best feasible one exactly — value,
+ * budget feasibility and tie-breaking invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/recompute_dp.h"
+#include "util/rng.h"
+
+namespace adapipe {
+namespace {
+
+UnitProfile
+unit(Seconds time_f, Bytes mem, bool always_saved = false)
+{
+    UnitProfile u;
+    u.timeFwd = time_f;
+    u.timeBwd = 2 * time_f;
+    u.memSaved = mem;
+    u.alwaysSaved = always_saved;
+    return u;
+}
+
+/** The exhaustive optimum over all 2^U save-subsets. */
+struct OracleResult
+{
+    Seconds bestValue = -1;
+    Bytes bestBytes = 0;
+    bool feasibleExists = false;
+};
+
+OracleResult
+enumerateSaveSubsets(const std::vector<UnitProfile> &units,
+                     std::int64_t budget)
+{
+    const std::size_t n = units.size();
+    EXPECT_LE(n, 20u) << "oracle is exponential, keep instances small";
+    OracleResult oracle;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        Seconds value = 0;
+        std::int64_t bytes = 0;
+        bool valid = true;
+        for (std::size_t i = 0; i < n; ++i) {
+            const bool take = (mask >> i) & 1u;
+            if (units[i].alwaysSaved) {
+                // Always-saved units sit outside the knapsack: every
+                // candidate subset must include them at zero cost.
+                if (!take)
+                    valid = false;
+                continue;
+            }
+            if (take) {
+                value += units[i].timeFwd;
+                bytes += static_cast<std::int64_t>(units[i].memSaved);
+            }
+        }
+        if (!valid || bytes > std::max<std::int64_t>(budget, 0))
+            continue;
+        oracle.feasibleExists = true;
+        if (value > oracle.bestValue) {
+            oracle.bestValue = value;
+            oracle.bestBytes = static_cast<Bytes>(bytes);
+        }
+    }
+    return oracle;
+}
+
+/** Re-derive the DP result's value/bytes from its saved[] vector. */
+void
+checkSelfConsistent(const std::vector<UnitProfile> &units,
+                    const RecomputePlanResult &r)
+{
+    ASSERT_EQ(r.saved.size(), units.size());
+    Seconds value = 0;
+    Bytes bytes = 0;
+    int count = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (units[i].alwaysSaved) {
+            EXPECT_TRUE(r.saved[i]) << "unit " << i;
+        }
+        if (!r.saved[i])
+            continue;
+        ++count;
+        if (units[i].alwaysSaved)
+            continue;
+        value += units[i].timeFwd;
+        bytes += units[i].memSaved;
+    }
+    EXPECT_NEAR(r.savedFwdTime, value, 1e-12);
+    EXPECT_EQ(r.savedBytes, bytes);
+    EXPECT_EQ(r.savedUnits, count);
+}
+
+/**
+ * Parameter: RNG seed. Each seed builds a random instance with
+ * power-of-two unit sizes (so GCD quantisation is lossless and the
+ * DP must be *exactly* optimal), a random mix of always-saved units
+ * and a random budget including the 0 and everything-fits edges.
+ */
+class RecomputeOracle : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RecomputeOracle, DpMatchesExhaustiveSubsetEnumeration)
+{
+    Rng rng(GetParam());
+    const int n = 3 + GetParam() % 10;
+    std::vector<UnitProfile> units;
+    std::int64_t total = 0;
+    for (int i = 0; i < n; ++i) {
+        const bool always = rng.uniform() < 0.2;
+        const Bytes mem = static_cast<Bytes>(256)
+                          << rng.uniformInt(0, 6);
+        units.push_back(unit(rng.uniform(0.05, 4.0), mem, always));
+        if (!always)
+            total += static_cast<std::int64_t>(mem);
+    }
+
+    // Budgets: empty, partial (random fractions), exactly-full and
+    // overflowing.
+    std::vector<std::int64_t> budgets{0, total, total + 123};
+    for (int b = 0; b < 4; ++b)
+        budgets.push_back(256 * rng.uniformInt(0, static_cast<int>(
+                                                      total / 256)));
+
+    for (const std::int64_t budget : budgets) {
+        const OracleResult oracle =
+            enumerateSaveSubsets(units, budget);
+        const RecomputePlanResult dp =
+            solveRecomputeKnapsack(units, budget);
+
+        checkSelfConsistent(units, dp);
+        ASSERT_TRUE(oracle.feasibleExists)
+            << "all-recompute is always feasible";
+        EXPECT_NEAR(dp.savedFwdTime, oracle.bestValue, 1e-9)
+            << "seed " << GetParam() << " budget " << budget;
+        EXPECT_LE(dp.savedBytes,
+                  static_cast<Bytes>(std::max<std::int64_t>(budget, 0)))
+            << "seed " << GetParam() << " budget " << budget;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecomputeOracle,
+                         ::testing::Range(1, 41));
+
+TEST(RecomputeOracle, DegenerateInstances)
+{
+    // No units at all.
+    const auto empty = solveRecomputeKnapsack({}, 1024);
+    EXPECT_TRUE(empty.saved.empty());
+    EXPECT_EQ(empty.savedUnits, 0);
+    EXPECT_DOUBLE_EQ(empty.savedFwdTime, 0.0);
+
+    // Only always-saved units: nothing to optimise, zero budget use.
+    std::vector<UnitProfile> fixed{unit(1.0, 4096, true),
+                                   unit(2.0, 8192, true)};
+    const auto r = solveRecomputeKnapsack(fixed, 0);
+    EXPECT_TRUE(r.saved[0]);
+    EXPECT_TRUE(r.saved[1]);
+    EXPECT_EQ(r.savedUnits, 2);
+    EXPECT_EQ(r.savedBytes, 0u);
+
+    // A unit bigger than any budget can never be saved.
+    std::vector<UnitProfile> big{unit(10.0, 1 << 30)};
+    const auto never = solveRecomputeKnapsack(big, 1 << 20);
+    EXPECT_FALSE(never.saved[0]);
+}
+
+TEST(RecomputeOracle, ZeroCostUnitsSitOutsideTheKnapsack)
+{
+    // Contract: a unit with memSaved == 0 participates in neither
+    // the knapsack nor the save set (optionalUnits filters it), at
+    // any budget — the DP and the library brute force must agree.
+    std::vector<UnitProfile> units{unit(1.0, 0), unit(2.0, 1024)};
+    for (const std::int64_t budget : {std::int64_t{0},
+                                      std::int64_t{1 << 20}}) {
+        const auto dp = solveRecomputeKnapsack(units, budget);
+        const auto bf = bruteForceRecompute(units, budget);
+        EXPECT_FALSE(dp.saved[0]) << "budget " << budget;
+        EXPECT_FALSE(bf.saved[0]) << "budget " << budget;
+        EXPECT_EQ(dp.saved[1], bf.saved[1]) << "budget " << budget;
+        EXPECT_NEAR(dp.savedFwdTime, bf.savedFwdTime, 1e-12);
+    }
+}
+
+TEST(RecomputeOracle, MatchesLibraryBruteForce)
+{
+    // Cross-check the two oracles against each other on a mixed
+    // instance (library bruteForceRecompute vs this test's own
+    // subset enumeration).
+    Rng rng(99);
+    std::vector<UnitProfile> units;
+    for (int i = 0; i < 10; ++i)
+        units.push_back(unit(rng.uniform(0.1, 3.0),
+                             512 * rng.uniformInt(1, 32),
+                             rng.uniform() < 0.1));
+    const std::int64_t budget = 512 * 50;
+    const OracleResult mine = enumerateSaveSubsets(units, budget);
+    const RecomputePlanResult lib = bruteForceRecompute(units, budget);
+    EXPECT_NEAR(lib.savedFwdTime, mine.bestValue, 1e-12);
+}
+
+} // namespace
+} // namespace adapipe
