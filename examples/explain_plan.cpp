@@ -8,9 +8,8 @@
  * Usage: explain_plan <plan.json>
  */
 
-#include <fstream>
+#include <cmath>
 #include <iostream>
-#include <sstream>
 
 #include "core/cost_model.h"
 #include "core/plan_io.h"
@@ -26,14 +25,12 @@ main(int argc, char **argv)
         std::cerr << "usage: explain_plan <plan.json>\n";
         return 1;
     }
-    std::ifstream in(argv[1]);
-    if (!in.good()) {
-        std::cerr << "cannot read " << argv[1] << "\n";
+    const ParseResult<PipelinePlan> loaded = loadPlanFile(argv[1]);
+    if (!loaded.ok()) {
+        std::cerr << "explain_plan: error: " << loaded.error() << "\n";
         return 1;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const PipelinePlan plan = planFromJsonString(buffer.str());
+    const PipelinePlan &plan = loaded.value();
 
     std::cout << "Plan: " << planMethodName(plan.method)
               << ", strategy " << plan.par.toString() << ", seq "

@@ -10,18 +10,18 @@
  *       --method adapipe --plan-out plan.json --trace-out trace.json
  */
 
-#include <fstream>
 #include <iostream>
 
 #include "core/plan_io.h"
 #include "core/planner.h"
 #include "hw/cluster.h"
+#include "hw/profile_io.h"
 #include "model/model_config.h"
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
 #include "sim/trace_export.h"
 #include "util/cli.h"
-#include "util/logging.h"
+#include "util/file_io.h"
 #include "util/units.h"
 
 using namespace adapipe;
@@ -39,6 +39,8 @@ main(int argc, char **argv)
     cli.addInt("global-batch", 32, "global batch size");
     cli.addString("method", "adapipe",
                   "adapipe|even|dapple-full|dapple-non");
+    cli.addString("profile", "",
+                  "measured unit-profile table JSON (hw/profile_io)");
     cli.addString("plan-out", "plan.json", "plan JSON output path");
     cli.addString("trace-out", "", "chrome trace output path");
     cli.addFlag("quiet", "suppress the summary");
@@ -46,27 +48,35 @@ main(int argc, char **argv)
 
     ModelConfig model;
     const std::string which = cli.getString("model");
-    if (which == "gpt3")
+    if (which == "gpt3") {
         model = gpt3_175b();
-    else if (which == "llama2")
+    } else if (which == "llama2") {
         model = llama2_70b();
-    else if (which == "gpt3-13b")
+    } else if (which == "gpt3-13b") {
         model = gpt3_13b();
-    else
-        ADAPIPE_FATAL("unknown model '", which, "'");
+    } else {
+        std::cerr << "export_plan: error: unknown model '" << which
+                  << "' (expected gpt3|llama2|gpt3-13b)\n";
+        return 1;
+    }
 
     PlanMethod method;
     const std::string method_name = cli.getString("method");
-    if (method_name == "adapipe")
+    if (method_name == "adapipe") {
         method = PlanMethod::AdaPipe;
-    else if (method_name == "even")
+    } else if (method_name == "even") {
         method = PlanMethod::EvenPartition;
-    else if (method_name == "dapple-full")
+    } else if (method_name == "dapple-full") {
         method = PlanMethod::DappleFull;
-    else if (method_name == "dapple-non")
+    } else if (method_name == "dapple-non") {
         method = PlanMethod::DappleNon;
-    else
-        ADAPIPE_FATAL("unknown method '", method_name, "'");
+    } else {
+        std::cerr << "export_plan: error: unknown method '"
+                  << method_name
+                  << "' (expected adapipe|even|dapple-full|"
+                     "dapple-non)\n";
+        return 1;
+    }
 
     TrainConfig train;
     train.seqLen = static_cast<int>(cli.getInt("seq"));
@@ -78,8 +88,26 @@ main(int argc, char **argv)
     const ClusterSpec cluster =
         clusterA(static_cast<int>(cli.getInt("nodes")));
 
-    const ProfiledModel pm =
-        buildProfiledModel(model, train, par, cluster);
+    ProfiledModel pm = buildProfiledModel(model, train, par, cluster);
+
+    const std::string profile_path = cli.getString("profile");
+    if (!profile_path.empty()) {
+        const ParseResult<ProfileTable> table =
+            loadProfileTableFile(profile_path);
+        if (!table.ok()) {
+            std::cerr << "export_plan: error: " << table.error()
+                      << "\n";
+            return 1;
+        }
+        const ParseStatus applied =
+            tryApplyProfileTable(pm, table.value());
+        if (!applied.ok()) {
+            std::cerr << "export_plan: error: " << profile_path
+                      << ": " << applied.error() << "\n";
+            return 1;
+        }
+    }
+
     const PlanResult result = makePlan(pm, method);
     if (!result.ok) {
         std::cerr << "plan infeasible: " << result.oomReason << "\n";
@@ -88,9 +116,13 @@ main(int argc, char **argv)
 
     const std::string plan_path = cli.getString("plan-out");
     {
-        std::ofstream out(plan_path);
-        ADAPIPE_ASSERT(out.good(), "cannot write ", plan_path);
-        out << planToJsonString(result.plan) << "\n";
+        const ParseStatus wrote = writeTextFile(
+            plan_path, planToJsonString(result.plan) + "\n");
+        if (!wrote.ok()) {
+            std::cerr << "export_plan: error: " << wrote.error()
+                      << "\n";
+            return 1;
+        }
     }
 
     const std::string trace_path = cli.getString("trace-out");
@@ -101,9 +133,13 @@ main(int argc, char **argv)
         const Schedule sched =
             build1F1B(par.pipeline, result.plan.microBatches);
         const SimResult sim = simulate(sched, times, {});
-        std::ofstream out(trace_path);
-        ADAPIPE_ASSERT(out.good(), "cannot write ", trace_path);
-        out << toChromeTrace(sched, sim) << "\n";
+        const ParseStatus wrote =
+            writeTextFile(trace_path, toChromeTrace(sched, sim) + "\n");
+        if (!wrote.ok()) {
+            std::cerr << "export_plan: error: " << wrote.error()
+                      << "\n";
+            return 1;
+        }
     }
 
     if (!cli.getFlag("quiet")) {

@@ -13,19 +13,20 @@
  * the search explored (see docs/observability.md).
  */
 
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/planner.h"
 #include "core/profiled_model.h"
 #include "core/strategy_search.h"
 #include "hw/cluster.h"
+#include "hw/profile_io.h"
 #include "model/model_config.h"
 #include "obs/registry.h"
 #include "obs/sinks.h"
 #include "sim/baseline_eval.h"
 #include "util/cli.h"
-#include "util/logging.h"
+#include "util/file_io.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -33,12 +34,16 @@ using namespace adapipe;
 
 namespace {
 
-void
+/** Write @p content to @p path or exit with a clean diagnostic. */
+int
 writeSink(const std::string &path, const std::string &content)
 {
-    std::ofstream out(path);
-    ADAPIPE_ASSERT(out.good(), "cannot write ", path);
-    out << content;
+    const ParseStatus wrote = writeTextFile(path, content);
+    if (!wrote.ok()) {
+        std::cerr << "quickstart: error: " << wrote.error() << "\n";
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -51,6 +56,8 @@ main(int argc, char **argv)
     cli.addInt("global-batch", 32, "global batch size");
     cli.addInt("nodes", 8, "cluster A nodes (8 GPUs each)");
     cli.addInt("threads", 1, "strategy sweep workers (0 = all cores)");
+    cli.addString("profile", "",
+                  "measured unit-profile table JSON (hw/profile_io)");
     cli.addString("metrics-out", "",
                   "write search metrics as JSON-lines");
     cli.addString("metrics-csv", "", "write search metrics CSV summary");
@@ -87,8 +94,31 @@ main(int argc, char **argv)
               << train.seqLen << ", strategy " << par.toString()
               << ") on " << cluster.name << "\n\n";
 
-    const ProfiledModel pm =
-        buildProfiledModel(model, train, par, cluster);
+    ProfiledModel pm = buildProfiledModel(model, train, par, cluster);
+
+    // Substitute user-measured unit costs; a missing or malformed
+    // table is a clean error naming the offending path/field, not an
+    // abort.
+    const std::string profile_path = cli.getString("profile");
+    if (!profile_path.empty()) {
+        const ParseResult<ProfileTable> table =
+            loadProfileTableFile(profile_path);
+        if (!table.ok()) {
+            std::cerr << "quickstart: error: " << table.error()
+                      << "\n";
+            return 1;
+        }
+        const ParseStatus applied =
+            tryApplyProfileTable(pm, table.value());
+        if (!applied.ok()) {
+            std::cerr << "quickstart: error: " << profile_path << ": "
+                      << applied.error() << "\n";
+            return 1;
+        }
+        std::cout << "using measured profile '"
+                  << table.value().source << "' from " << profile_path
+                  << "\n";
+    }
 
     Table table({"Method", "Iteration", "Warmup", "Steady/mb",
                  "Stage0 mem", "Note"});
@@ -156,19 +186,23 @@ main(int argc, char **argv)
 
     const std::string metrics_out = cli.getString("metrics-out");
     if (!metrics_out.empty()) {
-        writeSink(metrics_out, obs::toJsonLines(metrics));
+        if (writeSink(metrics_out, obs::toJsonLines(metrics)) != 0)
+            return 1;
         std::cout << "metrics -> " << metrics_out << "\n";
     }
     const std::string metrics_csv = cli.getString("metrics-csv");
     if (!metrics_csv.empty()) {
-        std::ofstream out(metrics_csv);
-        ADAPIPE_ASSERT(out.good(), "cannot write ", metrics_csv);
-        obs::writeCsvSummary(metrics, out);
+        std::ostringstream csv;
+        obs::writeCsvSummary(metrics, csv);
+        if (writeSink(metrics_csv, csv.str()) != 0)
+            return 1;
         std::cout << "metrics summary -> " << metrics_csv << "\n";
     }
     const std::string metrics_trace = cli.getString("metrics-trace");
     if (!metrics_trace.empty()) {
-        writeSink(metrics_trace, obs::spansToChromeTrace(metrics));
+        if (writeSink(metrics_trace,
+                      obs::spansToChromeTrace(metrics)) != 0)
+            return 1;
         std::cout << "span trace -> " << metrics_trace << "\n";
     }
     return 0;

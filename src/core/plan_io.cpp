@@ -1,5 +1,7 @@
 #include "core/plan_io.h"
 
+#include "util/file_io.h"
+#include "util/json_reader.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -20,8 +22,9 @@ methodKey(PlanMethod method)
 }
 
 PlanMethod
-methodFromKey(const std::string &key)
+methodFromReader(const JsonReader &field)
 {
+    const std::string &key = field.asString();
     if (key == "adapipe")
         return PlanMethod::AdaPipe;
     if (key == "even_partition")
@@ -32,7 +35,71 @@ methodFromKey(const std::string &key)
         return PlanMethod::DappleNon;
     if (key == "dapple_selective")
         return PlanMethod::DappleSelective;
-    ADAPIPE_FATAL("unknown plan method '", key, "'");
+    field.fail("unknown plan method '" + key + "'");
+}
+
+int
+asIntField(const JsonReader &field)
+{
+    return static_cast<int>(field.asInteger());
+}
+
+PipelinePlan
+planFromReader(const JsonReader &root)
+{
+    PipelinePlan plan;
+    plan.method = methodFromReader(root.key("method"));
+
+    const JsonReader par = root.key("parallel");
+    plan.par.tensor = asIntField(par.key("tensor"));
+    plan.par.pipeline = asIntField(par.key("pipeline"));
+    plan.par.data = asIntField(par.key("data"));
+    plan.par.sequenceParallel = par.key("sequence_parallel").asBool();
+    plan.par.flashAttention = par.key("flash_attention").asBool();
+
+    const JsonReader train = root.key("train");
+    plan.train.microBatch = asIntField(train.key("micro_batch"));
+    plan.train.seqLen = asIntField(train.key("seq_len"));
+    plan.train.globalBatch = asIntField(train.key("global_batch"));
+
+    plan.microBatches = asIntField(root.key("micro_batches"));
+
+    const JsonReader timing = root.key("timing");
+    plan.timing.warmup = timing.key("warmup").asNumber();
+    plan.timing.ending = timing.key("ending").asNumber();
+    plan.timing.steadyPerMb = timing.key("steady_per_mb").asNumber();
+    plan.timing.total = timing.key("total").asNumber();
+
+    const JsonReader stages = root.key("stages");
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const JsonReader stage = stages.at(s);
+        StagePlan sp;
+        sp.firstLayer = asIntField(stage.key("first_layer"));
+        sp.lastLayer = asIntField(stage.key("last_layer"));
+        sp.timeFwd = stage.key("time_fwd").asNumber();
+        sp.timeBwd = stage.key("time_bwd").asNumber();
+        const std::int64_t mem = stage.key("mem_peak").asInteger();
+        if (mem < 0)
+            stage.key("mem_peak").fail("must be non-negative");
+        sp.memPeak = static_cast<Bytes>(mem);
+        sp.savedUnits = asIntField(stage.key("saved_units"));
+        sp.totalUnits = asIntField(stage.key("total_units"));
+        const JsonReader mask = stage.key("saved_mask");
+        for (std::size_t b = 0; b < mask.size(); ++b)
+            sp.savedMask.push_back(mask.at(b).asBool());
+        if (static_cast<int>(sp.savedMask.size()) != sp.totalUnits)
+            mask.fail("length " +
+                      std::to_string(sp.savedMask.size()) +
+                      " does not match total_units " +
+                      std::to_string(sp.totalUnits));
+        plan.stages.push_back(std::move(sp));
+    }
+    if (static_cast<int>(plan.stages.size()) != plan.par.pipeline)
+        stages.fail("stage count " +
+                    std::to_string(plan.stages.size()) +
+                    " does not match parallel.pipeline " +
+                    std::to_string(plan.par.pipeline));
+    return plan;
 }
 
 } // namespace
@@ -100,66 +167,48 @@ planToJsonString(const PipelinePlan &plan, int indent)
 PipelinePlan
 planFromJson(const JsonValue &json)
 {
-    PipelinePlan plan;
-    plan.method = methodFromKey(json.at("method").asString());
-
-    const JsonValue &par = json.at("parallel");
-    plan.par.tensor = static_cast<int>(par.at("tensor").asInteger());
-    plan.par.pipeline =
-        static_cast<int>(par.at("pipeline").asInteger());
-    plan.par.data = static_cast<int>(par.at("data").asInteger());
-    plan.par.sequenceParallel =
-        par.at("sequence_parallel").asBool();
-    plan.par.flashAttention = par.at("flash_attention").asBool();
-
-    const JsonValue &train = json.at("train");
-    plan.train.microBatch =
-        static_cast<int>(train.at("micro_batch").asInteger());
-    plan.train.seqLen =
-        static_cast<int>(train.at("seq_len").asInteger());
-    plan.train.globalBatch =
-        static_cast<int>(train.at("global_batch").asInteger());
-
-    plan.microBatches =
-        static_cast<int>(json.at("micro_batches").asInteger());
-
-    const JsonValue &timing = json.at("timing");
-    plan.timing.warmup = timing.at("warmup").asNumber();
-    plan.timing.ending = timing.at("ending").asNumber();
-    plan.timing.steadyPerMb = timing.at("steady_per_mb").asNumber();
-    plan.timing.total = timing.at("total").asNumber();
-
-    for (const JsonValue &stage : json.at("stages").elements()) {
-        StagePlan sp;
-        sp.firstLayer =
-            static_cast<int>(stage.at("first_layer").asInteger());
-        sp.lastLayer =
-            static_cast<int>(stage.at("last_layer").asInteger());
-        sp.timeFwd = stage.at("time_fwd").asNumber();
-        sp.timeBwd = stage.at("time_bwd").asNumber();
-        sp.memPeak =
-            static_cast<Bytes>(stage.at("mem_peak").asInteger());
-        sp.savedUnits =
-            static_cast<int>(stage.at("saved_units").asInteger());
-        sp.totalUnits =
-            static_cast<int>(stage.at("total_units").asInteger());
-        for (const JsonValue &bit : stage.at("saved_mask").elements())
-            sp.savedMask.push_back(bit.asBool());
-        ADAPIPE_ASSERT(static_cast<int>(sp.savedMask.size()) ==
-                           sp.totalUnits,
-                       "saved_mask length does not match total_units");
-        plan.stages.push_back(std::move(sp));
-    }
-    ADAPIPE_ASSERT(static_cast<int>(plan.stages.size()) ==
-                       plan.par.pipeline,
-                   "stage count does not match pipeline size");
-    return plan;
+    ParseResult<PipelinePlan> r = tryPlanFromJson(json);
+    if (!r.ok())
+        ADAPIPE_FATAL(r.error());
+    return std::move(r).value();
 }
 
 PipelinePlan
 planFromJsonString(const std::string &text)
 {
-    return planFromJson(JsonValue::parse(text));
+    ParseResult<PipelinePlan> r = tryPlanFromJsonString(text);
+    if (!r.ok())
+        ADAPIPE_FATAL(r.error());
+    return std::move(r).value();
+}
+
+ParseResult<PipelinePlan>
+tryPlanFromJson(const JsonValue &json)
+{
+    return readJson<PipelinePlan>(json, "plan", planFromReader);
+}
+
+ParseResult<PipelinePlan>
+tryPlanFromJsonString(const std::string &text)
+{
+    ParseResult<JsonValue> doc = JsonValue::tryParse(text);
+    if (!doc.ok())
+        return ParseResult<PipelinePlan>::failure(doc.error());
+    return tryPlanFromJson(doc.value());
+}
+
+ParseResult<PipelinePlan>
+loadPlanFile(const std::string &path)
+{
+    ParseResult<std::string> text = readTextFile(path);
+    if (!text.ok())
+        return ParseResult<PipelinePlan>::failure(text.error());
+    ParseResult<PipelinePlan> plan =
+        tryPlanFromJsonString(text.value());
+    if (!plan.ok())
+        return ParseResult<PipelinePlan>::failure(path + ": " +
+                                                  plan.error());
+    return plan;
 }
 
 } // namespace adapipe

@@ -13,6 +13,7 @@
 
 #include "core/plan.h"
 #include "util/json.h"
+#include "util/parse_result.h"
 
 namespace adapipe {
 
@@ -24,12 +25,28 @@ std::string planToJsonString(const PipelinePlan &plan, int indent = 2);
 
 /**
  * Parse a plan back from JSON produced by planToJson. ADAPIPE_FATAL
- * on schema violations.
+ * on schema violations; use tryPlanFromJson for untrusted input.
  */
 PipelinePlan planFromJson(const JsonValue &json);
 
-/** Parse a plan from a JSON string. */
+/** Parse a plan from a JSON string (fatal on violations). */
 PipelinePlan planFromJsonString(const std::string &text);
+
+/**
+ * Recoverable plan parse: schema violations are reported with the
+ * offending field's dotted path (e.g. "plan.stages[2].mem_peak")
+ * instead of terminating the process.
+ */
+ParseResult<PipelinePlan> tryPlanFromJson(const JsonValue &json);
+
+/** Recoverable parse from a JSON string (covers syntax errors too). */
+ParseResult<PipelinePlan> tryPlanFromJsonString(const std::string &text);
+
+/**
+ * Load a plan from a JSON file; missing files, malformed JSON and
+ * schema violations all come back as errors naming the path/field.
+ */
+ParseResult<PipelinePlan> loadPlanFile(const std::string &path);
 
 } // namespace adapipe
 

@@ -50,7 +50,7 @@ assemblePlan(const ProfiledModel &pm, PlanMethod method,
 
 /** Diagnose the first infeasible stage of a fixed partition. */
 std::string
-diagnoseOom(const ProfiledModel &pm, StageCostCalculator &calc,
+diagnoseOom(StageCostCalculator &calc,
             const std::vector<std::pair<int, int>> &ranges,
             std::optional<RecomputeBaseline> baseline)
 {
@@ -64,7 +64,7 @@ diagnoseOom(const ProfiledModel &pm, StageCostCalculator &calc,
             std::ostringstream oss;
             oss << "stage " << s << " (layers " << i << "-" << j
                 << ") needs " << formatBytes(c.memPeak)
-                << " of " << formatBytes(pm.memCapacity);
+                << " of " << formatBytes(calc.capacity());
             return oss.str();
         }
     }
@@ -133,7 +133,7 @@ makePlan(const ProfiledModel &pm, PlanMethod method,
         evaluateFixedPartition(calc, ranges, n, baseline);
     if (!fixed.feasible) {
         ADAPIPE_OBS_COUNT("planner.infeasible", 1);
-        result.oomReason = diagnoseOom(pm, calc, ranges, baseline);
+        result.oomReason = diagnoseOom(calc, ranges, baseline);
         return result;
     }
     result.ok = true;

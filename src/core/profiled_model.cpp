@@ -111,23 +111,45 @@ extractProfileTable(const ProfiledModel &pm)
 void
 applyProfileTable(ProfiledModel &pm, const ProfileTable &table)
 {
-    ADAPIPE_ASSERT(table.layers.size() == pm.layers.size(),
-                   "profile table has ", table.layers.size(),
-                   " layers, model has ", pm.layers.size());
+    ParseStatus status = tryApplyProfileTable(pm, table);
+    if (!status.ok())
+        ADAPIPE_FATAL(status.error());
+}
+
+ParseStatus
+tryApplyProfileTable(ProfiledModel &pm, const ProfileTable &table)
+{
+    // Validate the full structure before mutating anything so a
+    // mismatching table leaves the model intact.
+    if (table.layers.size() != pm.layers.size()) {
+        return ParseStatus::failure(
+            "profile table has " + std::to_string(table.layers.size()) +
+            " layers, model has " + std::to_string(pm.layers.size()));
+    }
+    for (std::size_t l = 0; l < pm.layers.size(); ++l) {
+        const auto &units = pm.layers[l].units;
+        const auto &replacement = table.layers[l];
+        if (replacement.size() != units.size()) {
+            return ParseStatus::failure(
+                "layer " + std::to_string(l) + ": profile table has " +
+                std::to_string(replacement.size()) +
+                " units, model has " + std::to_string(units.size()));
+        }
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            if (replacement[u].name != units[u].name) {
+                return ParseStatus::failure(
+                    "layer " + std::to_string(l) + " unit " +
+                    std::to_string(u) + ": name mismatch '" +
+                    replacement[u].name + "' vs '" + units[u].name +
+                    "'");
+            }
+        }
+    }
     for (std::size_t l = 0; l < pm.layers.size(); ++l) {
         auto &units = pm.layers[l].units;
         const auto &replacement = table.layers[l];
-        ADAPIPE_ASSERT(replacement.size() == units.size(),
-                       "layer ", l, ": profile table has ",
-                       replacement.size(), " units, model has ",
-                       units.size());
-        for (std::size_t u = 0; u < units.size(); ++u) {
-            ADAPIPE_ASSERT(replacement[u].name == units[u].name,
-                           "layer ", l, " unit ", u,
-                           ": name mismatch '", replacement[u].name,
-                           "' vs '", units[u].name, "'");
+        for (std::size_t u = 0; u < units.size(); ++u)
             units[u] = replacement[u];
-        }
         // Raw-layer memory stays authoritative for baselines; keep
         // the two views consistent.
         auto &raw = pm.rawLayers[l].units;
@@ -136,6 +158,7 @@ applyProfileTable(ProfiledModel &pm, const ProfileTable &table)
             raw[u].alwaysSaved = replacement[u].alwaysSaved;
         }
     }
+    return parseOk();
 }
 
 } // namespace adapipe

@@ -97,9 +97,18 @@ ProfileTable extractProfileTable(const ProfiledModel &pm);
  * "bring your own measurements" path standing in for the paper's
  * 5-10-iteration cluster profiling. Layer/unit structure and names
  * must match the model exactly; mismatches are fatal so stale
- * tables fail loudly.
+ * tables fail loudly. Use tryApplyProfileTable for user-supplied
+ * tables.
  */
 void applyProfileTable(ProfiledModel &pm, const ProfileTable &table);
+
+/**
+ * Recoverable variant of applyProfileTable: structure mismatches are
+ * reported as an error naming the offending layer/unit, and @p pm is
+ * left untouched on failure.
+ */
+ParseStatus tryApplyProfileTable(ProfiledModel &pm,
+                                 const ProfileTable &table);
 
 } // namespace adapipe
 

@@ -17,6 +17,27 @@ StageCostCalculator::StageCostCalculator(const ProfiledModel &pm, int p,
     ADAPIPE_ASSERT(opts_.memBudgetFraction > 0 &&
                        opts_.memBudgetFraction <= 1.0,
                    "memBudgetFraction out of (0, 1]");
+    for (double f : opts_.stageTimeFactor) {
+        ADAPIPE_ASSERT(f > 0, "stage time factor must be positive");
+        if (f != 1.0)
+            neutral_factors_ = false;
+    }
+}
+
+Bytes
+StageCostCalculator::capacity() const
+{
+    return opts_.memCapacityOverride > 0 ? opts_.memCapacityOverride
+                                         : pm_.memCapacity;
+}
+
+double
+StageCostCalculator::timeFactor(int s) const
+{
+    if (s < 0 ||
+        s >= static_cast<int>(opts_.stageTimeFactor.size()))
+        return 1.0;
+    return opts_.stageTimeFactor[s];
 }
 
 int
@@ -36,7 +57,9 @@ StageCostCalculator::cacheKey(int s, int i, int j) const
     const int first_kind =
         static_cast<int>(pm_.layers[std::min(i, pm_.numLayers() - 1)]
                              .kind);
-    if (opts_.useIsomorphism)
+    // Heterogeneous stage-time factors break the isomorphism: the
+    // same range costs differently on a straggling stage.
+    if (opts_.useIsomorphism && neutral_factors_)
         return {inflight(s), has_embed, has_head, j - i, first_kind};
     // Degenerate key: every (s, i, j) is distinct.
     return {s * (pm_.numLayers() + 1) + i, has_embed, has_head, j - i,
@@ -82,9 +105,9 @@ StageCostCalculator::compute(int s, int i, int j)
 {
     const int m = inflight(s);
     const MemoryBreakdown mem = breakdown(i, j);
-    const Bytes capacity = pm_.memCapacity;
+    const Bytes cap = capacity();
     const auto budget = static_cast<std::int64_t>(
-        opts_.memBudgetFraction * static_cast<double>(capacity));
+        opts_.memBudgetFraction * static_cast<double>(cap));
 
     // Gather the range's units and split fixed vs optional times.
     // With offloading enabled, an unsaved unit pays the cheaper of
@@ -134,7 +157,7 @@ StageCostCalculator::compute(int s, int i, int j)
         const Bytes minimal =
             mem.staticMem + mem.buffer +
             static_cast<Bytes>(m) * (mem.input + mem.alwaysSaved);
-        if (minimal > capacity) {
+        if (minimal > cap) {
             result.feasible = false;
             result.memPeak = minimal;
             return result;
@@ -162,6 +185,11 @@ StageCostCalculator::compute(int s, int i, int j)
     if (opts_.includeP2p && i > 0) {
         result.fwd += pm_.p2pTime;
         result.bwd += pm_.p2pTime;
+    }
+    const double factor = timeFactor(s);
+    if (factor != 1.0) {
+        result.fwd *= factor;
+        result.bwd *= factor;
     }
     return result;
 }
@@ -251,11 +279,16 @@ StageCostCalculator::baselineCost(int s, int i, int j,
     result.fwd = fwd_all;
     result.recompute.savedUnits = saved_units;
     result.recompute.savedBytes = saved_per_mb;
-    result.feasible = result.memPeak <= pm_.memCapacity;
+    result.feasible = result.memPeak <= capacity();
 
     if (opts_.includeP2p && i > 0) {
         result.fwd += pm_.p2pTime;
         result.bwd += pm_.p2pTime;
+    }
+    const double factor = timeFactor(s);
+    if (factor != 1.0) {
+        result.fwd *= factor;
+        result.bwd *= factor;
     }
     return result;
 }

@@ -92,6 +92,22 @@ struct StageCostOptions
     RecomputeDpOptions dp;
     /** Optional hybrid recompute-or-offload mode. */
     OffloadOptions offload;
+    /**
+     * Per-stage execution-time multiplier for degraded-mode planning
+     * (a straggling device runs its whole stage slower). Empty means
+     * every stage runs at factor 1; stages beyond the vector default
+     * to 1. The factor scales the final F_s and B_s (including P2P),
+     * so planned times relate to healthy times by exactly this
+     * factor. Any entry != 1 disables the isomorphism cache — costs
+     * are no longer position-independent.
+     */
+    std::vector<double> stageTimeFactor;
+    /**
+     * Device memory capacity override in bytes for degraded-mode
+     * planning (e.g. a reduced cap after fragmentation or partial HBM
+     * loss); 0 keeps the profiled capacity.
+     */
+    Bytes memCapacityOverride = 0;
 };
 
 /**
@@ -145,6 +161,12 @@ class StageCostCalculator
     /** @return in-flight micro-batches of stage s, min(p - s, n). */
     int inflight(int s) const;
 
+    /** @return effective device capacity (override or profiled). */
+    Bytes capacity() const;
+
+    /** @return the execution-time multiplier of stage s. */
+    double timeFactor(int s) const;
+
   private:
     StageCost compute(int s, int i, int j);
 
@@ -169,6 +191,8 @@ class StageCostCalculator
     std::map<Key, StageCost> cache_;
     std::size_t knapsack_runs_ = 0;
     std::size_t cache_hits_ = 0;
+    /** True while every stage-time factor is exactly 1. */
+    bool neutral_factors_ = true;
 };
 
 } // namespace adapipe

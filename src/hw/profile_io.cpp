@@ -1,5 +1,7 @@
 #include "hw/profile_io.h"
 
+#include "util/file_io.h"
+#include "util/json_reader.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -13,8 +15,9 @@ unitKindKey(UnitKind kind)
 }
 
 UnitKind
-unitKindFromKey(const std::string &key)
+unitKindFromReader(const JsonReader &field)
 {
+    const std::string &key = field.asString();
     for (UnitKind kind :
          {UnitKind::LayerNorm, UnitKind::Gemm,
           UnitKind::FlashAttention, UnitKind::AttnScores,
@@ -23,7 +26,40 @@ unitKindFromKey(const std::string &key)
         if (key == unitKindName(kind))
             return kind;
     }
-    ADAPIPE_FATAL("unknown unit kind '", key, "'");
+    field.fail("unknown unit kind '" + key + "'");
+}
+
+ProfileTable
+tableFromReader(const JsonReader &root)
+{
+    ProfileTable table;
+    table.source = root.key("source").asString();
+    const JsonReader layers = root.key("layers");
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        const JsonReader layer = layers.at(l);
+        std::vector<UnitProfile> units;
+        for (std::size_t i = 0; i < layer.size(); ++i) {
+            const JsonReader unit = layer.at(i);
+            UnitProfile u;
+            u.name = unit.key("name").asString();
+            u.kind = unitKindFromReader(unit.key("kind"));
+            u.timeFwd = unit.key("time_fwd").asNumber();
+            u.timeBwd = unit.key("time_bwd").asNumber();
+            const std::int64_t mem =
+                unit.key("mem_saved").asInteger();
+            if (mem < 0)
+                unit.key("mem_saved").fail("must be non-negative");
+            u.memSaved = static_cast<Bytes>(mem);
+            u.alwaysSaved = unit.key("always_saved").asBool();
+            if (u.timeFwd < 0)
+                unit.key("time_fwd").fail("must be non-negative");
+            if (u.timeBwd < 0)
+                unit.key("time_bwd").fail("must be non-negative");
+            units.push_back(std::move(u));
+        }
+        table.layers.push_back(std::move(units));
+    }
+    return table;
 }
 
 } // namespace
@@ -64,32 +100,48 @@ profileTableToJsonString(const ProfileTable &table, int indent)
 ProfileTable
 profileTableFromJson(const JsonValue &json)
 {
-    ProfileTable table;
-    table.source = json.at("source").asString();
-    for (const JsonValue &layer : json.at("layers").elements()) {
-        std::vector<UnitProfile> units;
-        for (const JsonValue &unit : layer.elements()) {
-            UnitProfile u;
-            u.name = unit.at("name").asString();
-            u.kind = unitKindFromKey(unit.at("kind").asString());
-            u.timeFwd = unit.at("time_fwd").asNumber();
-            u.timeBwd = unit.at("time_bwd").asNumber();
-            u.memSaved =
-                static_cast<Bytes>(unit.at("mem_saved").asInteger());
-            u.alwaysSaved = unit.at("always_saved").asBool();
-            ADAPIPE_ASSERT(u.timeFwd >= 0 && u.timeBwd >= 0,
-                           "negative time in profile for ", u.name);
-            units.push_back(std::move(u));
-        }
-        table.layers.push_back(std::move(units));
-    }
-    return table;
+    ParseResult<ProfileTable> r = tryProfileTableFromJson(json);
+    if (!r.ok())
+        ADAPIPE_FATAL(r.error());
+    return std::move(r).value();
 }
 
 ProfileTable
 profileTableFromJsonString(const std::string &text)
 {
-    return profileTableFromJson(JsonValue::parse(text));
+    ParseResult<ProfileTable> r = tryProfileTableFromJsonString(text);
+    if (!r.ok())
+        ADAPIPE_FATAL(r.error());
+    return std::move(r).value();
+}
+
+ParseResult<ProfileTable>
+tryProfileTableFromJson(const JsonValue &json)
+{
+    return readJson<ProfileTable>(json, "profile", tableFromReader);
+}
+
+ParseResult<ProfileTable>
+tryProfileTableFromJsonString(const std::string &text)
+{
+    ParseResult<JsonValue> doc = JsonValue::tryParse(text);
+    if (!doc.ok())
+        return ParseResult<ProfileTable>::failure(doc.error());
+    return tryProfileTableFromJson(doc.value());
+}
+
+ParseResult<ProfileTable>
+loadProfileTableFile(const std::string &path)
+{
+    ParseResult<std::string> text = readTextFile(path);
+    if (!text.ok())
+        return ParseResult<ProfileTable>::failure(text.error());
+    ParseResult<ProfileTable> table =
+        tryProfileTableFromJsonString(text.value());
+    if (!table.ok())
+        return ParseResult<ProfileTable>::failure(path + ": " +
+                                                  table.error());
+    return table;
 }
 
 } // namespace adapipe

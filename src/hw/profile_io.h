@@ -17,6 +17,7 @@
 
 #include "hw/profiler.h"
 #include "util/json.h"
+#include "util/parse_result.h"
 
 namespace adapipe {
 
@@ -36,11 +37,31 @@ JsonValue profileTableToJson(const ProfileTable &table);
 std::string profileTableToJsonString(const ProfileTable &table,
                                      int indent = 2);
 
-/** Parse a table back; ADAPIPE_FATAL on schema violations. */
+/**
+ * Parse a table back; ADAPIPE_FATAL on schema violations. Use
+ * tryProfileTableFromJson for untrusted (user-measured) tables.
+ */
 ProfileTable profileTableFromJson(const JsonValue &json);
 
-/** Parse from a JSON string. */
+/** Parse from a JSON string (fatal on violations). */
 ProfileTable profileTableFromJsonString(const std::string &text);
+
+/**
+ * Recoverable table parse: schema violations are reported with the
+ * offending field's path (e.g. "profile.layers[3][1].kind") instead
+ * of terminating the process.
+ */
+ParseResult<ProfileTable> tryProfileTableFromJson(const JsonValue &json);
+
+/** Recoverable parse from a JSON string (covers syntax errors). */
+ParseResult<ProfileTable>
+tryProfileTableFromJsonString(const std::string &text);
+
+/**
+ * Load a table from a JSON file; missing files, malformed JSON and
+ * schema violations all come back as errors naming the path/field.
+ */
+ParseResult<ProfileTable> loadProfileTableFile(const std::string &path);
 
 } // namespace adapipe
 

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic fault-injection specification for the simulator.
+ *
+ * A FaultSpec describes a reproducible fault scenario: per-device
+ * slowdown factors (stragglers), transient op stalls with
+ * retry/backoff delay modelling, jittered point-to-point transfer
+ * times and an optional hard device failure at a given time.
+ *
+ * All randomness is *counter-based*: every draw hashes the spec's
+ * seed together with a stable op identity (SplitMix64-style
+ * finalizers), so a fixed seed produces bit-for-bit identical fault
+ * realisations regardless of evaluation order, simulator mode or
+ * thread count.
+ */
+
+#ifndef ADAPIPE_ROBUST_FAULT_SPEC_H
+#define ADAPIPE_ROBUST_FAULT_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/parse_result.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/** A straggling device: every op on it runs @ref factor times slower. */
+struct DeviceSlowdown
+{
+    int device = 0;
+    /** Duration multiplier, >= 1 for a straggler. */
+    double factor = 1.0;
+};
+
+/**
+ * Transient op stalls. Each execution attempt of an op fails
+ * independently with @ref probability; a failed attempt costs one
+ * backoff delay (base * 2^attempt) before the retry. After
+ * @ref maxRetries failed attempts the op proceeds anyway (the real
+ * system would escalate; the simulator only models the lost time).
+ */
+struct TransientStalls
+{
+    /** Per-attempt stall probability in [0, 1). */
+    double probability = 0.0;
+    /** Backoff base delay for the first retry. */
+    Seconds base = 0.0;
+    /** Maximum number of backoff rounds per op. */
+    int maxRetries = 3;
+};
+
+/** Hard failure: @ref device starts nothing at or after @ref at. */
+struct DeviceFailure
+{
+    /** Failed device id, or -1 for no failure. */
+    int device = -1;
+    /** Time of failure (seconds into the iteration). */
+    Seconds at = 0.0;
+};
+
+/**
+ * A complete, seeded fault scenario.
+ */
+struct FaultSpec
+{
+    /** Seed of all per-op draws (stalls and jitter). */
+    std::uint64_t seed = 0;
+    /** Straggling devices. */
+    std::vector<DeviceSlowdown> slowdowns;
+    /** Transient stall model. */
+    TransientStalls stalls;
+    /**
+     * Relative p2p jitter: each cross-device transfer time is
+     * multiplied by a factor drawn uniformly from
+     * [1, 1 + p2pJitter].
+     */
+    double p2pJitter = 0.0;
+    /** Optional hard device failure. */
+    DeviceFailure failure;
+
+    /** @return true when the spec injects no fault at all. */
+    bool empty() const;
+
+    /** @return slowdown factor of @p device (1.0 when healthy). */
+    double slowdownFactor(int device) const;
+
+    /**
+     * Total retry/backoff delay charged to the op identified by
+     * @p opId. Deterministic in (seed, opId).
+     */
+    Seconds stallDelay(std::uint64_t opId) const;
+
+    /**
+     * Jitter multiplier in [1, 1 + p2pJitter] for the transfer
+     * identified by @p edgeId. Deterministic in (seed, edgeId).
+     */
+    double jitterFactor(std::uint64_t edgeId) const;
+};
+
+/**
+ * Stable 64-bit identity for an op, built from its schedule
+ * coordinates rather than its array index so draws survive
+ * re-orderings of the op list.
+ */
+std::uint64_t faultOpId(int chain, int pos, int micro_batch,
+                        bool forward);
+
+/** Stable identity for the transfer feeding @p to from @p from. */
+std::uint64_t faultEdgeId(std::uint64_t from, std::uint64_t to);
+
+/** Serialize a fault spec to JSON. */
+JsonValue faultSpecToJson(const FaultSpec &spec);
+
+/**
+ * Recoverable parse of a fault spec; errors name the offending
+ * field (e.g. "fault.slowdowns[0].factor").
+ */
+ParseResult<FaultSpec> faultSpecFromJson(const JsonValue &json);
+
+/** Recoverable parse from a JSON string (covers syntax errors). */
+ParseResult<FaultSpec> faultSpecFromJsonString(const std::string &text);
+
+/** Load a fault spec from a JSON file; errors name the path/field. */
+ParseResult<FaultSpec> loadFaultSpecFile(const std::string &path);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_ROBUST_FAULT_SPEC_H

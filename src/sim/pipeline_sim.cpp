@@ -90,6 +90,30 @@ opDuration(const PipeOp &op, const std::vector<StageTimes> &stage_times)
     return st.bwd * op.samples;
 }
 
+/** Stable fault identity of @p op. */
+std::uint64_t
+opFaultId(const PipeOp &op)
+{
+    return faultOpId(op.chain, op.pos, op.microBatch,
+                     op.kind == OpKind::Forward);
+}
+
+/**
+ * Duration under fault injection: slowdown scales the compute,
+ * transient stalls add retry/backoff delay (reported via
+ * @p stall_out).
+ */
+Seconds
+faultedDuration(const PipeOp &op,
+                const std::vector<StageTimes> &stage_times,
+                const FaultSpec &faults, Seconds &stall_out)
+{
+    Seconds duration =
+        opDuration(op, stage_times) * faults.slowdownFactor(op.device);
+    stall_out = faults.stallDelay(opFaultId(op));
+    return duration + stall_out;
+}
+
 /** Earliest start honouring dependencies and communication. */
 Seconds
 readyTime(const Schedule &sched,
@@ -103,8 +127,15 @@ readyTime(const Schedule &sched,
         if (!records[dep].done())
             return kInf;
         Seconds t = records[dep].end;
-        if (sched.ops[dep].device != op.device)
-            t += opts.p2pTime;
+        if (sched.ops[dep].device != op.device) {
+            Seconds p2p = opts.p2pTime;
+            if (opts.faults.p2pJitter > 0) {
+                p2p *= opts.faults.jitterFactor(
+                    faultEdgeId(opFaultId(sched.ops[dep]),
+                                opFaultId(op)));
+            }
+            t += p2p;
+        }
         ready = std::max(ready, t);
     }
     return ready;
@@ -122,6 +153,8 @@ computeStats(const Schedule &sched, SimResult &result)
     for (std::size_t i = 0; i < sched.ops.size(); ++i) {
         const PipeOp &op = sched.ops[i];
         const OpRecord &rec = result.records[i];
+        if (!rec.done())
+            continue;
         result.deviceBusy[op.device] += rec.end - rec.start;
         result.deviceFinish[op.device] =
             std::max(result.deviceFinish[op.device], rec.end);
@@ -137,6 +170,8 @@ computeStats(const Schedule &sched, SimResult &result)
             if (op.device != dev)
                 continue;
             const OpRecord &rec = result.records[i];
+            if (!rec.done())
+                continue;
             if (op.kind == OpKind::Forward)
                 events.emplace_back(rec.end, op.samples);
             else
@@ -155,8 +190,10 @@ computeStats(const Schedule &sched, SimResult &result)
             alive += delta;
             peak = std::max(peak, alive);
         }
-        ADAPIPE_ASSERT(alive == 0, "unbalanced activation events on "
-                                   "device ", dev);
+        // An interrupted iteration legitimately leaves forwards
+        // without their backward.
+        ADAPIPE_ASSERT(alive == 0 || !result.completed,
+                       "unbalanced activation events on device ", dev);
         result.peakAlive[dev] = peak;
     }
 }
@@ -206,6 +243,11 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
 
     std::vector<Seconds> device_free(sched.numDevices, 0.0);
 
+    const DeviceFailure &failure = opts.faults.failure;
+    auto failure_blocks = [&](const PipeOp &op, Seconds start) {
+        return op.device == failure.device && start >= failure.at;
+    };
+
     if (!sched.deviceOrder.empty()) {
         // Static mode: run each device's list in order; round-robin
         // until every pointer is exhausted.
@@ -224,14 +266,28 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
                         break;
                     const Seconds start =
                         std::max(ready, device_free[dev]);
+                    // A dead device starts nothing more; its later
+                    // ops only start later, so stop its cursor for
+                    // good.
+                    if (failure_blocks(sched.ops[i], start))
+                        break;
+                    Seconds stall = 0;
                     result.records[i].start = start;
                     result.records[i].end =
-                        start + opDuration(sched.ops[i], stage_times);
+                        start + faultedDuration(sched.ops[i],
+                                                stage_times,
+                                                opts.faults, stall);
+                    result.stallTime += stall;
                     device_free[dev] = result.records[i].end;
                     ++cursor[dev];
                     --remaining;
                     progress = true;
                 }
+            }
+            if (!progress && failure.device >= 0) {
+                result.completed = false;
+                result.failedDevice = failure.device;
+                break;
             }
             ADAPIPE_ASSERT(progress, "deadlock in static schedule ",
                            sched.name);
@@ -306,6 +362,8 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
                 const PipeOp &op = sched.ops[i];
                 const Seconds start =
                     std::max(ready, device_free[op.device]);
+                if (failure_blocks(op, start))
+                    continue;
                 const std::tuple<int, int, int, int> prio{
                     op.microBatch / unit,
                     op.kind == OpKind::Forward ? 1 : 0, op.microBatch,
@@ -317,12 +375,20 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
                     best_prio = prio;
                 }
             }
+            if (best >= sched.ops.size() && failure.device >= 0) {
+                result.completed = false;
+                result.failedDevice = failure.device;
+                break;
+            }
             ADAPIPE_ASSERT(best < sched.ops.size(),
                            "deadlock in greedy schedule ", sched.name);
             const PipeOp &op = sched.ops[best];
+            Seconds stall = 0;
             result.records[best].start = best_start;
             result.records[best].end =
-                best_start + opDuration(op, stage_times);
+                best_start + faultedDuration(op, stage_times,
+                                             opts.faults, stall);
+            result.stallTime += stall;
             device_free[op.device] = result.records[best].end;
             scheduled[best] = true;
             if (op.kind == OpKind::Backward) {
@@ -335,6 +401,8 @@ simulate(const Schedule &sched, const std::vector<StageTimes> &stage_times,
     }
 
     computeStats(sched, result);
+    if (!result.completed)
+        ADAPIPE_OBS_COUNT("sim.incomplete", 1);
     return result;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "robust/fault_spec.h"
 #include "sim/schedule.h"
 #include "util/units.h"
 
@@ -34,6 +35,13 @@ struct SimOptions
 {
     /** Transfer time between adjacent positions of a chain. */
     Seconds p2pTime = 0;
+    /**
+     * Fault scenario to inject (slowdowns, stalls, p2p jitter, hard
+     * failure). Default-constructed spec injects nothing. All draws
+     * are counter-based on FaultSpec::seed, so a fixed seed yields a
+     * bit-for-bit identical simulation on every run.
+     */
+    FaultSpec faults;
 };
 
 /** Scheduled execution of one op. */
@@ -65,6 +73,16 @@ struct SimResult
      * backward). For 1F1B at stage s this is exactly p - s.
      */
     std::vector<int> peakAlive;
+    /**
+     * False when a hard device failure left ops unexecuted; the
+     * iteration never finishes and iterationTime covers only the ops
+     * that did run.
+     */
+    bool completed = true;
+    /** Device whose failure stopped the iteration, or -1. */
+    int failedDevice = -1;
+    /** Total retry/backoff delay injected by transient stalls. */
+    Seconds stallTime = 0;
 
     /** @return idle time inside the device's active span. */
     Seconds bubbleTime(int device) const;

@@ -8,6 +8,23 @@
 
 namespace adapipe {
 
+namespace {
+
+/**
+ * Bad command lines are user errors, not library bugs: print a
+ * conventional "prog: error: ..." diagnostic and exit nonzero
+ * without the ADAPIPE_FATAL file/line noise.
+ */
+[[noreturn]] void
+usageError(const std::string &program, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: error: %s\n", program.c_str(),
+                 msg.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
 CliParser::CliParser(std::string program)
     : program_(std::move(program))
 {}
@@ -85,26 +102,30 @@ CliParser::parse(int argc, const char *const *argv)
         }
         auto it = options_.find(arg);
         if (it == options_.end())
-            ADAPIPE_FATAL("unknown flag --", arg, "\n", usage());
+            usageError(program_,
+                       "unknown flag --" + arg + "\n" + usage());
         Option &opt = it->second;
         if (opt.kind == Kind::Flag) {
-            ADAPIPE_ASSERT(!has_value, "switch --", arg,
-                           " takes no value");
+            if (has_value)
+                usageError(program_,
+                           "switch --" + arg + " takes no value");
             opt.flag_set = true;
             opt.value = "true";
             continue;
         }
         if (!has_value) {
             if (i + 1 >= argc)
-                ADAPIPE_FATAL("flag --", arg, " needs a value");
+                usageError(program_,
+                           "flag --" + arg + " needs a value");
             value = argv[++i];
         }
         if (opt.kind == Kind::Int) {
             char *end = nullptr;
             std::strtoll(value.c_str(), &end, 10);
             if (end == value.c_str() || *end != '\0')
-                ADAPIPE_FATAL("flag --", arg,
-                              " needs an integer, got '", value, "'");
+                usageError(program_, "flag --" + arg +
+                                         " needs an integer, got '" +
+                                         value + "'");
         }
         opt.value = std::move(value);
     }

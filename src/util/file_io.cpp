@@ -1,0 +1,39 @@
+#include "util/file_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace adapipe {
+
+ParseResult<std::string>
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        return ParseResult<std::string>::failure(
+            path + ": cannot open file for reading");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        return ParseResult<std::string>::failure(
+            path + ": read error");
+    }
+    return ParseResult<std::string>::success(buffer.str());
+}
+
+ParseStatus
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good())
+        return ParseStatus::failure(path +
+                                    ": cannot open file for writing");
+    out << content;
+    out.flush();
+    if (!out.good())
+        return ParseStatus::failure(path + ": write error");
+    return parseOk();
+}
+
+} // namespace adapipe

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recoverable whole-file reads and writes for the CLIs and loaders.
+ *
+ * Missing or unreadable paths are reported through ParseResult so
+ * callers can print a diagnostic and exit nonzero instead of
+ * aborting mid-stream.
+ */
+
+#ifndef ADAPIPE_UTIL_FILE_IO_H
+#define ADAPIPE_UTIL_FILE_IO_H
+
+#include <string>
+
+#include "util/parse_result.h"
+
+namespace adapipe {
+
+/**
+ * Read an entire file into a string.
+ *
+ * @param path file to read
+ * @return the contents, or an error naming the path
+ */
+ParseResult<std::string> readTextFile(const std::string &path);
+
+/**
+ * Write @p content to @p path, replacing any existing file.
+ *
+ * @return success, or an error naming the path
+ */
+ParseStatus writeTextFile(const std::string &path,
+                          const std::string &content);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_FILE_IO_H

@@ -255,6 +255,23 @@ JsonValue::dump(int indent) const
 
 namespace {
 
+/**
+ * Internal failure signal of the recursive-descent parser. Thrown on
+ * the first malformed byte, caught at the tryParse boundary; never
+ * escapes this translation unit.
+ */
+struct ParseFailure
+{
+    std::string message;
+};
+
+[[noreturn]] void
+failAt(std::size_t offset, std::string what)
+{
+    throw ParseFailure{"JSON offset " + std::to_string(offset) + ": " +
+                       std::move(what)};
+}
+
 /** Recursive-descent parser over the writer's subset. */
 class Parser
 {
@@ -266,8 +283,8 @@ class Parser
     {
         JsonValue v = value();
         skipWs();
-        ADAPIPE_ASSERT(pos_ == text_.size(),
-                       "trailing characters in JSON at offset ", pos_);
+        if (pos_ != text_.size())
+            failAt(pos_, "trailing characters after the document");
         return v;
     }
 
@@ -284,15 +301,16 @@ class Parser
     peek()
     {
         skipWs();
-        ADAPIPE_ASSERT(pos_ < text_.size(), "unexpected end of JSON");
+        if (pos_ >= text_.size())
+            failAt(pos_, "unexpected end of document");
         return text_[pos_];
     }
 
     void
     expect(char c)
     {
-        ADAPIPE_ASSERT(peek() == c, "expected '", c, "' at offset ",
-                       pos_);
+        if (peek() != c)
+            failAt(pos_, std::string("expected '") + c + "'");
         ++pos_;
     }
 
@@ -332,14 +350,14 @@ class Parser
         expect('"');
         std::string out;
         while (true) {
-            ADAPIPE_ASSERT(pos_ < text_.size(),
-                           "unterminated JSON string");
+            if (pos_ >= text_.size())
+                failAt(pos_, "unterminated string");
             const char c = text_[pos_++];
             if (c == '"')
                 break;
             if (c == '\\') {
-                ADAPIPE_ASSERT(pos_ < text_.size(),
-                               "unterminated escape");
+                if (pos_ >= text_.size())
+                    failAt(pos_, "unterminated escape");
                 const char e = text_[pos_++];
                 switch (e) {
                   case '"': out += '"'; break;
@@ -349,17 +367,28 @@ class Parser
                   case 'r': out += '\r'; break;
                   case 't': out += '\t'; break;
                   case 'u': {
-                    ADAPIPE_ASSERT(pos_ + 4 <= text_.size(),
-                                   "bad unicode escape");
-                    const int code = std::stoi(
-                        text_.substr(pos_, 4), nullptr, 16);
+                    if (pos_ + 4 > text_.size())
+                        failAt(pos_, "bad unicode escape");
+                    int code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = text_[pos_ + k];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h)))
+                            failAt(pos_ + k, "bad unicode escape");
+                        code = code * 16 +
+                               (std::isdigit(
+                                    static_cast<unsigned char>(h))
+                                    ? h - '0'
+                                    : (std::tolower(h) - 'a') + 10);
+                    }
                     pos_ += 4;
                     // ASCII-only escapes are produced by the writer.
                     out += static_cast<char>(code);
                     break;
                   }
                   default:
-                    ADAPIPE_FATAL("bad escape '\\", e, "'");
+                    failAt(pos_ - 1,
+                           std::string("bad escape '\\") + e + "'");
                 }
             } else {
                 out += c;
@@ -388,12 +417,19 @@ class Parser
                 break;
             }
         }
-        ADAPIPE_ASSERT(pos_ > start, "expected a number at offset ",
-                       pos_);
+        if (pos_ == start ||
+            (pos_ == start + 1 && text_[start] == '-'))
+            failAt(start, "expected a value");
         const std::string token = text_.substr(start, pos_ - start);
-        if (is_integer)
-            return JsonValue::integer(std::stoll(token));
-        return JsonValue::number(std::stod(token));
+        // stoll/stod reject mixed-sign garbage like "1-2" and
+        // overflowing magnitudes; surface both as parse errors.
+        try {
+            if (is_integer)
+                return JsonValue::integer(std::stoll(token));
+            return JsonValue::number(std::stod(token));
+        } catch (const std::exception &) {
+            failAt(start, "malformed number '" + token + "'");
+        }
     }
 
     JsonValue
@@ -408,10 +444,11 @@ class Parser
         while (true) {
             out.push(value());
             const char c = peek();
+            if (c != ']' && c != ',')
+                failAt(pos_, "expected ',' or ']' in array");
             ++pos_;
             if (c == ']')
                 break;
-            ADAPIPE_ASSERT(c == ',', "expected ',' in array");
         }
         return out;
     }
@@ -426,14 +463,20 @@ class Parser
             return out;
         }
         while (true) {
+            if (peek() != '"')
+                failAt(pos_, "expected a key string in object");
+            const std::size_t key_at = pos_;
             const std::string key = string();
+            if (out.contains(key))
+                failAt(key_at, "duplicate key '" + key + "'");
             expect(':');
             out.set(key, value());
             const char c = peek();
+            if (c != '}' && c != ',')
+                failAt(pos_, "expected ',' or '}' in object");
             ++pos_;
             if (c == '}')
                 break;
-            ADAPIPE_ASSERT(c == ',', "expected ',' in object");
         }
         return out;
     }
@@ -447,7 +490,20 @@ class Parser
 JsonValue
 JsonValue::parse(const std::string &text)
 {
-    return Parser(text).parse();
+    ParseResult<JsonValue> r = tryParse(text);
+    if (!r.ok())
+        ADAPIPE_FATAL("malformed JSON: ", r.error());
+    return std::move(r).value();
+}
+
+ParseResult<JsonValue>
+JsonValue::tryParse(const std::string &text)
+{
+    try {
+        return ParseResult<JsonValue>::success(Parser(text).parse());
+    } catch (const ParseFailure &f) {
+        return ParseResult<JsonValue>::failure(f.message);
+    }
 }
 
 } // namespace adapipe

@@ -1,10 +1,13 @@
 /**
  * @file
- * Minimal JSON writer (no external dependencies).
+ * Minimal JSON reader/writer (no external dependencies).
  *
  * Produces deterministic, order-preserving JSON for plan export and
- * trace files. Writing-only by design; the matching reader in
- * core/plan_io.cpp parses just the subset this writer emits.
+ * trace files, and parses the same subset back. User-supplied
+ * documents go through tryParse(), which reports malformed input
+ * (including duplicate object keys) through ParseResult instead of
+ * terminating; parse() is the fatal convenience for trusted,
+ * self-produced text.
  */
 
 #ifndef ADAPIPE_UTIL_JSON_H
@@ -15,6 +18,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/parse_result.h"
 
 namespace adapipe {
 
@@ -80,9 +85,16 @@ class JsonValue
     /**
      * Parse a JSON document (subset: no unicode escapes beyond
      * \\uXXXX pass-through, no comments). ADAPIPE_FATAL on malformed
-     * input.
+     * input; use tryParse for untrusted text.
      */
     static JsonValue parse(const std::string &text);
+
+    /**
+     * Parse a JSON document without terminating on malformed input.
+     * Rejects duplicate object keys. Errors carry the byte offset
+     * and what was expected there.
+     */
+    static ParseResult<JsonValue> tryParse(const std::string &text);
 
   private:
     enum class Kind {

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Checked JSON navigation for the loaders.
+ *
+ * A JsonReader wraps a JsonValue plus the dotted path that reached
+ * it ("plan.stages[2].mem_peak"). Every accessor validates presence
+ * and kind and reports violations with that path, so loader code
+ * stays linear while malformed input produces a field-level message
+ * instead of a panic.
+ *
+ * Errors propagate as a JsonReader::Error exception strictly inside
+ * the loader translation unit; readJson() is the catch boundary that
+ * converts them into a ParseResult. No exception escapes the public
+ * loader API.
+ */
+
+#ifndef ADAPIPE_UTIL_JSON_READER_H
+#define ADAPIPE_UTIL_JSON_READER_H
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/json.h"
+#include "util/parse_result.h"
+
+namespace adapipe {
+
+/**
+ * Path-tracking cursor over a parsed JsonValue.
+ *
+ * @code
+ *   auto r = readJson<PipelinePlan>(root, "plan", [](JsonReader plan) {
+ *       PipelinePlan out;
+ *       out.microBatches =
+ *           static_cast<int>(plan.key("micro_batches").asInteger());
+ *       ...
+ *       return out;
+ *   });
+ * @endcode
+ */
+class JsonReader
+{
+  public:
+    /** Failure signal; message already carries the field path. */
+    struct Error
+    {
+        std::string message;
+    };
+
+    JsonReader(const JsonValue &value, std::string path)
+        : value_(&value), path_(std::move(path))
+    {}
+
+    /** @return the dotted path of this node. */
+    const std::string &path() const { return path_; }
+
+    /** @return the wrapped value (for round-trip helpers). */
+    const JsonValue &raw() const { return *value_; }
+
+    /** Throw an Error anchored at this node's path. */
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw Error{path_ + ": " + why};
+    }
+
+    /** @return whether this object node has @p name. */
+    bool
+    has(const std::string &name) const
+    {
+        requireObject();
+        return value_->contains(name);
+    }
+
+    /** Descend into a required object member. */
+    JsonReader
+    key(const std::string &name) const
+    {
+        requireObject();
+        if (!value_->contains(name))
+            fail("missing required field '" + name + "'");
+        return JsonReader(value_->at(name), path_ + "." + name);
+    }
+
+    /** Descend into array element @p index. */
+    JsonReader
+    at(std::size_t index) const
+    {
+        requireArray();
+        if (index >= value_->elements().size())
+            fail("array index " + std::to_string(index) +
+                 " out of range");
+        return JsonReader(value_->elements()[index],
+                          path_ + "[" + std::to_string(index) + "]");
+    }
+
+    /** @return element count of this array node. */
+    std::size_t
+    size() const
+    {
+        requireArray();
+        return value_->elements().size();
+    }
+
+    bool
+    asBool() const
+    {
+        if (!value_->isBool())
+            fail("expected a boolean");
+        return value_->asBool();
+    }
+
+    double
+    asNumber() const
+    {
+        if (!value_->isNumber())
+            fail("expected a number");
+        return value_->asNumber();
+    }
+
+    std::int64_t
+    asInteger() const
+    {
+        if (!value_->isNumber())
+            fail("expected an integer");
+        const double d = value_->asNumber();
+        if (d != std::floor(d))
+            fail("expected an integer, got a fraction");
+        // Exact for integer-kind values (no double round-trip).
+        return value_->asInteger();
+    }
+
+    const std::string &
+    asString() const
+    {
+        if (!value_->isString())
+            fail("expected a string");
+        return value_->asString();
+    }
+
+  private:
+    void
+    requireObject() const
+    {
+        if (!value_->isObject())
+            fail("expected an object");
+    }
+
+    void
+    requireArray() const
+    {
+        if (!value_->isArray())
+            fail("expected an array");
+    }
+
+    const JsonValue *value_;
+    std::string path_;
+};
+
+/**
+ * Run @p fn over @p root with path tracking, converting any
+ * JsonReader::Error into a failed ParseResult.
+ *
+ * @param root parsed document
+ * @param root_path name of the document in error messages
+ * @param fn callable JsonReader -> T
+ */
+template <typename T, typename Fn>
+ParseResult<T>
+readJson(const JsonValue &root, std::string root_path, Fn &&fn)
+{
+    try {
+        return ParseResult<T>::success(
+            fn(JsonReader(root, std::move(root_path))));
+    } catch (const JsonReader::Error &e) {
+        return ParseResult<T>::failure(e.message);
+    }
+}
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_JSON_READER_H

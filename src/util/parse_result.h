@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Expected-style result type for recoverable input errors.
+ *
+ * Everything reachable from user-supplied files or flags (JSON
+ * documents, plan/profile/fault-spec loaders) reports malformed
+ * input through ParseResult instead of ADAPIPE_FATAL, so a CLI can
+ * print one clean diagnostic and exit nonzero, and a long-running
+ * service embedding the library never aborts on bad input. Error
+ * messages carry a dotted field path ("plan.stages[2].mem_peak: ...")
+ * so the user can find the offending byte without a debugger.
+ */
+
+#ifndef ADAPIPE_UTIL_PARSE_RESULT_H
+#define ADAPIPE_UTIL_PARSE_RESULT_H
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+/**
+ * Either a parsed value or an error message; never both.
+ *
+ * @code
+ *   ParseResult<PipelinePlan> r = tryPlanFromJsonString(text);
+ *   if (!r.ok()) {
+ *       std::cerr << prog << ": error: " << r.error() << "\n";
+ *       return 1;
+ *   }
+ *   use(r.value());
+ * @endcode
+ */
+template <typename T>
+class [[nodiscard]] ParseResult
+{
+  public:
+    /** @return a successful result owning @p value. */
+    static ParseResult
+    success(T value)
+    {
+        ParseResult r;
+        r.ok_ = true;
+        r.value_ = std::move(value);
+        return r;
+    }
+
+    /** @return a failed result carrying @p message. */
+    static ParseResult
+    failure(std::string message)
+    {
+        ParseResult r;
+        r.error_ = std::move(message);
+        return r;
+    }
+
+    /** @return whether a value is present. */
+    bool ok() const { return ok_; }
+    explicit operator bool() const { return ok_; }
+
+    /** @return the value; panics when !ok() (caller must check). */
+    const T &
+    value() const &
+    {
+        ADAPIPE_ASSERT(ok_, "value() on failed ParseResult: ", error_);
+        return value_;
+    }
+
+    /** @return the value by move; panics when !ok(). */
+    T &&
+    value() &&
+    {
+        ADAPIPE_ASSERT(ok_, "value() on failed ParseResult: ", error_);
+        return std::move(value_);
+    }
+
+    /** @return the error message; panics when ok(). */
+    const std::string &
+    error() const
+    {
+        ADAPIPE_ASSERT(!ok_, "error() on successful ParseResult");
+        return error_;
+    }
+
+  private:
+    bool ok_ = false;
+    T value_{};
+    std::string error_;
+};
+
+/** Value for ParseResult<> uses that carry no payload. */
+struct Nothing
+{};
+
+/** Result of a validation-only operation (apply, write, ...). */
+using ParseStatus = ParseResult<Nothing>;
+
+/** @return a successful ParseStatus. */
+inline ParseStatus
+parseOk()
+{
+    return ParseStatus::success(Nothing{});
+}
+
+} // namespace adapipe
+
+#endif // ADAPIPE_UTIL_PARSE_RESULT_H

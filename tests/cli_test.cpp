@@ -1,9 +1,16 @@
 /**
  * @file
- * Tests for the CLI flag parser.
+ * Tests for the CLI flag parser, plus subprocess tests that run the
+ * real example binaries against bad input and check for a clean
+ * nonzero exit with a one-line diagnostic (no abort, no stack trace).
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
 
 #include "util/cli.h"
 
@@ -98,6 +105,106 @@ TEST(Cli, UsageListsAllOptions)
     EXPECT_NE(usage.find("--verbose"), std::string::npos);
     EXPECT_NE(usage.find("default: 7"), std::string::npos);
 }
+
+#if defined(ADAPIPE_QUICKSTART_BIN) && defined(ADAPIPE_EXPORT_PLAN_BIN)
+
+struct RunResult
+{
+    int exitCode = -1;
+    std::string output; // stdout + stderr interleaved
+};
+
+/** Run a shell command, capturing combined output and exit code. */
+RunResult
+runCommand(const std::string &command)
+{
+    RunResult result;
+    FILE *pipe = popen((command + " 2>&1").c_str(), "r");
+    if (!pipe)
+        return result;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0)
+        result.output.append(buf, n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exitCode = WEXITSTATUS(status);
+    return result;
+}
+
+/** Write @p content to a file under the test temp dir. */
+std::string
+writeTempFile(const std::string &name, const std::string &content)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+TEST(CliProcess, QuickstartReportsMissingProfileFile)
+{
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_QUICKSTART_BIN) +
+        " --profile /no/such/dir/profile.json");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("quickstart: error:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("/no/such/dir/profile.json"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, ExportPlanReportsMalformedProfileField)
+{
+    const std::string path = writeTempFile(
+        "cli_test_bad_profile.json",
+        R"({"source": 42, "layers": []})");
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_EXPORT_PLAN_BIN) +
+        " --model gpt3-13b --nodes 1 --tensor 4 --pipeline 1"
+        " --data 1 --seq 4096 --profile " + path);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("export_plan: error:"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("profile.source"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, ExportPlanReportsTruncatedProfileJson)
+{
+    const std::string path = writeTempFile(
+        "cli_test_truncated_profile.json", R"({"source": "x", )");
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_EXPORT_PLAN_BIN) +
+        " --model gpt3-13b --nodes 1 --tensor 4 --pipeline 1"
+        " --data 1 --seq 4096 --profile " + path);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("export_plan: error:"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, ExportPlanRejectsUnknownModel)
+{
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_EXPORT_PLAN_BIN) + " --model bogus");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("unknown model 'bogus'"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, UnknownFlagExitsWithUsage)
+{
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_EXPORT_PLAN_BIN) + " --bogus 1");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("unknown flag"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+#endif // ADAPIPE_QUICKSTART_BIN && ADAPIPE_EXPORT_PLAN_BIN
 
 } // namespace
 } // namespace adapipe

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Randomized malformed-input tests for the recoverable parse paths:
+ * the JSON parser, the plan/profile loaders and the fault-spec
+ * loader. Every mutation of a valid document must come back as a
+ * ParseResult error (never an abort), and targeted corruptions must
+ * name the offending field.
+ *
+ * The sweep seed is fixed; set ADAPIPE_FUZZ_SEED to explore other
+ * seeds locally (failures print the seed for replay).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/plan_io.h"
+#include "hw/profile_io.h"
+#include "robust/fault_spec.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace adapipe {
+namespace {
+
+const char *const kValidPlan = R"({
+  "method": "adapipe",
+  "parallel": {"tensor": 1, "pipeline": 2, "data": 1,
+               "sequence_parallel": true, "flash_attention": true},
+  "train": {"micro_batch": 1, "seq_len": 128, "global_batch": 4},
+  "micro_batches": 4,
+  "timing": {"warmup": 1.0, "ending": 1.0, "steady_per_mb": 0.5,
+             "total": 4.0},
+  "stages": [
+    {"first_layer": 0, "last_layer": 1, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 2,
+     "total_units": 2, "saved_mask": [true, true]},
+    {"first_layer": 2, "last_layer": 3, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 2, "saved_mask": [true, false]}
+  ]
+})";
+
+const char *const kValidProfile = R"({
+  "source": "test",
+  "layers": [
+    [{"name": "ln", "kind": "layernorm", "time_fwd": 0.1,
+      "time_bwd": 0.2, "mem_saved": 100, "always_saved": false}],
+    [{"name": "qkv", "kind": "gemm", "time_fwd": 0.3,
+      "time_bwd": 0.6, "mem_saved": 300, "always_saved": true}]
+  ]
+})";
+
+const char *const kValidFault = R"({
+  "seed": 7,
+  "slowdowns": [{"device": 1, "factor": 1.5}],
+  "stalls": {"probability": 0.1, "base": 0.01, "max_retries": 2},
+  "p2p_jitter": 0.2,
+  "failure": {"device": -1, "at": 0.0}
+})";
+
+std::uint64_t
+fuzzSeed()
+{
+    if (const char *env = std::getenv("ADAPIPE_FUZZ_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return 0xADA71FE5EEDull;
+}
+
+/** Parse one document through every recoverable loader. */
+void
+expectNoAbort(const std::string &text)
+{
+    const ParseResult<JsonValue> doc = JsonValue::tryParse(text);
+    if (!doc.ok()) {
+        EXPECT_FALSE(doc.error().empty());
+    }
+    const ParseResult<PipelinePlan> plan = tryPlanFromJsonString(text);
+    if (!plan.ok()) {
+        EXPECT_FALSE(plan.error().empty());
+    }
+    const ParseResult<ProfileTable> table =
+        tryProfileTableFromJsonString(text);
+    if (!table.ok()) {
+        EXPECT_FALSE(table.error().empty());
+    }
+    const ParseResult<FaultSpec> fault =
+        faultSpecFromJsonString(text);
+    if (!fault.ok()) {
+        EXPECT_FALSE(fault.error().empty());
+    }
+}
+
+TEST(ParseFuzz, BaseDocumentsAreValid)
+{
+    EXPECT_TRUE(tryPlanFromJsonString(kValidPlan).ok());
+    EXPECT_TRUE(tryProfileTableFromJsonString(kValidProfile).ok());
+    EXPECT_TRUE(faultSpecFromJsonString(kValidFault).ok());
+}
+
+TEST(ParseFuzz, TruncationsNeverAbort)
+{
+    const std::string docs[] = {kValidPlan, kValidProfile,
+                                kValidFault};
+    for (const std::string &doc : docs) {
+        for (std::size_t cut = 0; cut < doc.size();
+             cut += 7) { // every 7th prefix keeps the sweep fast
+            const std::string prefix = doc.substr(0, cut);
+            expectNoAbort(prefix);
+            // A strict prefix of a JSON document is never valid.
+            EXPECT_FALSE(JsonValue::tryParse(prefix).ok())
+                << "cut at " << cut;
+        }
+    }
+}
+
+TEST(ParseFuzz, RandomMutationsNeverAbort)
+{
+    const std::uint64_t seed = fuzzSeed();
+    SCOPED_TRACE("ADAPIPE_FUZZ_SEED=" + std::to_string(seed));
+    Rng rng(seed);
+    const std::string docs[] = {kValidPlan, kValidProfile,
+                                kValidFault};
+    const std::string charset =
+        "{}[]\",:0123456789.eE+-truefalsnul \n\x01\x7f";
+    for (int trial = 0; trial < 600; ++trial) {
+        std::string doc =
+            docs[static_cast<std::size_t>(rng.uniformInt(0, 2))];
+        const int edits = static_cast<int>(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(doc.size()) - 1));
+            switch (rng.uniformInt(0, 2)) {
+              case 0: // overwrite
+                doc[pos] = charset[static_cast<std::size_t>(
+                    rng.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(charset.size()) -
+                            1))];
+                break;
+              case 1: // delete
+                doc.erase(pos, 1);
+                break;
+              default: // duplicate a span
+                doc.insert(pos, doc.substr(
+                                    pos,
+                                    static_cast<std::size_t>(
+                                        rng.uniformInt(1, 12))));
+                break;
+            }
+        }
+        expectNoAbort(doc);
+    }
+}
+
+TEST(ParseFuzz, DuplicateKeysAreRejectedByName)
+{
+    const ParseResult<JsonValue> r = JsonValue::tryParse(
+        R"({"a": 1, "b": 2, "a": 3})");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("duplicate key 'a'"), std::string::npos)
+        << r.error();
+}
+
+TEST(ParseFuzz, WrongTypesNameTheField)
+{
+    struct Case
+    {
+        const char *base;
+        const char *needle;     // substring to corrupt
+        const char *replacement;
+        const char *expected;   // field path in the error
+    };
+    const Case cases[] = {
+        {kValidPlan, "\"mem_peak\": 1000", "\"mem_peak\": \"big\"",
+         "mem_peak"},
+        {kValidPlan, "\"method\": \"adapipe\"", "\"method\": 42",
+         "plan.method"},
+        {kValidPlan, "\"pipeline\": 2", "\"pipeline\": 2.5",
+         "plan.parallel.pipeline"},
+        {kValidPlan, "\"saved_mask\": [true, false]",
+         "\"saved_mask\": [true]", "saved_mask"},
+        {kValidProfile, "\"kind\": \"gemm\"", "\"kind\": \"magic\"",
+         "profile.layers[1][0].kind"},
+        {kValidProfile, "\"time_fwd\": 0.3", "\"time_fwd\": -0.3",
+         "profile.layers[1][0].time_fwd"},
+        {kValidFault, "\"factor\": 1.5", "\"factor\": true",
+         "fault.slowdowns[0].factor"},
+    };
+    for (const Case &c : cases) {
+        std::string doc = c.base;
+        const std::size_t pos = doc.find(c.needle);
+        ASSERT_NE(pos, std::string::npos) << c.needle;
+        doc.replace(pos, std::string(c.needle).size(), c.replacement);
+
+        std::string error;
+        if (c.base == kValidPlan) {
+            const auto r = tryPlanFromJsonString(doc);
+            ASSERT_FALSE(r.ok()) << c.expected;
+            error = r.error();
+        } else if (c.base == kValidProfile) {
+            const auto r = tryProfileTableFromJsonString(doc);
+            ASSERT_FALSE(r.ok()) << c.expected;
+            error = r.error();
+        } else {
+            const auto r = faultSpecFromJsonString(doc);
+            ASSERT_FALSE(r.ok()) << c.expected;
+            error = r.error();
+        }
+        EXPECT_NE(error.find(c.expected), std::string::npos)
+            << "error was: " << error;
+    }
+}
+
+TEST(ParseFuzz, MissingFieldsNameTheField)
+{
+    std::string doc = kValidPlan;
+    const std::size_t pos = doc.find("\"micro_batches\": 4,");
+    ASSERT_NE(pos, std::string::npos);
+    doc.erase(pos, std::string("\"micro_batches\": 4,").size());
+    const auto r = tryPlanFromJsonString(doc);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("missing required field 'micro_batches'"),
+              std::string::npos)
+        << r.error();
+}
+
+} // namespace
+} // namespace adapipe
