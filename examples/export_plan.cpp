@@ -17,6 +17,7 @@
 #include "hw/cluster.h"
 #include "hw/profile_io.h"
 #include "model/model_config.h"
+#include "runtime/plan_mapping.h"
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
 #include "sim/trace_export.h"
@@ -30,7 +31,8 @@ int
 main(int argc, char **argv)
 {
     CliParser cli("export_plan");
-    cli.addString("model", "gpt3", "model: gpt3|llama2|gpt3-13b");
+    cli.addString("model", "gpt3",
+                  "model: gpt3|llama2|gpt3-13b|tiny-lm");
     cli.addInt("seq", 16384, "sequence length");
     cli.addInt("nodes", 8, "cluster A nodes (8 devices each)");
     cli.addInt("tensor", 8, "tensor-parallel size");
@@ -54,9 +56,16 @@ main(int argc, char **argv)
         model = llama2_70b();
     } else if (which == "gpt3-13b") {
         model = gpt3_13b();
+    } else if (which == "tiny-lm") {
+        // The 6-block model pipeline_training executes for real;
+        // plans exported here feed straight into the runtime.
+        TinyLmConfig tiny;
+        tiny.blocks = 6;
+        tiny.ffnHidden = 96;
+        model = tinyLmModelConfig(tiny);
     } else {
         std::cerr << "export_plan: error: unknown model '" << which
-                  << "' (expected gpt3|llama2|gpt3-13b)\n";
+                  << "' (expected gpt3|llama2|gpt3-13b|tiny-lm)\n";
         return 1;
     }
 

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Pipeline training CLI: execute an AdaPipe plan on the multithreaded
+ * runtime (src/runtime) and compare the cost model's predictions with
+ * the measured execution.
+ *
+ * The stage specs come from one of three sources, in order:
+ *   --recompute none|attn|full  even split, uniform recompute, no
+ *                               planner (and thus no predictions)
+ *   --plan plan.json            a plan exported by export_plan
+ *                               --model tiny-lm
+ *   (default)                   plan in-process with --method
+ *
+ * The predicted-vs-measured table is sourced from the runtime's obs
+ * registry: step time against the plan's Sec. 5.1 timing, per-stage
+ * peak activation bytes against the plan's memory model.
+ *
+ * Usage:
+ *   pipeline_training --stages 2 --steps 20 --micro-batches 4 \
+ *       --method adapipe --seed 42
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autograd/trainer.h"
+#include "core/plan_io.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "memory/memory_model.h"
+#include "obs/sinks.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/plan_mapping.h"
+#include "util/cli.h"
+#include "util/file_io.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace adapipe;
+
+namespace {
+
+std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+/** Short per-stage recompute summary, e.g. "none x2" or "full,attn". */
+std::string
+recomputeLabel(const StageSpec &spec)
+{
+    if (spec.numBlocks() == 0)
+        return "-";
+    auto key = [](BlockRecompute mode) {
+        for (const RecomputeStrategy &s : recomputeStrategyTable()) {
+            if (s.mode == mode)
+                return s.key;
+        }
+        return "?";
+    };
+    bool uniform = true;
+    for (const BlockRecompute mode : spec.recompute)
+        uniform = uniform && mode == spec.recompute.front();
+    if (uniform) {
+        std::ostringstream oss;
+        oss << key(spec.recompute.front()) << " x"
+            << spec.numBlocks();
+        return oss.str();
+    }
+    std::string out;
+    for (std::size_t i = 0; i < spec.recompute.size(); ++i) {
+        if (i)
+            out += ",";
+        out += key(spec.recompute[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("pipeline_training");
+    cli.addInt("stages", 2, "pipeline stages (worker threads)");
+    cli.addInt("blocks", 6, "transformer blocks");
+    cli.addInt("dim", 32, "model width");
+    cli.addInt("ffn-hidden", 96, "feed-forward inner width");
+    cli.addInt("vocab", 64, "vocabulary size");
+    cli.addInt("heads", 1, "attention heads");
+    cli.addInt("seq", 32, "tokens per micro-batch");
+    cli.addInt("steps", 20, "optimizer steps");
+    cli.addInt("micro-batches", 0,
+               "micro-batches per step (0 = plan's n, else 4)");
+    cli.addString("lr", "4e-3", "learning rate");
+    cli.addInt("seed", 42,
+               "model-init seed (identical across stage counts)");
+    cli.addInt("data-seed", 7, "data-stream seed");
+    cli.addInt("channel-capacity", 2,
+               "bounded-channel depth per pipeline edge");
+    cli.addString("plan", "", "exported plan JSON (export_plan)");
+    cli.addString("method", "adapipe",
+                  "in-process planning method: adapipe|even|"
+                  "dapple-full|dapple-non|dapple-selective");
+    cli.addInt("mem-cap-mb", 0,
+               "planner memory capacity override in MiB (forces "
+               "recompute decisions; 0 = cluster default)");
+    cli.addString("recompute", "",
+                  "skip planning: even split with uniform "
+                  "none|attn|full recompute");
+    cli.addString("metrics-out", "",
+                  "write runtime metrics as JSON-lines");
+    cli.addFlag("reference",
+                "also train single-threaded and compare losses");
+    cli.addFlag("quiet", "suppress the tables");
+    cli.parse(argc, argv);
+
+    TinyLmConfig cfg;
+    cfg.vocab = static_cast<int>(cli.getInt("vocab"));
+    cfg.dim = static_cast<int>(cli.getInt("dim"));
+    cfg.blocks = static_cast<int>(cli.getInt("blocks"));
+    cfg.ffnHidden = static_cast<int>(cli.getInt("ffn-hidden"));
+    cfg.numHeads = static_cast<int>(cli.getInt("heads"));
+    cfg.maxSeq = static_cast<int>(cli.getInt("seq"));
+    cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    RuntimeOptions opts;
+    opts.steps = static_cast<int>(cli.getInt("steps"));
+    opts.seqLen = static_cast<int>(cli.getInt("seq"));
+    opts.lr = std::stof(cli.getString("lr"));
+    opts.dataSeed = static_cast<std::uint64_t>(cli.getInt("data-seed"));
+    opts.channelCapacity =
+        static_cast<int>(cli.getInt("channel-capacity"));
+    int micro_batches = static_cast<int>(cli.getInt("micro-batches"));
+
+    const int stages_flag = static_cast<int>(cli.getInt("stages"));
+    std::vector<StageSpec> specs;
+    std::vector<std::string> notes;
+    bool have_plan = false;
+    PipelinePlan plan;
+
+    const std::string recompute_key = cli.getString("recompute");
+    const std::string plan_path = cli.getString("plan");
+    if (!recompute_key.empty()) {
+        const RecomputeStrategy *strategy =
+            findRecomputeStrategy(recompute_key);
+        if (!strategy) {
+            std::cerr << "pipeline_training: error: unknown "
+                         "recompute strategy '"
+                      << recompute_key
+                      << "' (expected none|attn|full)\n";
+            return 1;
+        }
+        specs =
+            evenStageSpecs(cfg.blocks, stages_flag, strategy->mode);
+        notes.push_back("manual mode: no plan, no predictions");
+    } else if (!plan_path.empty()) {
+        const ParseResult<PipelinePlan> loaded =
+            loadPlanFile(plan_path);
+        if (!loaded.ok()) {
+            std::cerr << "pipeline_training: error: "
+                      << loaded.error() << "\n";
+            return 1;
+        }
+        plan = loaded.value();
+        have_plan = true;
+    } else {
+        PlanMethod method;
+        const std::string method_name = cli.getString("method");
+        if (method_name == "adapipe") {
+            method = PlanMethod::AdaPipe;
+        } else if (method_name == "even") {
+            method = PlanMethod::EvenPartition;
+        } else if (method_name == "dapple-full") {
+            method = PlanMethod::DappleFull;
+        } else if (method_name == "dapple-non") {
+            method = PlanMethod::DappleNon;
+        } else if (method_name == "dapple-selective") {
+            method = PlanMethod::DappleSelective;
+        } else {
+            std::cerr << "pipeline_training: error: unknown method '"
+                      << method_name
+                      << "' (expected adapipe|even|dapple-full|"
+                         "dapple-non|dapple-selective)\n";
+            return 1;
+        }
+
+        if (micro_batches == 0)
+            micro_batches = 4;
+        TrainConfig train;
+        train.seqLen = opts.seqLen;
+        train.microBatch = 1;
+        train.globalBatch = micro_batches; // d = 1: n micro-batches
+        ParallelConfig par;
+        par.tensor = 1;
+        par.pipeline = stages_flag;
+        par.data = 1;
+        const ClusterSpec cluster =
+            clusterA((stages_flag + 7) / 8);
+        const ProfiledModel pm = buildProfiledModel(
+            tinyLmModelConfig(cfg), train, par, cluster);
+        StageCostOptions cost_opts;
+        const long long cap_mb = cli.getInt("mem-cap-mb");
+        if (cap_mb > 0)
+            cost_opts.memCapacityOverride =
+                static_cast<Bytes>(cap_mb) * 1024 * 1024;
+        const PlanResult result = makePlan(pm, method, cost_opts);
+        if (!result.ok) {
+            std::cerr << "pipeline_training: plan infeasible: "
+                      << result.oomReason << "\n";
+            return 1;
+        }
+        plan = result.plan;
+        have_plan = true;
+    }
+
+    if (have_plan) {
+        StageMapping mapping = stageSpecsFromPlan(plan, cfg);
+        specs = std::move(mapping.stages);
+        notes.insert(notes.end(), mapping.notes.begin(),
+                     mapping.notes.end());
+        if (micro_batches == 0)
+            micro_batches = plan.microBatches > 0 ? plan.microBatches
+                                                  : 4;
+    }
+    if (micro_batches == 0)
+        micro_batches = 4;
+    opts.microBatches = micro_batches;
+
+    const int p = static_cast<int>(specs.size());
+    std::cout << "Training a " << cfg.blocks
+              << "-block transformer LM (dim " << cfg.dim << ") on "
+              << p << " pipeline stages, " << opts.steps
+              << " steps x " << opts.microBatches
+              << " micro-batches\n";
+    for (const std::string &note : notes)
+        std::cout << "note: " << note << "\n";
+    std::cout << "\n";
+
+    TinyLM model(cfg);
+    obs::Registry metrics;
+    const RuntimeResult run = runPipeline(model, specs, opts, &metrics);
+
+    // Predicted per-stage activation bytes: the plan's peak minus its
+    // static (parameter/gradient/optimizer) part, which the runtime
+    // meter does not count.
+    std::vector<double> predicted_act(
+        static_cast<std::size_t>(p), -1.0);
+    if (have_plan &&
+        static_cast<int>(plan.stages.size()) == p) {
+        const ModelConfig model_cfg = tinyLmModelConfig(cfg);
+        const MemoryModel mm(model_cfg, plan.train, plan.par);
+        const std::vector<Layer> layers = buildLayerSequence(
+            model_cfg, plan.train, plan.par);
+        for (int s = 0; s < p; ++s) {
+            const StagePlan &sp =
+                plan.stages[static_cast<std::size_t>(s)];
+            std::uint64_t params = 0;
+            for (int l = sp.firstLayer; l <= sp.lastLayer; ++l)
+                params +=
+                    layers[static_cast<std::size_t>(l)].params;
+            const double static_bytes = static_cast<double>(
+                mm.staticMemory(params).total());
+            predicted_act[static_cast<std::size_t>(s)] =
+                static_cast<double>(sp.memPeak) - static_bytes;
+        }
+    }
+
+    if (!cli.getFlag("quiet")) {
+        Table table({"Stage", "Blocks", "Recompute", "Fwd", "Bwd",
+                     "Blocked", "Waited", "Peak act (meas)",
+                     "Peak act (pred)"});
+        for (int s = 0; s < p; ++s) {
+            const StageMetrics &sm =
+                run.stages[static_cast<std::size_t>(s)];
+            const StageSpec &spec =
+                specs[static_cast<std::size_t>(s)];
+            std::ostringstream range;
+            if (spec.numBlocks() > 0)
+                range << spec.firstBlock << "-" << spec.lastBlock;
+            else
+                range << "-";
+            if (spec.embedding)
+                range << " +emb";
+            if (spec.head)
+                range << " +head";
+            const double measured_bytes =
+                static_cast<double>(sm.peakActivationFloats) * 4;
+            const double predicted =
+                predicted_act[static_cast<std::size_t>(s)];
+            table.addRow(
+                {std::to_string(s), range.str(),
+                 recomputeLabel(spec), formatSeconds(sm.fwdSeconds),
+                 formatSeconds(sm.bwdSeconds),
+                 formatSeconds(sm.sendBlockedSeconds),
+                 formatSeconds(sm.recvWaitSeconds),
+                 formatBytes(static_cast<Bytes>(measured_bytes)),
+                 predicted >= 0
+                     ? formatBytes(static_cast<Bytes>(predicted))
+                     : "-"});
+        }
+        table.print(std::cout);
+
+        std::cout << "\nfinal loss " << fmt("%.6f", run.losses.back())
+                  << " after " << opts.steps << " steps\n";
+        std::cout << "measured step time "
+                  << formatSeconds(run.stepSeconds(opts.steps));
+        if (have_plan) {
+            std::cout << ", predicted "
+                      << formatSeconds(plan.timing.total)
+                      << " (cost model scale-free: ordering, not "
+                         "wall clock)";
+        }
+        std::cout << "\n";
+    }
+
+    if (cli.getFlag("reference")) {
+        TinyLM ref(cfg); // same seed: identical initialisation
+        TrainOptions ref_opts;
+        ref_opts.steps = opts.steps;
+        ref_opts.seqLen = opts.seqLen;
+        ref_opts.lr = opts.lr;
+        ref_opts.dataSeed = opts.dataSeed;
+        ref_opts.microBatches = opts.microBatches;
+        ref_opts.recompute.clear();
+        for (const StageSpec &spec : specs)
+            ref_opts.recompute.insert(ref_opts.recompute.end(),
+                                      spec.recompute.begin(),
+                                      spec.recompute.end());
+        const TrainStats ref_stats = trainTinyLM(ref, ref_opts);
+        double max_delta = 0;
+        for (std::size_t i = 0; i < run.losses.size(); ++i) {
+            const double delta =
+                std::abs(run.losses[i] - ref_stats.losses[i]);
+            if (delta > max_delta)
+                max_delta = delta;
+        }
+        std::cout << "reference (single-threaded) max loss delta "
+                  << fmt("%.3g", max_delta) << " over "
+                  << run.losses.size() << " steps\n";
+    }
+
+    const std::string metrics_out = cli.getString("metrics-out");
+    if (!metrics_out.empty()) {
+        const ParseStatus wrote = writeTextFile(
+            metrics_out, obs::toJsonLines(metrics));
+        if (!wrote.ok()) {
+            std::cerr << "pipeline_training: error: "
+                      << wrote.error() << "\n";
+            return 1;
+        }
+        std::cout << "metrics -> " << metrics_out << "\n";
+    }
+    return 0;
+}

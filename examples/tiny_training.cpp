@@ -10,45 +10,46 @@
 
 #include "autograd/module.h"
 #include "autograd/trainer.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "util/units.h"
 
 using namespace adapipe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("tiny_training");
+    cli.addInt("steps", 60, "optimizer steps per strategy");
+    cli.addInt("seq", 32, "tokens per step");
+    cli.addInt("seed", 42,
+               "model-init seed (shared with pipeline_training)");
+    cli.addInt("data-seed", 7, "data-stream seed");
+    cli.addString("lr", "4e-3", "learning rate");
+    cli.parse(argc, argv);
+
     TinyLmConfig cfg;
     cfg.vocab = 64;
     cfg.dim = 32;
     cfg.blocks = 6;
     cfg.ffnHidden = 96;
     cfg.maxSeq = 64;
+    cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
 
     TrainOptions opts;
-    opts.steps = 60;
-    opts.seqLen = 32;
-    opts.lr = 4e-3f;
+    opts.steps = static_cast<int>(cli.getInt("steps"));
+    opts.seqLen = static_cast<int>(cli.getInt("seq"));
+    opts.lr = std::stof(cli.getString("lr"));
+    opts.dataSeed = static_cast<std::uint64_t>(cli.getInt("data-seed"));
 
     std::cout << "Training a " << cfg.blocks
               << "-block transformer LM (dim " << cfg.dim
               << ") on the synthetic bigram task, " << opts.steps
               << " steps per strategy\n\n";
 
-    struct Strategy
-    {
-        const char *name;
-        BlockRecompute mode;
-    };
-    const Strategy strategies[] = {
-        {"No recompute (save all)", BlockRecompute::None},
-        {"Attention-only recompute", BlockRecompute::AttentionOnly},
-        {"Full recompute", BlockRecompute::Full},
-    };
-
     Table table({"Strategy", "Final loss", "Peak act. floats",
                  "Wall time"});
-    for (const Strategy &s : strategies) {
+    for (const RecomputeStrategy &s : recomputeStrategyTable()) {
         TinyLM model(cfg); // same seed: identical initialisation
         TrainOptions o = opts;
         o.recompute.assign(cfg.blocks, s.mode);

@@ -1,5 +1,6 @@
 #include "autograd/checkpoint.h"
 
+#include "obs/macros.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -38,6 +39,8 @@ checkpoint(const Segment &segment, const Variable &input,
             // backpropagate the downstream gradient through the
             // rebuilt sub-graph. Parameters captured by the segment
             // receive their gradients directly.
+            ADAPIPE_OBS_COUNT("checkpoint.replays", 1);
+            ADAPIPE_OBS_SPAN(replay_span, "checkpoint.replay");
             Variable in_copy = input.detach(true);
             in_copy.zeroGrad();
             Variable out = segment(in_copy);

@@ -245,26 +245,69 @@ TinyLM::loss(const std::vector<int> &tokens,
 {
     ADAPIPE_ASSERT(tokens.size() == targets.size(),
                    "tokens/targets length mismatch");
-    ADAPIPE_ASSERT(static_cast<int>(tokens.size()) <= config_.maxSeq,
-                   "sequence longer than maxSeq");
     ADAPIPE_ASSERT(recompute.empty() ||
                        recompute.size() == blocks_.size(),
                    "one recompute mode per block required");
 
-    std::vector<int> positions(tokens.size());
-    for (std::size_t i = 0; i < positions.size(); ++i)
-        positions[i] = static_cast<int>(i);
-
-    Variable h = ops::add(ops::embedding(tokenTable_, tokens),
-                          ops::embedding(posTable_, positions));
+    Variable h = embed(tokens);
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
         const BlockRecompute mode =
             recompute.empty() ? BlockRecompute::None : recompute[b];
-        h = blocks_[b].forward(h, mode);
+        h = blockForward(static_cast<int>(b), h, mode);
     }
-    h = finalNorm_.forward(h);
-    Variable logits = ops::matmul(h, headW_);
+    return headLoss(h, targets);
+}
+
+Variable
+TinyLM::embed(const std::vector<int> &tokens) const
+{
+    ADAPIPE_ASSERT(static_cast<int>(tokens.size()) <= config_.maxSeq,
+                   "sequence longer than maxSeq");
+    std::vector<int> positions(tokens.size());
+    for (std::size_t i = 0; i < positions.size(); ++i)
+        positions[i] = static_cast<int>(i);
+    return ops::add(ops::embedding(tokenTable_, tokens),
+                    ops::embedding(posTable_, positions));
+}
+
+Variable
+TinyLM::blockForward(int b, const Variable &h,
+                     BlockRecompute recompute) const
+{
+    ADAPIPE_ASSERT(b >= 0 && b < static_cast<int>(blocks_.size()),
+                   "block index ", b, " out of range");
+    return blocks_[static_cast<std::size_t>(b)].forward(h, recompute);
+}
+
+Variable
+TinyLM::headLoss(const Variable &h,
+                 const std::vector<int> &targets) const
+{
+    Variable normed = finalNorm_.forward(h);
+    Variable logits = ops::matmul(normed, headW_);
     return ops::crossEntropy(logits, targets);
+}
+
+std::vector<Variable>
+TinyLM::embedParams() const
+{
+    return {tokenTable_, posTable_};
+}
+
+std::vector<Variable>
+TinyLM::blockParams(int b) const
+{
+    ADAPIPE_ASSERT(b >= 0 && b < static_cast<int>(blocks_.size()),
+                   "block index ", b, " out of range");
+    return blocks_[static_cast<std::size_t>(b)].params();
+}
+
+std::vector<Variable>
+TinyLM::headParams() const
+{
+    std::vector<Variable> p = finalNorm_.params();
+    p.push_back(headW_);
+    return p;
 }
 
 std::vector<Variable>

@@ -182,6 +182,36 @@ class TinyLM
                   const std::vector<int> &targets,
                   const std::vector<BlockRecompute> &recompute) const;
 
+    /** @name Stage-partial execution (pipeline runtime)
+     *
+     * loss() composes exactly these three pieces, so a pipeline of
+     * stages running embed -> blockForward... -> headLoss over the
+     * same block ranges computes bit-identical floats to the
+     * monolithic forward.
+     *  @{
+     */
+
+    /** Token + position embedding: the stream entering block 0. */
+    Variable embed(const std::vector<int> &tokens) const;
+
+    /** Forward of block @p b on activation @p h. */
+    Variable blockForward(int b, const Variable &h,
+                          BlockRecompute recompute) const;
+
+    /** Final norm + vocabulary head + mean cross-entropy. */
+    Variable headLoss(const Variable &h,
+                      const std::vector<int> &targets) const;
+
+    /** Parameters of the embedding partition (token + pos tables). */
+    std::vector<Variable> embedParams() const;
+
+    /** Parameters of block @p b. */
+    std::vector<Variable> blockParams(int b) const;
+
+    /** Parameters of the head partition (final norm + projection). */
+    std::vector<Variable> headParams() const;
+    /** @} */
+
     /** @return all trainable parameters. */
     std::vector<Variable> params() const;
 

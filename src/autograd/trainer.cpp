@@ -41,6 +41,8 @@ trainTinyLM(TinyLM &model, const TrainOptions &opts)
     ADAPIPE_ASSERT(opts.steps >= 1, "need at least one step");
     ADAPIPE_ASSERT(opts.seqLen <= model.config().maxSeq,
                    "seqLen exceeds model maxSeq");
+    ADAPIPE_ASSERT(opts.microBatches >= 1,
+                   "need at least one micro-batch");
 
     std::unique_ptr<Sgd> sgd;
     std::unique_ptr<Adam> adam;
@@ -56,19 +58,31 @@ trainTinyLM(TinyLM &model, const TrainOptions &opts)
     // models, leftover graphs) was already alive.
     const std::int64_t baseline = liveActivationFloats();
 
+    const int n = opts.microBatches;
+    const float grad_scale = 1.0f / static_cast<float>(n);
     std::vector<int> tokens;
     std::vector<int> targets;
     for (int step = 0; step < opts.steps; ++step) {
-        makeBigramBatch(model.config().vocab, opts.seqLen, step,
-                        opts.dataSeed, tokens, targets);
         if (adam)
             adam->zeroGrad();
         else
             sgd->zeroGrad();
 
-        Variable loss = model.loss(tokens, targets, opts.recompute);
-        stats.losses.push_back(loss.value()[0]);
-        loss.backward();
+        double loss_sum = 0;
+        for (int mb = 0; mb < n; ++mb) {
+            makeBigramBatch(model.config().vocab, opts.seqLen,
+                            step * n + mb, opts.dataSeed, tokens,
+                            targets);
+            Variable loss =
+                model.loss(tokens, targets, opts.recompute);
+            loss_sum += loss.value()[0];
+            // Seeding with 1/n averages gradients over the step's
+            // micro-batches; n = 1 seeds with ones, bit-identical to
+            // the historical loss.backward().
+            loss.backward(
+                Tensor::full(loss.value().shape(), grad_scale));
+        }
+        stats.losses.push_back(loss_sum / n);
 
         if (adam)
             adam->step();
@@ -77,6 +91,28 @@ trainTinyLM(TinyLM &model, const TrainOptions &opts)
     }
     stats.peakActivationFloats = peakActivationFloats() - baseline;
     return stats;
+}
+
+const std::vector<RecomputeStrategy> &
+recomputeStrategyTable()
+{
+    static const std::vector<RecomputeStrategy> table = {
+        {"none", "No recompute (save all)", BlockRecompute::None},
+        {"attn", "Attention-only recompute",
+         BlockRecompute::AttentionOnly},
+        {"full", "Full recompute", BlockRecompute::Full},
+    };
+    return table;
+}
+
+const RecomputeStrategy *
+findRecomputeStrategy(const std::string &key)
+{
+    for (const RecomputeStrategy &s : recomputeStrategyTable()) {
+        if (key == s.key)
+            return &s;
+    }
+    return nullptr;
 }
 
 } // namespace adapipe

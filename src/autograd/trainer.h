@@ -12,6 +12,7 @@
 #define ADAPIPE_AUTOGRAD_TRAINER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "autograd/module.h"
@@ -29,6 +30,14 @@ struct TrainOptions
     std::vector<BlockRecompute> recompute;
     /** Seed for the data stream (independent of model init). */
     std::uint64_t dataSeed = 7;
+    /**
+     * Micro-batches accumulated per optimizer step (gradients are
+     * averaged). Micro-batch m of step k draws batch index k*n + m,
+     * the exact stream the pipeline runtime consumes, so this is the
+     * single-threaded reference for runtime validation. 1 keeps the
+     * original one-batch-per-step behaviour bit-identically.
+     */
+    int microBatches = 1;
 };
 
 /** Per-run statistics. */
@@ -62,6 +71,26 @@ void makeBigramBatch(int vocab, int seq_len, int step,
  * Train @p model in place for @p opts.steps steps.
  */
 TrainStats trainTinyLM(TinyLM &model, const TrainOptions &opts);
+
+/**
+ * One row of the uniform recomputation-strategy ladder shared by the
+ * training examples (tiny_training, pipeline_training) and tests.
+ */
+struct RecomputeStrategy
+{
+    /** CLI key, e.g. "attn". */
+    const char *key;
+    /** Display name, e.g. "Attention-only recompute". */
+    const char *name;
+    /** Per-block mode applied uniformly. */
+    BlockRecompute mode;
+};
+
+/** The ladder: save-all, attention-only, full recompute. */
+const std::vector<RecomputeStrategy> &recomputeStrategyTable();
+
+/** @return the ladder entry with @p key, or nullptr. */
+const RecomputeStrategy *findRecomputeStrategy(const std::string &key);
 
 } // namespace adapipe
 

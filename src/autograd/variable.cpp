@@ -15,6 +15,9 @@ thread_local bool grad_enabled = true;
 std::atomic<std::int64_t> live_floats{0};
 std::atomic<std::int64_t> peak_floats{0};
 
+thread_local std::int64_t tl_live_floats = 0;
+thread_local std::int64_t tl_peak_floats = 0;
+
 void
 meterAdd(std::int64_t n)
 {
@@ -25,6 +28,9 @@ meterAdd(std::int64_t n)
            !peak_floats.compare_exchange_weak(
                peak, now, std::memory_order_relaxed)) {
     }
+    tl_live_floats += n;
+    if (tl_live_floats > tl_peak_floats)
+        tl_peak_floats = tl_live_floats;
 }
 
 } // namespace
@@ -35,8 +41,9 @@ VarImpl::VarImpl() = default;
 
 VarImpl::~VarImpl()
 {
-    live_floats.fetch_sub(value.numel() + grad.numel(),
-                          std::memory_order_relaxed);
+    const std::int64_t n = value.numel() + grad.numel();
+    live_floats.fetch_sub(n, std::memory_order_relaxed);
+    tl_live_floats -= n;
 }
 
 } // namespace autograd_detail
@@ -74,6 +81,24 @@ resetActivationMeter()
 {
     peak_floats.store(live_floats.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+}
+
+std::int64_t
+threadLiveActivationFloats()
+{
+    return tl_live_floats;
+}
+
+std::int64_t
+threadPeakActivationFloats()
+{
+    return tl_peak_floats;
+}
+
+void
+resetThreadActivationMeter()
+{
+    tl_peak_floats = tl_live_floats;
 }
 
 Variable::Variable(Tensor value, bool requires_grad)

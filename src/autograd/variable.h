@@ -82,6 +82,24 @@ std::int64_t liveActivationFloats();
 void resetActivationMeter();
 
 /**
+ * Per-thread activation accounting, used by the pipeline runtime to
+ * attribute peak activation memory to individual stage threads (the
+ * process-wide meter above cannot tell stages apart).
+ *
+ * Allocations are charged to the allocating thread and releases to
+ * the releasing thread, so the counters are exact for code that
+ * builds and drops its graphs on one thread (each pipeline stage
+ * does); cross-thread frees show up as drift on the freeing thread.
+ */
+std::int64_t threadLiveActivationFloats();
+
+/** Peak of the calling thread's live count since its last reset. */
+std::int64_t threadPeakActivationFloats();
+
+/** Reset the calling thread's peak watermark to its live count. */
+void resetThreadActivationMeter();
+
+/**
  * Autograd variable: shared handle to a node.
  */
 class Variable

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bounded blocking SPSC channel: the runtime's stand-in for the
+ * point-to-point activation/gradient links between pipeline stages.
+ *
+ * The capacity bound is the memory cap made physical: a producer
+ * whose consumer has fallen behind blocks in send() instead of
+ * accumulating unbounded in-flight tensors, exactly the backpressure
+ * a real execution engine gets from a fixed activation buffer pool.
+ * send()/recv() report the microseconds they spent blocked so the
+ * runtime can separate backpressure/starvation from compute time.
+ *
+ * One producer and one consumer thread per channel (each pipeline
+ * edge has exactly one of each); the implementation is a plain
+ * mutex + two condition variables, which is also what keeps it
+ * trivially clean under ThreadSanitizer.
+ */
+
+#ifndef ADAPIPE_RUNTIME_CHANNEL_H
+#define ADAPIPE_RUNTIME_CHANNEL_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adapipe {
+
+/** Bounded blocking FIFO channel between two pipeline stages. */
+template <typename T>
+class BoundedChannel
+{
+  public:
+    /** @param capacity maximum queued items (>= 1). */
+    explicit BoundedChannel(std::size_t capacity)
+        : capacity_(capacity)
+    {
+        ADAPIPE_ASSERT(capacity >= 1, "channel capacity must be >= 1");
+    }
+
+    BoundedChannel(const BoundedChannel &) = delete;
+    BoundedChannel &operator=(const BoundedChannel &) = delete;
+
+    /**
+     * Enqueue @p value, blocking while the channel is full.
+     *
+     * @return microseconds spent blocked waiting for space (0 when
+     *         the fast path succeeded immediately).
+     */
+    double
+    send(T value)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        double waited_us = 0;
+        if (queue_.size() >= capacity_) {
+            const auto start = std::chrono::steady_clock::now();
+            not_full_.wait(lock, [this] {
+                return queue_.size() < capacity_;
+            });
+            waited_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+        }
+        queue_.push_back(std::move(value));
+        not_empty_.notify_one();
+        return waited_us;
+    }
+
+    /**
+     * Dequeue the oldest item, blocking while the channel is empty.
+     *
+     * @param waited_us when non-null, receives the microseconds
+     *        spent blocked waiting for data.
+     */
+    T
+    recv(double *waited_us = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        double us = 0;
+        if (queue_.empty()) {
+            const auto start = std::chrono::steady_clock::now();
+            not_empty_.wait(lock, [this] { return !queue_.empty(); });
+            us = std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+        }
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        if (waited_us)
+            *waited_us = us;
+        return value;
+    }
+
+    /** @return items currently queued (diagnostic; racy by nature). */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return queue_.size();
+    }
+
+    /** @return the capacity bound. */
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> queue_;
+    std::size_t capacity_;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_RUNTIME_CHANNEL_H

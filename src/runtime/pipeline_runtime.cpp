@@ -1,0 +1,423 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "autograd/optim.h"
+#include "autograd/trainer.h"
+#include "runtime/channel.h"
+#include "sim/schedule.h"
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+/** Activation state of one in-flight micro-batch on one stage. */
+struct Inflight
+{
+    /** Boundary leaf the stage's segment starts from (stages > 0). */
+    Variable input;
+    /** Stage output kept until backward: the boundary activation,
+     *  or the loss on the head stage. This retention IS the 1F1B
+     *  in-flight activation memory. */
+    Variable output;
+};
+
+/**
+ * One stage's worker: owns its optimizer, its obs registry and its
+ * in-flight table; runs the stage's fixed 1F1B op order.
+ */
+class StageWorker
+{
+  public:
+    StageWorker(TinyLM &model, const StageSpec &spec, int stage_idx,
+                const Schedule &sched, const RuntimeOptions &opts,
+                BoundedChannel<Tensor> *fwd_in,
+                BoundedChannel<Tensor> *fwd_out,
+                BoundedChannel<Tensor> *bwd_in,
+                BoundedChannel<Tensor> *bwd_out)
+        : model_(model), spec_(spec), stageIdx_(stage_idx),
+          sched_(sched), opts_(opts), fwdIn_(fwd_in),
+          fwdOut_(fwd_out), bwdIn_(bwd_in), bwdOut_(bwd_out)
+    {
+        metrics_.firstBlock = spec.firstBlock;
+        metrics_.lastBlock = spec.lastBlock;
+        metrics_.embedding = spec.embedding;
+        metrics_.head = spec.head;
+    }
+
+    void run();
+
+    const StageMetrics &metrics() const { return metrics_; }
+    const std::vector<double> &losses() const { return losses_; }
+    const obs::Registry &registry() const { return registry_; }
+
+  private:
+    std::vector<Variable> ownParams() const;
+    void runForward(int step, const PipeOp &op);
+    void runBackward(const PipeOp &op);
+    void recordSpan(const char *name, double start_us);
+    void flushGauges();
+
+    TinyLM &model_;
+    const StageSpec &spec_;
+    int stageIdx_;
+    const Schedule &sched_;
+    const RuntimeOptions &opts_;
+    BoundedChannel<Tensor> *fwdIn_;
+    BoundedChannel<Tensor> *fwdOut_;
+    BoundedChannel<Tensor> *bwdIn_;
+    BoundedChannel<Tensor> *bwdOut_;
+
+    std::map<int, Inflight> inflight_;
+    std::vector<int> tokens_;
+    std::vector<int> targets_;
+    double lossSum_ = 0;
+    StageMetrics metrics_;
+    std::vector<double> losses_;
+    obs::Registry registry_;
+};
+
+std::vector<Variable>
+StageWorker::ownParams() const
+{
+    std::vector<Variable> params;
+    if (spec_.embedding) {
+        const auto e = model_.embedParams();
+        params.insert(params.end(), e.begin(), e.end());
+    }
+    for (int b = spec_.firstBlock; b <= spec_.lastBlock; ++b) {
+        const auto bp = model_.blockParams(b);
+        params.insert(params.end(), bp.begin(), bp.end());
+    }
+    if (spec_.head) {
+        const auto h = model_.headParams();
+        params.insert(params.end(), h.begin(), h.end());
+    }
+    return params;
+}
+
+void
+StageWorker::recordSpan(const char *name, double start_us)
+{
+    obs::SpanRecord span;
+    span.name = name;
+    span.startUs = start_us;
+    span.durUs = obs::nowUs() - start_us;
+    span.depth = 0;
+    span.thread = obs::threadId();
+    registry_.record(std::move(span));
+}
+
+void
+StageWorker::runForward(int step, const PipeOp &op)
+{
+    const int n = opts_.microBatches;
+    Variable h;
+    if (stageIdx_ > 0) {
+        double waited_us = 0;
+        Tensor in = fwdIn_->recv(&waited_us);
+        metrics_.recvWaitSeconds += waited_us * 1e-6;
+        registry_.add("runtime.recvs", 1);
+        Variable leaf(std::move(in), /*requires_grad=*/true);
+        inflight_[op.microBatch].input = leaf;
+        h = leaf;
+    }
+
+    const double start_us = obs::nowUs();
+    if (spec_.embedding) {
+        makeBigramBatch(model_.config().vocab, opts_.seqLen,
+                        step * n + op.microBatch, opts_.dataSeed,
+                        tokens_, targets_);
+        h = model_.embed(tokens_);
+    }
+    for (int b = spec_.firstBlock; b <= spec_.lastBlock; ++b) {
+        h = model_.blockForward(
+            b, h, spec_.recompute[b - spec_.firstBlock]);
+    }
+    if (spec_.head) {
+        makeBigramBatch(model_.config().vocab, opts_.seqLen,
+                        step * n + op.microBatch, opts_.dataSeed,
+                        tokens_, targets_);
+        Variable loss = model_.headLoss(h, targets_);
+        lossSum_ += loss.value()[0];
+        inflight_[op.microBatch].output = loss;
+    } else {
+        inflight_[op.microBatch].output = h;
+    }
+    metrics_.fwdSeconds += (obs::nowUs() - start_us) * 1e-6;
+    ++metrics_.fwdOps;
+    recordSpan("runtime.forward", start_us);
+    registry_.add("runtime.fwd_ops", 1);
+
+    if (fwdOut_) {
+        const double blocked_us =
+            fwdOut_->send(inflight_[op.microBatch].output.value());
+        metrics_.sendBlockedSeconds += blocked_us * 1e-6;
+        registry_.add("runtime.sends", 1);
+        if (blocked_us > 0)
+            registry_.add("runtime.send_blocked", 1);
+    }
+}
+
+void
+StageWorker::runBackward(const PipeOp &op)
+{
+    const auto it = inflight_.find(op.microBatch);
+    ADAPIPE_ASSERT(it != inflight_.end(), "backward of micro-batch ",
+                   op.microBatch, " before its forward");
+    Inflight fl = std::move(it->second);
+
+    Tensor seed;
+    if (spec_.head) {
+        // Seed with 1/n: gradients average over the iteration's
+        // micro-batches, matching the single-threaded reference.
+        seed = Tensor::full(
+            fl.output.value().shape(),
+            1.0f / static_cast<float>(opts_.microBatches));
+    } else {
+        double waited_us = 0;
+        seed = bwdIn_->recv(&waited_us);
+        metrics_.recvWaitSeconds += waited_us * 1e-6;
+        registry_.add("runtime.recvs", 1);
+    }
+
+    const double start_us = obs::nowUs();
+    fl.output.backward(seed);
+    Tensor input_grad;
+    if (stageIdx_ > 0)
+        input_grad = fl.input.grad();
+    // Drop the micro-batch's graph: this is the moment the 1F1B
+    // schedule releases the stage's in-flight activation memory.
+    inflight_.erase(it);
+    fl = Inflight{};
+    metrics_.bwdSeconds += (obs::nowUs() - start_us) * 1e-6;
+    ++metrics_.bwdOps;
+    recordSpan("runtime.backward", start_us);
+    registry_.add("runtime.bwd_ops", 1);
+
+    if (bwdOut_) {
+        const double blocked_us = bwdOut_->send(std::move(input_grad));
+        metrics_.sendBlockedSeconds += blocked_us * 1e-6;
+        registry_.add("runtime.sends", 1);
+        if (blocked_us > 0)
+            registry_.add("runtime.send_blocked", 1);
+    }
+}
+
+void
+StageWorker::flushGauges()
+{
+    const std::string prefix =
+        "runtime.stage." + std::to_string(stageIdx_) + ".";
+    registry_.set(prefix + "fwd_us", metrics_.fwdSeconds * 1e6);
+    registry_.set(prefix + "bwd_us", metrics_.bwdSeconds * 1e6);
+    registry_.set(prefix + "send_blocked_us",
+                  metrics_.sendBlockedSeconds * 1e6);
+    registry_.set(prefix + "recv_wait_us",
+                  metrics_.recvWaitSeconds * 1e6);
+    registry_.set(prefix + "peak_activation_floats",
+                  static_cast<double>(metrics_.peakActivationFloats));
+    registry_.set(prefix + "num_blocks",
+                  static_cast<double>(spec_.numBlocks()));
+}
+
+void
+StageWorker::run()
+{
+    // Per-worker registry, merged by the parent after join: the obs
+    // discipline that keeps counters deterministic and TSan happy.
+    // Engine-level instrumentation (checkpoint replays) lands here
+    // too via the thread-local obs::current() pointer.
+    obs::ScopedRegistry scope(&registry_);
+    resetThreadActivationMeter();
+    const std::int64_t act_base = threadLiveActivationFloats();
+
+    const std::vector<Variable> params = ownParams();
+    std::unique_ptr<Adam> adam;
+    std::unique_ptr<Sgd> sgd;
+    if (!params.empty()) {
+        if (opts_.useAdam)
+            adam = std::make_unique<Adam>(params, opts_.lr);
+        else
+            sgd = std::make_unique<Sgd>(params, opts_.lr);
+    }
+
+    const std::vector<std::size_t> &order =
+        sched_.deviceOrder[static_cast<std::size_t>(stageIdx_)];
+    for (int step = 0; step < opts_.steps; ++step) {
+        if (adam)
+            adam->zeroGrad();
+        else if (sgd)
+            sgd->zeroGrad();
+        lossSum_ = 0;
+
+        for (const std::size_t idx : order) {
+            const PipeOp &op = sched_.ops[idx];
+            if (op.kind == OpKind::Forward)
+                runForward(step, op);
+            else
+                runBackward(op);
+        }
+        ADAPIPE_ASSERT(inflight_.empty(),
+                       "in-flight micro-batches left after step");
+
+        if (spec_.head)
+            losses_.push_back(lossSum_ / opts_.microBatches);
+        if (adam)
+            adam->step();
+        else if (sgd)
+            sgd->step();
+    }
+
+    metrics_.peakActivationFloats =
+        threadPeakActivationFloats() - act_base;
+    flushGauges();
+}
+
+/** Validate the stage partition; panics on caller error. */
+void
+validateSpecs(const TinyLM &model, const std::vector<StageSpec> &specs)
+{
+    ADAPIPE_ASSERT(!specs.empty(), "need at least one stage");
+    const int num_blocks = model.config().blocks;
+    int next_block = 0;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        const StageSpec &spec = specs[s];
+        ADAPIPE_ASSERT(spec.embedding == (s == 0),
+                       "embedding must live on stage 0 (stage ", s,
+                       ")");
+        ADAPIPE_ASSERT(spec.head == (s + 1 == specs.size()),
+                       "head must live on the last stage (stage ", s,
+                       ")");
+        if (spec.numBlocks() == 0)
+            continue;
+        ADAPIPE_ASSERT(spec.firstBlock == next_block,
+                       "stage ", s, " starts at block ",
+                       spec.firstBlock, ", expected ", next_block);
+        ADAPIPE_ASSERT(spec.lastBlock < num_blocks,
+                       "stage ", s, " ends past block ",
+                       num_blocks - 1);
+        ADAPIPE_ASSERT(spec.recompute.empty() ||
+                           static_cast<int>(spec.recompute.size()) ==
+                               spec.numBlocks(),
+                       "stage ", s,
+                       " recompute size does not match its blocks");
+        next_block = spec.lastBlock + 1;
+    }
+    ADAPIPE_ASSERT(next_block == num_blocks,
+                   "stages cover blocks [0, ", next_block,
+                   "), model has ", num_blocks);
+}
+
+} // namespace
+
+std::vector<StageSpec>
+evenStageSpecs(int num_blocks, int num_stages, BlockRecompute mode)
+{
+    ADAPIPE_ASSERT(num_stages >= 1 && num_blocks >= 0,
+                   "invalid even split request");
+    std::vector<StageSpec> specs(
+        static_cast<std::size_t>(num_stages));
+    const int base = num_blocks / num_stages;
+    const int rem = num_blocks % num_stages;
+    int next = 0;
+    for (int s = 0; s < num_stages; ++s) {
+        const int take = base + (s < rem ? 1 : 0);
+        StageSpec &spec = specs[static_cast<std::size_t>(s)];
+        spec.firstBlock = next;
+        spec.lastBlock = next + take - 1;
+        spec.embedding = (s == 0);
+        spec.head = (s == num_stages - 1);
+        spec.recompute.assign(static_cast<std::size_t>(take), mode);
+        next += take;
+    }
+    return specs;
+}
+
+RuntimeResult
+runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
+            const RuntimeOptions &opts, obs::Registry *metrics)
+{
+    ADAPIPE_ASSERT(opts.steps >= 1, "need at least one step");
+    ADAPIPE_ASSERT(opts.microBatches >= 1,
+                   "need at least one micro-batch");
+    ADAPIPE_ASSERT(opts.seqLen >= 1 &&
+                       opts.seqLen <= model.config().maxSeq,
+                   "seqLen must be in [1, maxSeq]");
+    ADAPIPE_ASSERT(opts.channelCapacity >= 1,
+                   "channel capacity must be >= 1");
+    validateSpecs(model, stages);
+
+    // Normalised copy: fill empty recompute vectors so workers can
+    // index them unconditionally.
+    std::vector<StageSpec> specs = stages;
+    for (StageSpec &spec : specs) {
+        if (spec.recompute.empty() && spec.numBlocks() > 0) {
+            spec.recompute.assign(
+                static_cast<std::size_t>(spec.numBlocks()),
+                BlockRecompute::None);
+        }
+    }
+
+    const int p = static_cast<int>(specs.size());
+    const Schedule sched = build1F1B(p, opts.microBatches);
+
+    std::vector<std::unique_ptr<BoundedChannel<Tensor>>> fwd_chans;
+    std::vector<std::unique_ptr<BoundedChannel<Tensor>>> bwd_chans;
+    for (int e = 0; e + 1 < p; ++e) {
+        fwd_chans.push_back(std::make_unique<BoundedChannel<Tensor>>(
+            static_cast<std::size_t>(opts.channelCapacity)));
+        bwd_chans.push_back(std::make_unique<BoundedChannel<Tensor>>(
+            static_cast<std::size_t>(opts.channelCapacity)));
+    }
+    auto edge = [](auto &chans, int i) -> BoundedChannel<Tensor> * {
+        return (i >= 0 && i < static_cast<int>(chans.size()))
+                   ? chans[static_cast<std::size_t>(i)].get()
+                   : nullptr;
+    };
+
+    std::vector<std::unique_ptr<StageWorker>> workers;
+    workers.reserve(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+        workers.push_back(std::make_unique<StageWorker>(
+            model, specs[static_cast<std::size_t>(s)], s, sched, opts,
+            edge(fwd_chans, s - 1), edge(fwd_chans, s),
+            edge(bwd_chans, s), edge(bwd_chans, s - 1)));
+    }
+
+    resetActivationMeter();
+    const std::int64_t act_base = liveActivationFloats();
+    const double start_us = obs::nowUs();
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers.size());
+    for (auto &worker : workers)
+        threads.emplace_back([&worker] { worker->run(); });
+    for (std::thread &t : threads)
+        t.join();
+
+    RuntimeResult result;
+    result.wallSeconds = (obs::nowUs() - start_us) * 1e-6;
+    result.peakActivationFloats = peakActivationFloats() - act_base;
+    result.losses = workers.back()->losses();
+    for (auto &worker : workers) {
+        result.stages.push_back(worker->metrics());
+        if (metrics)
+            metrics->merge(worker->registry());
+    }
+    if (metrics) {
+        metrics->set("runtime.stages", p);
+        metrics->set("runtime.micro_batches", opts.microBatches);
+        metrics->set("runtime.wall_us", result.wallSeconds * 1e6);
+        metrics->set("runtime.peak_activation_floats",
+                     static_cast<double>(result.peakActivationFloats));
+    }
+    return result;
+}
+
+} // namespace adapipe

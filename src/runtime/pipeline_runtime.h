@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Multithreaded pipeline-parallel executor for the tiny LM: the
+ * repo's execution backend, closing the loop the paper closes with
+ * cluster measurements.
+ *
+ * One worker thread per pipeline stage. Each stage owns a contiguous
+ * block range of a shared TinyLM (stage 0 additionally owns the
+ * embedding, the last stage the head + loss), runs the 1F1B op order
+ * from sim/schedule, and exchanges activation/gradient tensors with
+ * its neighbours over bounded channels (runtime/channel.h) whose
+ * blocking send models the activation-memory cap. Per-unit recompute
+ * decisions apply through autograd/checkpoint, so saved units keep
+ * their tensors and recomputed units replay forward during backward.
+ *
+ * Determinism: stage boundaries detach activations into fresh leaf
+ * variables, and boundary gradients add back exactly the floats the
+ * monolithic graph would have propagated, so a pipeline run computes
+ * bit-identical losses to trainTinyLM with the same seed, recompute
+ * modes and micro-batch count — for any stage count. That is the
+ * paper's Fig. 10 invariant, measured instead of assumed.
+ */
+
+#ifndef ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H
+#define ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/module.h"
+#include "obs/registry.h"
+
+namespace adapipe {
+
+/**
+ * One pipeline stage's share of the model.
+ */
+struct StageSpec
+{
+    /** First owned transformer block (inclusive). */
+    int firstBlock = 0;
+    /** Last owned transformer block (inclusive); < firstBlock means
+     *  the stage owns no blocks (pure relay / embedding / head). */
+    int lastBlock = -1;
+    /** Stage runs the embedding (must be stage 0). */
+    bool embedding = false;
+    /** Stage runs final norm + head + loss (must be the last stage). */
+    bool head = false;
+    /** Per-owned-block recompute mode (empty = None for all). */
+    std::vector<BlockRecompute> recompute;
+
+    /** @return number of owned blocks. */
+    int
+    numBlocks() const
+    {
+        return lastBlock < firstBlock ? 0 : lastBlock - firstBlock + 1;
+    }
+};
+
+/** Runtime execution options. */
+struct RuntimeOptions
+{
+    /** Optimizer steps (iterations). */
+    int steps = 20;
+    /** Tokens per micro-batch. */
+    int seqLen = 32;
+    /** Micro-batches n per iteration (gradients averaged). */
+    int microBatches = 4;
+    float lr = 4e-3f;
+    bool useAdam = true;
+    /** Seed of the bigram data stream (independent of model init). */
+    std::uint64_t dataSeed = 7;
+    /**
+     * Bounded-channel depth per pipeline edge. 1 is the tightest
+     * memory cap (sender stalls until the neighbour consumed the
+     * previous tensor); larger values trade memory for slack.
+     */
+    int channelCapacity = 2;
+};
+
+/** Measured per-stage execution statistics. */
+struct StageMetrics
+{
+    int firstBlock = 0;
+    int lastBlock = -1;
+    bool embedding = false;
+    bool head = false;
+    /** Forward / backward micro-batch ops executed. */
+    std::int64_t fwdOps = 0;
+    std::int64_t bwdOps = 0;
+    /** Summed compute time inside forward / backward ops. */
+    double fwdSeconds = 0;
+    double bwdSeconds = 0;
+    /** Time blocked sending into a full channel (backpressure). */
+    double sendBlockedSeconds = 0;
+    /** Time blocked waiting for inputs (starvation / bubbles). */
+    double recvWaitSeconds = 0;
+    /** Peak activation floats attributed to this stage's thread. */
+    std::int64_t peakActivationFloats = 0;
+};
+
+/** Result of one pipeline training run. */
+struct RuntimeResult
+{
+    /** Mean micro-batch loss per step (recorded by the last stage). */
+    std::vector<double> losses;
+    /** Per-stage measurements, stage 0 first. */
+    std::vector<StageMetrics> stages;
+    /** End-to-end wall time of the run. */
+    double wallSeconds = 0;
+    /** Process-wide peak activation floats over the run. */
+    std::int64_t peakActivationFloats = 0;
+
+    /** @return mean wall time of one optimizer step. */
+    double stepSeconds(int steps) const
+    {
+        return steps > 0 ? wallSeconds / steps : 0;
+    }
+};
+
+/**
+ * Uniform baseline partition: split @p num_blocks blocks over
+ * @p num_stages stages (earlier stages take the remainder), with
+ * @p mode applied to every block. Stage 0 gets the embedding, the
+ * last stage the head.
+ */
+std::vector<StageSpec> evenStageSpecs(int num_blocks, int num_stages,
+                                      BlockRecompute mode);
+
+/**
+ * Train @p model with one worker thread per stage.
+ *
+ * Stage coverage must be contiguous over all blocks, with the
+ * embedding on stage 0 and the head on the last stage. Parameters
+ * are updated by the owning stage only; the model is safe to read
+ * from the caller after the run.
+ *
+ * @param model the (already initialised) model; updated in place
+ * @param stages per-stage ownership and recompute decisions
+ * @param opts execution options
+ * @param metrics optional registry receiving the merged per-stage
+ *        counters/gauges/spans (merge-on-join; deterministic order).
+ *        Per-op spans land on the shared obs timeline, directly
+ *        comparable to the simulator's Chrome traces.
+ */
+RuntimeResult runPipeline(TinyLM &model,
+                          const std::vector<StageSpec> &stages,
+                          const RuntimeOptions &opts,
+                          obs::Registry *metrics = nullptr);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H

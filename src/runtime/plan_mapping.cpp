@@ -1,0 +1,190 @@
+#include "runtime/plan_mapping.h"
+
+#include <cstddef>
+#include <sstream>
+
+#include "model/units.h"
+#include "util/logging.h"
+
+namespace adapipe {
+
+namespace {
+
+/** Uniform fallback mode when the saved mask cannot be decoded. */
+BlockRecompute
+fallbackMode(PlanMethod method)
+{
+    switch (method) {
+    case PlanMethod::DappleFull:
+        return BlockRecompute::Full;
+    case PlanMethod::DappleSelective:
+        return BlockRecompute::AttentionOnly;
+    case PlanMethod::DappleNon:
+    case PlanMethod::AdaPipe:
+    case PlanMethod::EvenPartition:
+        break;
+    }
+    return BlockRecompute::None;
+}
+
+/**
+ * Per-layer recompute flags decoded from the plan's saved masks:
+ * layer index -> "at least one knapsack-eligible unit is recomputed".
+ * @return false when any stage's mask does not match its unit count.
+ */
+bool
+decodeLayerRecompute(const PipelinePlan &plan,
+                     const std::vector<Layer> &layers,
+                     std::vector<bool> &recomp)
+{
+    recomp.assign(layers.size(), false);
+    for (const StagePlan &stage : plan.stages) {
+        if (stage.firstLayer < 0 ||
+            stage.lastLayer >= static_cast<int>(layers.size()))
+            return false;
+        std::size_t units = 0;
+        for (int l = stage.firstLayer; l <= stage.lastLayer; ++l)
+            units += layers[static_cast<std::size_t>(l)].units.size();
+        if (stage.savedMask.size() != units)
+            return false;
+
+        std::size_t pos = 0;
+        for (int l = stage.firstLayer; l <= stage.lastLayer; ++l) {
+            const Layer &layer = layers[static_cast<std::size_t>(l)];
+            for (const ComputationUnit &unit : layer.units) {
+                const bool saved = stage.savedMask[pos++];
+                if (!unit.alwaysSaved && !saved)
+                    recomp[static_cast<std::size_t>(l)] = true;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+ModelConfig
+tinyLmModelConfig(const TinyLmConfig &config)
+{
+    ModelConfig model;
+    model.name = "TinyLM";
+    model.numBlocks = config.blocks;
+    model.hiddenSize = config.dim;
+    model.numHeads = config.numHeads;
+    model.numKvHeads = config.numHeads;
+    model.ffnHiddenSize = config.ffnHidden;
+    model.vocabSize = config.vocab;
+    model.gatedFfn = config.gatedFfn;
+    model.bias = true;
+    model.causal = true;
+    model.dtypeBytes = 4; // the autograd engine computes in fp32
+    model.validate();
+    return model;
+}
+
+StageMapping
+stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
+{
+    const int num_blocks = config.blocks;
+    const int num_layers = 2 * num_blocks + 2;
+    ADAPIPE_ASSERT(!plan.stages.empty(), "plan has no stages");
+    if (plan.stages.front().firstLayer != 0 ||
+        plan.stages.back().lastLayer != num_layers - 1) {
+        ADAPIPE_FATAL("plan covers layers [",
+                      plan.stages.front().firstLayer, ", ",
+                      plan.stages.back().lastLayer, "] but a ",
+                      num_blocks, "-block tiny LM has layers [0, ",
+                      num_layers - 1, "]");
+    }
+
+    StageMapping mapping;
+
+    // Decode the per-unit masks against the tiny LM's own layer
+    // sequence; fall back to the method's uniform policy when the
+    // plan was built for different unit shapes.
+    const std::vector<Layer> layers = buildLayerSequence(
+        tinyLmModelConfig(config), plan.train, plan.par);
+    std::vector<bool> layer_recomp;
+    const bool mask_ok =
+        decodeLayerRecompute(plan, layers, layer_recomp);
+    const BlockRecompute fallback = fallbackMode(plan.method);
+    if (!mask_ok) {
+        std::ostringstream note;
+        note << "saved masks do not match the tiny LM's computation "
+                "units; using uniform "
+             << (fallback == BlockRecompute::Full ? "full"
+                 : fallback == BlockRecompute::AttentionOnly
+                     ? "attention-only"
+                     : "no")
+             << " recompute from method "
+             << planMethodName(plan.method);
+        mapping.notes.push_back(note.str());
+    }
+
+    const std::size_t p = plan.stages.size();
+    int next_block = 0;
+    for (std::size_t s = 0; s < p; ++s) {
+        const StagePlan &sp = plan.stages[s];
+        // Block b's Attention layer has index 1 + 2b; a block belongs
+        // to the stage owning its Attention layer. When the plan cuts
+        // between a block's Attention and FeedForward layers, the
+        // whole block rounds onto the Attention side.
+        int b_hi = sp.lastLayer < 1 ? -1 : (sp.lastLayer - 1) / 2;
+        if (b_hi >= num_blocks)
+            b_hi = num_blocks - 1;
+
+        StageSpec spec;
+        spec.firstBlock = next_block;
+        spec.lastBlock = b_hi;
+        spec.embedding = (s == 0);
+        spec.head = (s + 1 == p);
+
+        if (s > 0 && sp.firstLayer % 2 == 0 &&
+            sp.firstLayer < num_layers - 1) {
+            std::ostringstream note;
+            note << "stage " << s << " starts at layer "
+                 << sp.firstLayer
+                 << " (FeedForward); block "
+                 << (sp.firstLayer - 2) / 2
+                 << " rounds onto stage " << s - 1;
+            mapping.notes.push_back(note.str());
+        }
+
+        for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
+            BlockRecompute mode = fallback;
+            if (mask_ok) {
+                const std::size_t attn =
+                    static_cast<std::size_t>(1 + 2 * b);
+                const std::size_t ffn =
+                    static_cast<std::size_t>(2 + 2 * b);
+                const bool attn_r = layer_recomp[attn];
+                const bool ffn_r =
+                    ffn < layer_recomp.size() && layer_recomp[ffn];
+                // FFN recompute needs the whole block replayed (the
+                // runtime checkpoints blocks or attention
+                // sub-layers, not FFNs alone).
+                mode = ffn_r ? BlockRecompute::Full
+                       : attn_r ? BlockRecompute::AttentionOnly
+                                : BlockRecompute::None;
+                if (ffn_r && !attn_r) {
+                    std::ostringstream note;
+                    note << "block " << b
+                         << ": plan recomputes FeedForward units "
+                            "only; runtime rounds up to full-block "
+                            "recompute";
+                    mapping.notes.push_back(note.str());
+                }
+            }
+            spec.recompute.push_back(mode);
+        }
+
+        next_block = spec.lastBlock + 1;
+        mapping.stages.push_back(std::move(spec));
+    }
+    ADAPIPE_ASSERT(next_block == num_blocks,
+                   "plan mapping covered ", next_block, " of ",
+                   num_blocks, " blocks");
+    return mapping;
+}
+
+} // namespace adapipe
