@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Runtime throughput benchmark: tiny-LM pipeline training across
+ * 1/2/4 stages x none/attn/full recompute, on the real
+ * multithreaded runtime, emitting machine-readable
+ * BENCH_runtime.json to seed the repo's performance trajectory.
+ *
+ * Per configuration it records tokens/s, per-stage forward /
+ * backward / checkpoint-replay compute time, blocked-channel and
+ * recv-wait time, and the tensor pool's allocation counters
+ * (heap allocations vs freelist reuses) so pool regressions show
+ * up as numbers, not vibes.
+ *
+ * Usage:
+ *   runtime_throughput                 # full grid, BENCH_runtime.json
+ *   runtime_throughput --smoke         # CI-sized, same schema
+ *   runtime_throughput --out my.json
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "autograd/tensor_pool.h"
+#include "autograd/trainer.h"
+#include "runtime/pipeline_runtime.h"
+#include "util/cli.h"
+#include "util/file_io.h"
+#include "util/json.h"
+
+using namespace adapipe;
+
+namespace {
+
+struct ConfigResult
+{
+    int stages = 0;
+    std::string recompute;
+    double tokensPerSecond = 0;
+    double wallSeconds = 0;
+    double finalLoss = 0;
+    TensorPool::Stats pool; // deltas over the run
+    std::vector<StageMetrics> stageMetrics;
+};
+
+JsonValue
+stageJson(const StageMetrics &sm)
+{
+    JsonValue stage = JsonValue::object();
+    stage.set("first_block", JsonValue::integer(sm.firstBlock));
+    stage.set("last_block", JsonValue::integer(sm.lastBlock));
+    stage.set("fwd_ops", JsonValue::integer(sm.fwdOps));
+    stage.set("bwd_ops", JsonValue::integer(sm.bwdOps));
+    stage.set("fwd_seconds", JsonValue::number(sm.fwdSeconds));
+    stage.set("bwd_seconds", JsonValue::number(sm.bwdSeconds));
+    stage.set("replay_ops", JsonValue::integer(sm.replayOps));
+    stage.set("replay_seconds", JsonValue::number(sm.replaySeconds));
+    stage.set("send_blocked_seconds",
+              JsonValue::number(sm.sendBlockedSeconds));
+    stage.set("recv_wait_seconds",
+              JsonValue::number(sm.recvWaitSeconds));
+    stage.set("peak_activation_floats",
+              JsonValue::integer(sm.peakActivationFloats));
+    return stage;
+}
+
+JsonValue
+configJson(const ConfigResult &r)
+{
+    JsonValue cfg = JsonValue::object();
+    cfg.set("stages", JsonValue::integer(r.stages));
+    cfg.set("recompute", JsonValue::string(r.recompute));
+    cfg.set("tokens_per_second",
+            JsonValue::number(r.tokensPerSecond));
+    cfg.set("wall_seconds", JsonValue::number(r.wallSeconds));
+    cfg.set("final_loss", JsonValue::number(r.finalLoss));
+
+    JsonValue pool = JsonValue::object();
+    pool.set("heap_allocs", JsonValue::integer(r.pool.heapAllocs));
+    pool.set("reuses", JsonValue::integer(r.pool.reuses));
+    pool.set("releases", JsonValue::integer(r.pool.releases));
+    pool.set("heap_bytes", JsonValue::integer(r.pool.heapBytes));
+    cfg.set("pool", std::move(pool));
+
+    JsonValue stages = JsonValue::array();
+    for (const StageMetrics &sm : r.stageMetrics)
+        stages.push(stageJson(sm));
+    cfg.set("stage_metrics", std::move(stages));
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("runtime_throughput");
+    cli.addInt("blocks", 8, "transformer blocks");
+    cli.addInt("dim", 64, "model width");
+    cli.addInt("ffn-hidden", 128, "feed-forward inner width");
+    cli.addInt("vocab", 64, "vocabulary size");
+    cli.addInt("seq", 32, "tokens per micro-batch");
+    cli.addInt("steps", 10, "optimizer steps per configuration");
+    cli.addInt("micro-batches", 4, "micro-batches per step");
+    cli.addInt("seed", 42, "model-init seed");
+    cli.addString("out", "BENCH_runtime.json", "output JSON path");
+    cli.addFlag("smoke",
+                "CI-sized run (tiny model, 3 steps); same schema");
+    cli.parse(argc, argv);
+
+    TinyLmConfig cfg;
+    cfg.vocab = static_cast<int>(cli.getInt("vocab"));
+    cfg.dim = static_cast<int>(cli.getInt("dim"));
+    cfg.blocks = static_cast<int>(cli.getInt("blocks"));
+    cfg.ffnHidden = static_cast<int>(cli.getInt("ffn-hidden"));
+    cfg.maxSeq = static_cast<int>(cli.getInt("seq"));
+    cfg.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    RuntimeOptions opts;
+    opts.steps = static_cast<int>(cli.getInt("steps"));
+    opts.seqLen = static_cast<int>(cli.getInt("seq"));
+    opts.microBatches =
+        static_cast<int>(cli.getInt("micro-batches"));
+
+    if (cli.getFlag("smoke")) {
+        cfg.blocks = 4;
+        cfg.dim = 32;
+        cfg.ffnHidden = 64;
+        opts.steps = 3;
+        opts.microBatches = 2;
+    }
+
+    const int stage_counts[] = {1, 2, 4};
+    const BlockRecompute modes[] = {BlockRecompute::None,
+                                    BlockRecompute::AttentionOnly,
+                                    BlockRecompute::Full};
+    const char *const mode_names[] = {"none", "attn", "full"};
+
+    TensorPool &pool = TensorPool::instance();
+    std::vector<ConfigResult> results;
+    for (const int p : stage_counts) {
+        if (p > cfg.blocks)
+            continue;
+        for (std::size_t mi = 0; mi < 3; ++mi) {
+            const std::vector<StageSpec> specs =
+                evenStageSpecs(cfg.blocks, p, modes[mi]);
+            TinyLM model(cfg);
+
+            const TensorPool::Stats before = pool.stats();
+            const RuntimeResult run = runPipeline(model, specs, opts);
+            const TensorPool::Stats after = pool.stats();
+
+            ConfigResult r;
+            r.stages = p;
+            r.recompute = mode_names[mi];
+            r.wallSeconds = run.wallSeconds;
+            const double tokens =
+                static_cast<double>(opts.steps) * opts.microBatches *
+                opts.seqLen;
+            r.tokensPerSecond =
+                run.wallSeconds > 0 ? tokens / run.wallSeconds : 0;
+            r.finalLoss = run.losses.empty() ? 0 : run.losses.back();
+            r.pool.heapAllocs = after.heapAllocs - before.heapAllocs;
+            r.pool.reuses = after.reuses - before.reuses;
+            r.pool.releases = after.releases - before.releases;
+            r.pool.heapBytes = after.heapBytes - before.heapBytes;
+            r.stageMetrics = run.stages;
+            results.push_back(std::move(r));
+
+            std::cout << "p=" << p << " recompute=" << mode_names[mi]
+                      << ": " << static_cast<long long>(
+                                     r.tokensPerSecond)
+                      << " tok/s, "
+                      << r.pool.heapAllocs << " heap allocs / "
+                      << r.pool.reuses << " reuses, final loss "
+                      << r.finalLoss << "\n";
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("benchmark", JsonValue::string("runtime_throughput"));
+    JsonValue model_obj = JsonValue::object();
+    model_obj.set("blocks", JsonValue::integer(cfg.blocks));
+    model_obj.set("dim", JsonValue::integer(cfg.dim));
+    model_obj.set("ffn_hidden", JsonValue::integer(cfg.ffnHidden));
+    model_obj.set("vocab", JsonValue::integer(cfg.vocab));
+    model_obj.set("seq_len", JsonValue::integer(opts.seqLen));
+    model_obj.set("steps", JsonValue::integer(opts.steps));
+    model_obj.set("micro_batches",
+                  JsonValue::integer(opts.microBatches));
+    doc.set("workload", std::move(model_obj));
+    JsonValue arr = JsonValue::array();
+    for (const ConfigResult &r : results)
+        arr.push(configJson(r));
+    doc.set("configs", std::move(arr));
+
+    const std::string out_path = cli.getString("out");
+    const ParseStatus wrote =
+        writeTextFile(out_path, doc.dump(2) + "\n");
+    if (!wrote.ok()) {
+        std::cerr << "runtime_throughput: error: " << wrote.error()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << " (" << results.size()
+              << " configs)\n";
+    return 0;
+}

@@ -25,7 +25,13 @@ Linear::Linear(int in, int out, Rng &rng)
 Variable
 Linear::forward(const Variable &x) const
 {
-    return ops::addBias(ops::matmul(x, w_), b_);
+    return ops::linearBias(x, w_, b_);
+}
+
+Variable
+Linear::forwardGelu(const Variable &x) const
+{
+    return ops::linearBiasGelu(x, w_, b_);
 }
 
 LayerNormModule::LayerNormModule(int dim, bool rms)
@@ -148,7 +154,7 @@ FeedForwardModule::forward(const Variable &x) const
         return down_.forward(
             ops::mul(ops::silu(gate_->forward(x)), up_.forward(x)));
     }
-    return down_.forward(ops::gelu(up_.forward(x)));
+    return down_.forward(up_.forwardGelu(x));
 }
 
 std::vector<Variable>

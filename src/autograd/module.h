@@ -39,6 +39,12 @@ class Linear
     /** Apply to [rows, in]. */
     Variable forward(const Variable &x) const;
 
+    /**
+     * Apply followed by GELU as one fused graph node (bit-identical
+     * to gelu(forward(x))).
+     */
+    Variable forwardGelu(const Variable &x) const;
+
     /** @return trainable parameters. */
     std::vector<Variable> params() const { return {w_, b_}; }
 

@@ -1,6 +1,8 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "util/logging.h"
 
@@ -20,6 +22,147 @@ accumulate(const std::shared_ptr<Impl> &parent, const Tensor &delta)
     parent->grad.add_(delta);
 }
 
+/**
+ * Cache-blocked matmul kernels.
+ *
+ * Blocking runs over the output (m/n) tile only: for every output
+ * element the k-summation order — and the exact-zero skip — is
+ * identical to the naive triple loop, so every result is
+ * bit-identical to it. The pipeline runtime's loss bit-equality
+ * contract (pipeline == single-threaded trainer) depends on that,
+ * which is why none of these kernels reassociates the reduction.
+ */
+constexpr int kTileRows = 32;
+constexpr int kTileCols = 128;
+
+/** out += A . B for A [m,k], B [k,n]; out must start zeroed. */
+void
+matmulForward(const Tensor &av, const Tensor &bv, Tensor &out)
+{
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = bv.cols();
+    const float *A = av.data().data();
+    const float *B = bv.data().data();
+    float *O = out.data().data();
+    for (int i0 = 0; i0 < m; i0 += kTileRows) {
+        const int i1 = std::min(i0 + kTileRows, m);
+        for (int j0 = 0; j0 < n; j0 += kTileCols) {
+            const int j1 = std::min(j0 + kTileCols, n);
+            for (int i = i0; i < i1; ++i) {
+                const float *arow =
+                    A + static_cast<std::size_t>(i) * k;
+                float *orow = O + static_cast<std::size_t>(i) * n;
+                for (int kk = 0; kk < k; ++kk) {
+                    const float aik = arow[kk];
+                    if (aik == 0.0f)
+                        continue;
+                    const float *brow =
+                        B + static_cast<std::size_t>(kk) * n;
+                    for (int j = j0; j < j1; ++j)
+                        orow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/**
+ * da += g . B^T for g [m,n], B [k,n]; da must start zeroed. B is
+ * transposed once into a scratch tensor so the inner loop runs
+ * unit-stride instead of striding down B's columns.
+ */
+void
+matmulBackwardA(const Tensor &g, const Tensor &bv, Tensor &da)
+{
+    const int m = g.rows();
+    const int n = g.cols();
+    const int k = bv.rows();
+    Tensor bt = Tensor::uninitialized({n, k});
+    {
+        const float *B = bv.data().data();
+        float *BT = bt.data().data();
+        for (int kk = 0; kk < k; ++kk) {
+            const float *brow = B + static_cast<std::size_t>(kk) * n;
+            for (int j = 0; j < n; ++j)
+                BT[static_cast<std::size_t>(j) * k + kk] = brow[j];
+        }
+    }
+    const float *G = g.data().data();
+    const float *BT = bt.data().data();
+    float *DA = da.data().data();
+    for (int i0 = 0; i0 < m; i0 += kTileRows) {
+        const int i1 = std::min(i0 + kTileRows, m);
+        for (int k0 = 0; k0 < k; k0 += kTileCols) {
+            const int k1 = std::min(k0 + kTileCols, k);
+            for (int i = i0; i < i1; ++i) {
+                const float *grow =
+                    G + static_cast<std::size_t>(i) * n;
+                float *darow = DA + static_cast<std::size_t>(i) * k;
+                for (int j = 0; j < n; ++j) {
+                    const float gij = grow[j];
+                    if (gij == 0.0f)
+                        continue;
+                    const float *btrow =
+                        BT + static_cast<std::size_t>(j) * k;
+                    for (int kk = k0; kk < k1; ++kk)
+                        darow[kk] += gij * btrow[kk];
+                }
+            }
+        }
+    }
+}
+
+/** db += A^T . g for A [m,k], g [m,n]; db must start zeroed. */
+void
+matmulBackwardB(const Tensor &av, const Tensor &g, Tensor &db)
+{
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = g.cols();
+    const float *A = av.data().data();
+    const float *G = g.data().data();
+    float *DB = db.data().data();
+    for (int k0 = 0; k0 < k; k0 += kTileRows) {
+        const int k1 = std::min(k0 + kTileRows, k);
+        for (int j0 = 0; j0 < n; j0 += kTileCols) {
+            const int j1 = std::min(j0 + kTileCols, n);
+            // i stays the reduction loop: each db element sums its
+            // contributions in ascending-i order, as before.
+            for (int i = 0; i < m; ++i) {
+                const float *arow =
+                    A + static_cast<std::size_t>(i) * k;
+                const float *grow =
+                    G + static_cast<std::size_t>(i) * n;
+                for (int kk = k0; kk < k1; ++kk) {
+                    const float aik = arow[kk];
+                    if (aik == 0.0f)
+                        continue;
+                    float *dbrow =
+                        DB + static_cast<std::size_t>(kk) * n;
+                    for (int j = j0; j < j1; ++j)
+                        dbrow[j] += aik * grow[j];
+                }
+            }
+        }
+    }
+}
+
+/** db[j] += sum_i g(i, j), ascending i — the addBias reduction. */
+void
+biasGrad(const Tensor &g, Tensor &db)
+{
+    const int m = g.rows();
+    const int n = g.cols();
+    const float *G = g.data().data();
+    float *DB = db.data().data();
+    for (int i = 0; i < m; ++i) {
+        const float *grow = G + static_cast<std::size_t>(i) * n;
+        for (int j = 0; j < n; ++j)
+            DB[j] += grow[j];
+    }
+}
+
 } // namespace
 
 Variable
@@ -35,47 +178,21 @@ matmul(const Variable &a, const Variable &b)
     const int n = bv.cols();
 
     Tensor out({m, n});
-    for (int i = 0; i < m; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const float aik = av.at(i, kk);
-            if (aik == 0.0f)
-                continue;
-            for (int j = 0; j < n; ++j)
-                out.at(i, j) += aik * bv.at(kk, j);
-        }
-    }
+    matmulForward(av, bv, out);
 
     return Variable::makeNode(
         std::move(out), {a, b}, [m, k, n](Impl &node) {
             const Tensor &g = node.grad;
             const auto &pa = node.parents[0];
             const auto &pb = node.parents[1];
-            // dA = g . B^T
             if (pa) {
                 Tensor da({m, k});
-                for (int i = 0; i < m; ++i) {
-                    for (int j = 0; j < n; ++j) {
-                        const float gij = g.at(i, j);
-                        if (gij == 0.0f)
-                            continue;
-                        for (int kk = 0; kk < k; ++kk)
-                            da.at(i, kk) += gij * pb->value.at(kk, j);
-                    }
-                }
+                matmulBackwardA(g, pb->value, da);
                 accumulate(pa, da);
             }
-            // dB = A^T . g
             if (pb) {
                 Tensor db({k, n});
-                for (int i = 0; i < m; ++i) {
-                    for (int kk = 0; kk < k; ++kk) {
-                        const float aik = pa->value.at(i, kk);
-                        if (aik == 0.0f)
-                            continue;
-                        for (int j = 0; j < n; ++j)
-                            db.at(kk, j) += aik * g.at(i, j);
-                    }
-                }
+                matmulBackwardB(pa->value, g, db);
                 accumulate(pb, db);
             }
         });
@@ -108,15 +225,145 @@ addBias(const Variable &a, const Variable &bias)
             out.at(i, j) += bv[j];
     }
     return Variable::makeNode(
-        std::move(out), {a, bias}, [m, n](Impl &node) {
+        std::move(out), {a, bias}, [](Impl &node) {
             accumulate(node.parents[0], node.grad);
             const auto &pb = node.parents[1];
             if (pb) {
                 Tensor db(pb->value.shape());
-                for (int i = 0; i < m; ++i) {
-                    for (int j = 0; j < n; ++j)
-                        db[j] += node.grad.at(i, j);
-                }
+                biasGrad(node.grad, db);
+                accumulate(pb, db);
+            }
+        });
+}
+
+Variable
+linearBias(const Variable &x, const Variable &w, const Variable &bias)
+{
+    const Tensor &av = x.value();
+    const Tensor &wv = w.value();
+    const Tensor &bv = bias.value();
+    ADAPIPE_ASSERT(av.cols() == wv.rows(),
+                   "linearBias shape mismatch: [", av.rows(), ",",
+                   av.cols(), "] x [", wv.rows(), ",", wv.cols(),
+                   "]");
+    ADAPIPE_ASSERT(wv.cols() == static_cast<int>(bv.numel()),
+                   "bias width mismatch");
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = wv.cols();
+
+    Tensor out({m, n});
+    matmulForward(av, wv, out);
+    // Bias joins after the full k-sum, exactly as the two-node
+    // addBias(matmul(x, w), b) graph would add it.
+    {
+        float *O = out.data().data();
+        const float *B = bv.data().data();
+        for (int i = 0; i < m; ++i) {
+            float *orow = O + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += B[j];
+        }
+    }
+
+    return Variable::makeNode(
+        std::move(out), {x, w, bias}, [m, k, n](Impl &node) {
+            const Tensor &g = node.grad;
+            const auto &px = node.parents[0];
+            const auto &pw = node.parents[1];
+            const auto &pb = node.parents[2];
+            if (px) {
+                Tensor da({m, k});
+                matmulBackwardA(g, pw->value, da);
+                accumulate(px, da);
+            }
+            if (pw) {
+                Tensor dw({k, n});
+                matmulBackwardB(px->value, g, dw);
+                accumulate(pw, dw);
+            }
+            if (pb) {
+                Tensor db(pb->value.shape());
+                biasGrad(g, db);
+                accumulate(pb, db);
+            }
+        });
+}
+
+Variable
+linearBiasGelu(const Variable &x, const Variable &w,
+               const Variable &bias)
+{
+    const Tensor &av = x.value();
+    const Tensor &wv = w.value();
+    const Tensor &bv = bias.value();
+    ADAPIPE_ASSERT(av.cols() == wv.rows(),
+                   "linearBiasGelu shape mismatch: [", av.rows(), ",",
+                   av.cols(), "] x [", wv.rows(), ",", wv.cols(),
+                   "]");
+    ADAPIPE_ASSERT(wv.cols() == static_cast<int>(bv.numel()),
+                   "bias width mismatch");
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = wv.cols();
+
+    // The pre-activation must survive for the backward pass (the
+    // GELU derivative is a function of it), mirroring the tensor
+    // the separate addBias node would have kept.
+    Tensor pre({m, n});
+    matmulForward(av, wv, pre);
+    {
+        float *P = pre.data().data();
+        const float *B = bv.data().data();
+        for (int i = 0; i < m; ++i) {
+            float *prow = P + static_cast<std::size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                prow[j] += B[j];
+        }
+    }
+
+    const float c = 0.7978845608028654f; // sqrt(2/pi)
+    Tensor out = Tensor::uninitialized({m, n});
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+        const float xv = pre[i];
+        const float inner = c * (xv + 0.044715f * xv * xv * xv);
+        out[i] = 0.5f * xv * (1.0f + std::tanh(inner));
+    }
+
+    return Variable::makeNode(
+        std::move(out), {x, w, bias},
+        [m, k, n, c, pre = std::move(pre)](Impl &node) {
+            const auto &px = node.parents[0];
+            const auto &pw = node.parents[1];
+            const auto &pb = node.parents[2];
+
+            Tensor dpre = node.grad;
+            for (std::int64_t i = 0; i < dpre.numel(); ++i) {
+                const float xv = pre[i];
+                const float inner =
+                    c * (xv + 0.044715f * xv * xv * xv);
+                const float t = std::tanh(inner);
+                const float sech2 = 1.0f - t * t;
+                const float d =
+                    0.5f * (1.0f + t) +
+                    0.5f * xv * sech2 * c *
+                        (1.0f + 3.0f * 0.044715f * xv * xv);
+                dpre[i] *= d;
+            }
+
+            if (px) {
+                Tensor da({m, k});
+                matmulBackwardA(dpre, pw->value, da);
+                accumulate(px, da);
+            }
+            if (pw) {
+                Tensor dw({k, n});
+                matmulBackwardB(px->value, dpre, dw);
+                accumulate(pw, dw);
+            }
+            if (pb) {
+                Tensor db(pb->value.shape());
+                biasGrad(dpre, db);
                 accumulate(pb, db);
             }
         });

@@ -26,6 +26,22 @@ Variable add(const Variable &a, const Variable &b);
 /** Add a [n] bias row-wise to a [m,n] tensor. */
 Variable addBias(const Variable &a, const Variable &bias);
 
+/**
+ * Fused x . W + bias as a single graph node. Bit-identical to
+ * addBias(matmul(x, w), bias) — the bias joins after the complete
+ * k-summation — while saving one node and one tensor copy.
+ */
+Variable linearBias(const Variable &x, const Variable &w,
+                    const Variable &bias);
+
+/**
+ * Fused gelu(x . W + bias) as a single graph node. Bit-identical
+ * to gelu(addBias(matmul(x, w), bias)); the pre-activation is kept
+ * for the backward pass in place of the intermediate node.
+ */
+Variable linearBiasGelu(const Variable &x, const Variable &w,
+                        const Variable &bias);
+
 /** Multiply by a compile-time constant. */
 Variable scale(const Variable &a, float factor);
 

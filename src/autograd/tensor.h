@@ -29,6 +29,25 @@ class Tensor
     /** Zero-initialised tensor of the given shape. */
     explicit Tensor(std::vector<int> shape);
 
+    /**
+     * Storage is recycled through TensorPool: destruction returns
+     * the buffer to a freelist and construction prefers a recycled
+     * buffer of the same element count over the heap, so the
+     * shape-repetitive training loop stops hitting the allocator.
+     */
+    ~Tensor();
+    Tensor(const Tensor &other);
+    Tensor &operator=(const Tensor &other);
+    Tensor(Tensor &&other) noexcept = default;
+    Tensor &operator=(Tensor &&other) noexcept;
+
+    /**
+     * @return tensor of the shape with UNSPECIFIED contents (stale
+     * values from a recycled buffer). Only for kernels that
+     * overwrite every element before any read.
+     */
+    static Tensor uninitialized(std::vector<int> shape);
+
     /** @return tensor of the shape filled with @p value. */
     static Tensor full(std::vector<int> shape, float value);
 
@@ -83,6 +102,10 @@ class Tensor
     }
 
   private:
+    struct Uninit
+    {};
+    Tensor(std::vector<int> shape, Uninit);
+
     std::vector<int> shape_;
     std::vector<float> data_;
 };

@@ -1,0 +1,190 @@
+#include "autograd/tensor_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/macros.h"
+
+namespace adapipe {
+
+namespace {
+
+/**
+ * Per-bucket caps keep a pathological shape mix from hoarding
+ * memory: beyond them a released buffer just frees normally.
+ */
+constexpr std::size_t kThreadBucketCap = 8;
+constexpr std::size_t kGlobalBucketCap = 64;
+
+using Freelist =
+    std::unordered_map<std::size_t, std::vector<std::vector<float>>>;
+
+/** All pool state; leaked so it outlives thread-local caches. */
+struct PoolState
+{
+    std::mutex mu;
+    Freelist global;
+    std::atomic<std::int64_t> heap_allocs{0};
+    std::atomic<std::int64_t> reuses{0};
+    std::atomic<std::int64_t> releases{0};
+    std::atomic<std::int64_t> heap_bytes{0};
+
+    /** Move @p from into the global freelist, respecting the cap. */
+    void
+    absorb(Freelist &from)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (auto &[n, bufs] : from) {
+            auto &bucket = global[n];
+            for (auto &buf : bufs) {
+                if (bucket.size() >= kGlobalBucketCap)
+                    break; // excess frees normally
+                bucket.push_back(std::move(buf));
+            }
+        }
+        from.clear();
+    }
+};
+
+struct ThreadCache
+{
+    Freelist free;
+    ~ThreadCache();
+};
+
+/**
+ * Null outside the cache's lifetime. Stage worker threads die at
+ * the end of every pipeline run; after the cache's destructor has
+ * flushed to the global freelist, late tensor destructions on that
+ * thread bypass the cache instead of resurrecting it.
+ */
+thread_local ThreadCache *tl_cache = nullptr;
+thread_local bool tl_cache_dead = false;
+
+PoolState &
+poolImpl()
+{
+    static PoolState *state = new PoolState; // leaky
+    return *state;
+}
+
+ThreadCache::~ThreadCache()
+{
+    poolImpl().absorb(free);
+    tl_cache = nullptr;
+    tl_cache_dead = true;
+}
+
+ThreadCache *
+threadCache()
+{
+    if (tl_cache_dead)
+        return nullptr;
+    static thread_local ThreadCache cache;
+    if (!tl_cache)
+        tl_cache = &cache;
+    return tl_cache;
+}
+
+} // namespace
+
+TensorPool &
+TensorPool::instance()
+{
+    static TensorPool pool;
+    return pool;
+}
+
+std::vector<float>
+TensorPool::acquire(std::size_t n, bool zero_fill)
+{
+    if (n == 0)
+        return {};
+    PoolState &pool = poolImpl();
+
+    std::vector<float> buf;
+    bool reused = false;
+    if (ThreadCache *cache = threadCache()) {
+        auto it = cache->free.find(n);
+        if (it != cache->free.end() && !it->second.empty()) {
+            buf = std::move(it->second.back());
+            it->second.pop_back();
+            reused = true;
+        }
+    }
+    if (!reused) {
+        std::lock_guard<std::mutex> lock(pool.mu);
+        auto it = pool.global.find(n);
+        if (it != pool.global.end() && !it->second.empty()) {
+            buf = std::move(it->second.back());
+            it->second.pop_back();
+            reused = true;
+        }
+    }
+
+    if (reused) {
+        pool.reuses.fetch_add(1, std::memory_order_relaxed);
+        ADAPIPE_OBS_COUNT("pool.reuses", 1);
+        if (zero_fill)
+            std::fill(buf.begin(), buf.end(), 0.0f);
+        return buf;
+    }
+
+    pool.heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    pool.heap_bytes.fetch_add(
+        static_cast<std::int64_t>(n * sizeof(float)),
+        std::memory_order_relaxed);
+    ADAPIPE_OBS_COUNT("pool.heap_allocs", 1);
+    ADAPIPE_OBS_COUNT("pool.heap_bytes",
+                      static_cast<std::int64_t>(n * sizeof(float)));
+    return std::vector<float>(n, 0.0f);
+}
+
+void
+TensorPool::release(std::vector<float> &&buf)
+{
+    const std::size_t n = buf.size();
+    if (n == 0)
+        return; // moved-from or empty: nothing to recycle
+    PoolState &pool = poolImpl();
+    pool.releases.fetch_add(1, std::memory_order_relaxed);
+
+    if (ThreadCache *cache = threadCache()) {
+        auto &bucket = cache->free[n];
+        if (bucket.size() < kThreadBucketCap) {
+            bucket.push_back(std::move(buf));
+            return;
+        }
+    }
+    std::lock_guard<std::mutex> lock(pool.mu);
+    auto &bucket = pool.global[n];
+    if (bucket.size() < kGlobalBucketCap)
+        bucket.push_back(std::move(buf));
+    // else: fall through, buf frees on scope exit
+}
+
+TensorPool::Stats
+TensorPool::stats() const
+{
+    PoolState &pool = poolImpl();
+    Stats s;
+    s.heapAllocs = pool.heap_allocs.load(std::memory_order_relaxed);
+    s.reuses = pool.reuses.load(std::memory_order_relaxed);
+    s.releases = pool.releases.load(std::memory_order_relaxed);
+    s.heapBytes = pool.heap_bytes.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+TensorPool::trim()
+{
+    if (ThreadCache *cache = threadCache())
+        cache->free.clear();
+    PoolState &pool = poolImpl();
+    std::lock_guard<std::mutex> lock(pool.mu);
+    pool.global.clear();
+}
+
+} // namespace adapipe

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Thread-safe recycling pool for tensor storage.
+ *
+ * The autograd engine allocates a fresh buffer for every
+ * intermediate tensor, and checkpoint replays re-pay all of that
+ * churn each backward pass — exactly the recompute cost the
+ * AdaPipe knapsack minimizes. Training loops are shape-repetitive,
+ * so released buffers are kept on freelists keyed by element count
+ * and handed back on the next request of the same size instead of
+ * going through the allocator.
+ *
+ * Layout: each thread owns a small cache (no locking on the hot
+ * path); overflow and cross-thread reuse go through a mutex-guarded
+ * global freelist. Stage worker threads flush their caches into the
+ * global list when they exit, so buffers survive across pipeline
+ * runs. The pool itself is a leaky singleton — it outlives every
+ * thread-local cache, so shutdown order cannot dangle.
+ */
+
+#ifndef ADAPIPE_AUTOGRAD_TENSOR_POOL_H
+#define ADAPIPE_AUTOGRAD_TENSOR_POOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adapipe {
+
+class TensorPool
+{
+  public:
+    /** Monotonic counters; snapshot via stats(). */
+    struct Stats
+    {
+        /** Buffers that had to come from the heap. */
+        std::int64_t heapAllocs = 0;
+        /** Buffers served from a freelist instead. */
+        std::int64_t reuses = 0;
+        /** Buffers returned to the pool. */
+        std::int64_t releases = 0;
+        /** Total bytes of the heap allocations. */
+        std::int64_t heapBytes = 0;
+    };
+
+    /** @return the process-wide pool (never destroyed). */
+    static TensorPool &instance();
+
+    /**
+     * @return a buffer of exactly @p n elements. Zero-filled when
+     * @p zero_fill; otherwise contents are unspecified (recycled
+     * buffers carry stale values) — callers must overwrite every
+     * element.
+     */
+    std::vector<float> acquire(std::size_t n, bool zero_fill = true);
+
+    /** Return a buffer to the pool (empty buffers are dropped). */
+    void release(std::vector<float> &&buf);
+
+    /** @return a snapshot of the counters (cheap, lock-free). */
+    Stats stats() const;
+
+    /**
+     * Drop every cached buffer (current thread's cache + the global
+     * freelist) and reset no counters. Test/bench hook for
+     * measuring cold-start behaviour.
+     */
+    void trim();
+
+  private:
+    TensorPool() = default;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_AUTOGRAD_TENSOR_POOL_H

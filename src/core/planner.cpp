@@ -119,6 +119,20 @@ makePlan(const ProfiledModel &pm, PlanMethod method,
         return result;
     }
 
+    // evenPartition() gives every stage at least one attention
+    // block, so it cannot express p > blocks (the adaptive DP can:
+    // it emits block-less pass-through stages). Fail the plan
+    // gracefully instead of tripping the partitioner's assert.
+    const int blocks = (L - 2) / 2;
+    if (blocks < p) {
+        ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+        std::ostringstream oss;
+        oss << "even partition cannot split " << blocks
+            << " attention blocks across " << p
+            << " stages (needs at least one block per stage)";
+        result.oomReason = oss.str();
+        return result;
+    }
     const std::vector<std::pair<int, int>> ranges =
         evenPartition(L, p);
     std::optional<RecomputeBaseline> baseline;

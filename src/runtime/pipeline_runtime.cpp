@@ -222,6 +222,8 @@ StageWorker::flushGauges()
                   metrics_.recvWaitSeconds * 1e6);
     registry_.set(prefix + "peak_activation_floats",
                   static_cast<double>(metrics_.peakActivationFloats));
+    registry_.set(prefix + "replay_us",
+                  metrics_.replaySeconds * 1e6);
     registry_.set(prefix + "num_blocks",
                   static_cast<double>(spec_.numBlocks()));
 }
@@ -276,6 +278,13 @@ StageWorker::run()
 
     metrics_.peakActivationFloats =
         threadPeakActivationFloats() - act_base;
+    // The worker's private registry holds exactly this stage's
+    // engine-level spans, so the replay totals attribute cleanly.
+    metrics_.replayOps = registry_.counter("checkpoint.replays");
+    for (const obs::SpanRecord &span : registry_.spans()) {
+        if (span.name == "checkpoint.replay")
+            metrics_.replaySeconds += span.durUs * 1e-6;
+    }
     flushGauges();
 }
 

@@ -91,6 +91,10 @@ struct StageMetrics
     /** Summed compute time inside forward / backward ops. */
     double fwdSeconds = 0;
     double bwdSeconds = 0;
+    /** Checkpoint replays executed during backward (recompute). */
+    std::int64_t replayOps = 0;
+    /** Summed time inside those replays (zero with obs off). */
+    double replaySeconds = 0;
     /** Time blocked sending into a full channel (backpressure). */
     double sendBlockedSeconds = 0;
     /** Time blocked waiting for inputs (starvation / bubbles). */

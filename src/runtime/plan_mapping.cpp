@@ -139,6 +139,20 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
         spec.embedding = (s == 0);
         spec.head = (s + 1 == p);
 
+        if (spec.lastBlock < spec.firstBlock) {
+            // A plan range holding no Attention layer (e.g. p close
+            // to the layer count, or a stage owning only the
+            // embedding/head) maps to a block-less stage. The
+            // runtime executes those as pass-throughs; record it so
+            // reports can explain the idle stage.
+            std::ostringstream note;
+            note << "stage " << s << " (layers " << sp.firstLayer
+                 << "-" << sp.lastLayer
+                 << ") owns no attention blocks; it runs as a "
+                    "pass-through stage";
+            mapping.notes.push_back(note.str());
+        }
+
         if (s > 0 && sp.firstLayer % 2 == 0 &&
             sp.firstLayer < num_layers - 1) {
             std::ostringstream note;

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -45,8 +46,9 @@ CliParser::addInt(const std::string &name, long long def,
 {
     ADAPIPE_ASSERT(!options_.count(name), "duplicate flag --", name);
     const std::string text = std::to_string(def);
-    options_[name] =
-        Option{Kind::Int, text, text, std::move(help)};
+    Option opt{Kind::Int, text, text, std::move(help)};
+    opt.int_value = def;
+    options_[name] = std::move(opt);
     order_.push_back(name);
 }
 
@@ -120,12 +122,25 @@ CliParser::parse(int argc, const char *const *argv)
             value = argv[++i];
         }
         if (opt.kind == Kind::Int) {
+            // strtoll reports overflow through errno only: the end
+            // pointer still consumes every digit of "1" followed by
+            // 25 nines, so an unchecked parse would hand getInt() a
+            // numeral that std::stoll aborts on.
             char *end = nullptr;
-            std::strtoll(value.c_str(), &end, 10);
+            errno = 0;
+            const long long parsed =
+                std::strtoll(value.c_str(), &end, 10);
             if (end == value.c_str() || *end != '\0')
                 usageError(program_, "flag --" + arg +
                                          " needs an integer, got '" +
                                          value + "'");
+            if (errno == ERANGE)
+                usageError(program_,
+                           "flag --" + arg +
+                               " is out of range for a 64-bit "
+                               "integer: '" +
+                               value + "'");
+            opt.int_value = parsed;
         }
         opt.value = std::move(value);
     }
@@ -150,7 +165,7 @@ CliParser::getString(const std::string &name) const
 long long
 CliParser::getInt(const std::string &name) const
 {
-    return std::stoll(find(name, Kind::Int).value);
+    return find(name, Kind::Int).int_value;
 }
 
 bool

@@ -79,6 +79,8 @@ class CliParser
         std::string def;
         std::string help;
         bool flag_set = false;
+        /** Range-checked numeral, stored at parse time (Int only). */
+        long long int_value = 0;
     };
 
     const Option &find(const std::string &name, Kind kind) const;

@@ -1,8 +1,10 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/logging.h"
 
@@ -421,15 +423,31 @@ class Parser
             (pos_ == start + 1 && text_[start] == '-'))
             failAt(start, "expected a value");
         const std::string token = text_.substr(start, pos_ - start);
-        // stoll/stod reject mixed-sign garbage like "1-2" and
-        // overflowing magnitudes; surface both as parse errors.
-        try {
-            if (is_integer)
-                return JsonValue::integer(std::stoll(token));
-            return JsonValue::number(std::stod(token));
-        } catch (const std::exception &) {
-            failAt(start, "malformed number '" + token + "'");
+        // strtoll/strtod reject mixed-sign garbage like "1-2" (via
+        // the end pointer) and report out-of-range magnitudes via
+        // errno instead of aborting the process the way an unguarded
+        // std::stoll would. Policy for out-of-range numerals:
+        //  - integers wider than int64 re-parse as doubles (the
+        //    field readers then reject them with the field's name);
+        //  - doubles overflowing to +-inf are parse errors;
+        //  - underflow to zero/subnormal is accepted as written.
+        const char *cstr = token.c_str();
+        char *end = nullptr;
+        if (is_integer) {
+            errno = 0;
+            const long long v = std::strtoll(cstr, &end, 10);
+            if (end != cstr + token.size())
+                failAt(start, "malformed number '" + token + "'");
+            if (errno != ERANGE)
+                return JsonValue::integer(v);
         }
+        errno = 0;
+        const double d = std::strtod(cstr, &end);
+        if (end != cstr + token.size())
+            failAt(start, "malformed number '" + token + "'");
+        if (errno == ERANGE && !(d > -HUGE_VAL && d < HUGE_VAL))
+            failAt(start, "number out of range '" + token + "'");
+        return JsonValue::number(d);
     }
 
     JsonValue

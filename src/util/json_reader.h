@@ -128,6 +128,12 @@ class JsonReader
         const double d = value_->asNumber();
         if (d != std::floor(d))
             fail("expected an integer, got a fraction");
+        // A numeral too wide for int64 parses as a double; casting
+        // it back to int64 would be UB. 2^63 is exactly
+        // representable as a double, so these bounds are precise.
+        if (d < -9223372036854775808.0 ||
+            d >= 9223372036854775808.0)
+            fail("integer out of range");
         // Exact for integer-kind values (no double round-trip).
         return value_->asInteger();
     }

@@ -42,6 +42,14 @@ quantile(std::vector<double> values, double q)
 {
     ADAPIPE_ASSERT(!values.empty(), "quantile of empty vector");
     ADAPIPE_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range: ", q);
+    // NaNs make operator< a non-strict-weak-ordering: std::sort's
+    // result (and with it every percentile in a report) would be
+    // unspecified. Drop them; a sample set that is all NaN has no
+    // quantiles and is a caller bug.
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [](double v) { return std::isnan(v); }),
+                 values.end());
+    ADAPIPE_ASSERT(!values.empty(), "quantile of all-NaN samples");
     std::sort(values.begin(), values.end());
     const double pos = q * static_cast<double>(values.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);

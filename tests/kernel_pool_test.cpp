@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Bit-equality tests for the blocked/fused matmul kernels against
+ * the naive reference loops, plus regression tests for the tensor
+ * buffer pool (checkpoint replays must recycle buffers instead of
+ * hitting the heap every iteration).
+ *
+ * The references below ARE the pre-optimization loops, verbatim:
+ * same loop nesting, same exact-zero skips, same summation order.
+ * Every comparison is EXPECT_EQ on floats — bit equality, not
+ * tolerance — because the pipeline runtime's determinism contract
+ * is bit-exact losses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "autograd/checkpoint.h"
+#include "autograd/module.h"
+#include "autograd/ops.h"
+#include "autograd/tensor_pool.h"
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace adapipe {
+namespace {
+
+/** Naive C = A . B with the exact-zero skip. */
+Tensor
+naiveMatmul(const Tensor &av, const Tensor &bv)
+{
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = bv.cols();
+    Tensor out({m, n});
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float aik = av.at(i, kk);
+            if (aik == 0.0f)
+                continue;
+            for (int j = 0; j < n; ++j)
+                out.at(i, j) += aik * bv.at(kk, j);
+        }
+    }
+    return out;
+}
+
+/** Naive dA = g . B^T, column-striding B like the original loop. */
+Tensor
+naiveBackwardA(const Tensor &g, const Tensor &bv)
+{
+    const int m = g.rows();
+    const int n = g.cols();
+    const int k = bv.rows();
+    Tensor da({m, k});
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const float gij = g.at(i, j);
+            if (gij == 0.0f)
+                continue;
+            for (int kk = 0; kk < k; ++kk)
+                da.at(i, kk) += gij * bv.at(kk, j);
+        }
+    }
+    return da;
+}
+
+/** Naive dB = A^T . g. */
+Tensor
+naiveBackwardB(const Tensor &av, const Tensor &g)
+{
+    const int m = av.rows();
+    const int k = av.cols();
+    const int n = g.cols();
+    Tensor db({k, n});
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float aik = av.at(i, kk);
+            if (aik == 0.0f)
+                continue;
+            for (int j = 0; j < n; ++j)
+                db.at(kk, j) += aik * g.at(i, j);
+        }
+    }
+    return db;
+}
+
+void
+expectBitIdentical(const Tensor &got, const Tensor &want)
+{
+    ASSERT_TRUE(got.sameShape(want));
+    for (std::int64_t i = 0; i < got.numel(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "element " << i;
+}
+
+/**
+ * Odd, non-tile-aligned shapes: 1-element edges, sizes straddling
+ * the 32/128 tile boundaries, and skinny matrices in both
+ * orientations.
+ */
+struct Shape
+{
+    int m, k, n;
+};
+const Shape kShapes[] = {
+    {1, 1, 1},   {3, 5, 7},    {17, 13, 9},   {31, 32, 33},
+    {32, 64, 1}, {1, 129, 64}, {33, 127, 131}, {64, 2, 150},
+};
+
+/** Random tensor with exact zeros planted to exercise the skips. */
+Tensor
+randnWithZeros(std::vector<int> shape, Rng &rng)
+{
+    Tensor t = Tensor::randn(shape, rng);
+    for (std::int64_t i = 0; i < t.numel(); i += 5)
+        t[i] = 0.0f;
+    return t;
+}
+
+TEST(KernelEquivalence, MatmulForwardMatchesNaive)
+{
+    for (std::uint64_t seed : {1u, 99u}) {
+        Rng rng(seed);
+        for (const Shape &s : kShapes) {
+            const Tensor a = randnWithZeros({s.m, s.k}, rng);
+            const Tensor b = randnWithZeros({s.k, s.n}, rng);
+            NoGradGuard no_grad;
+            const Variable out =
+                ops::matmul(Variable(a), Variable(b));
+            expectBitIdentical(out.value(), naiveMatmul(a, b));
+        }
+    }
+}
+
+TEST(KernelEquivalence, MatmulBackwardMatchesNaive)
+{
+    for (std::uint64_t seed : {2u, 77u}) {
+        Rng rng(seed);
+        for (const Shape &s : kShapes) {
+            Variable a(randnWithZeros({s.m, s.k}, rng), true);
+            Variable b(randnWithZeros({s.k, s.n}, rng), true);
+            Variable out = ops::matmul(a, b);
+            const Tensor g = randnWithZeros({s.m, s.n}, rng);
+            a.zeroGrad();
+            b.zeroGrad();
+            out.backward(g);
+            expectBitIdentical(a.grad(), naiveBackwardA(g, b.value()));
+            expectBitIdentical(b.grad(), naiveBackwardB(a.value(), g));
+        }
+    }
+}
+
+TEST(KernelEquivalence, LinearBiasMatchesUnfusedGraph)
+{
+    Rng rng(3);
+    for (const Shape &s : kShapes) {
+        Variable x1(randnWithZeros({s.m, s.k}, rng), true);
+        Variable w1(randnWithZeros({s.k, s.n}, rng), true);
+        Variable b1(Tensor::randn({s.n}, rng), true);
+        Variable x2 = x1.detach(true);
+        Variable w2 = w1.detach(true);
+        Variable b2 = b1.detach(true);
+
+        Variable fused = ops::linearBias(x1, w1, b1);
+        Variable unfused = ops::addBias(ops::matmul(x2, w2), b2);
+        expectBitIdentical(fused.value(), unfused.value());
+
+        const Tensor g = randnWithZeros({s.m, s.n}, rng);
+        fused.backward(g);
+        unfused.backward(g);
+        expectBitIdentical(x1.grad(), x2.grad());
+        expectBitIdentical(w1.grad(), w2.grad());
+        expectBitIdentical(b1.grad(), b2.grad());
+    }
+}
+
+TEST(KernelEquivalence, LinearBiasGeluMatchesUnfusedGraph)
+{
+    Rng rng(4);
+    for (const Shape &s : kShapes) {
+        Variable x1(randnWithZeros({s.m, s.k}, rng), true);
+        Variable w1(randnWithZeros({s.k, s.n}, rng), true);
+        Variable b1(Tensor::randn({s.n}, rng), true);
+        Variable x2 = x1.detach(true);
+        Variable w2 = w1.detach(true);
+        Variable b2 = b1.detach(true);
+
+        Variable fused = ops::linearBiasGelu(x1, w1, b1);
+        Variable unfused =
+            ops::gelu(ops::addBias(ops::matmul(x2, w2), b2));
+        expectBitIdentical(fused.value(), unfused.value());
+
+        const Tensor g = randnWithZeros({s.m, s.n}, rng);
+        fused.backward(g);
+        unfused.backward(g);
+        expectBitIdentical(x1.grad(), x2.grad());
+        expectBitIdentical(w1.grad(), w2.grad());
+        expectBitIdentical(b1.grad(), b2.grad());
+    }
+}
+
+TEST(TensorPoolTest, RecyclesSameSizeBuffers)
+{
+    TensorPool &pool = TensorPool::instance();
+    const TensorPool::Stats before = pool.stats();
+    {
+        Tensor t({61, 3}); // odd size, unlikely pre-pooled
+    }
+    {
+        Tensor t({61, 3}); // must come back from the freelist
+    }
+    const TensorPool::Stats after = pool.stats();
+    EXPECT_GE(after.reuses, before.reuses + 1);
+    EXPECT_GE(after.releases, before.releases + 2);
+}
+
+TEST(TensorPoolTest, CheckpointReplayStopsAllocatingAfterWarmup)
+{
+    Rng rng(123);
+    Linear up(16, 24, rng);
+    Linear down(24, 16, rng);
+    const Segment segment = [&](const Variable &v) {
+        return down.forward(up.forwardGelu(v));
+    };
+
+    TensorPool &pool = TensorPool::instance();
+    std::int64_t after_warmup = 0;
+    const int iters = 10;
+    const int warmup = 3;
+    for (int iter = 0; iter < iters; ++iter) {
+        for (Variable &p : up.params())
+            p.zeroGrad();
+        for (Variable &p : down.params())
+            p.zeroGrad();
+        Variable x(Tensor::randn({8, 16}, rng));
+        Variable y = checkpoint(segment, x);
+        y.backward(Tensor::full(y.value().shape(), 1.0f));
+        if (iter + 1 == warmup)
+            after_warmup = pool.stats().heapAllocs;
+    }
+    // Identical shapes every iteration (forward, replay and
+    // gradients alike): once the freelists are primed, the heap
+    // allocation counter must be flat.
+    EXPECT_EQ(pool.stats().heapAllocs, after_warmup);
+}
+
+} // namespace
+} // namespace adapipe

@@ -213,6 +213,55 @@ TEST(ParseFuzz, WrongTypesNameTheField)
     }
 }
 
+TEST(ParseFuzz, OverflowNumeralsNeverAbort)
+{
+    // Out-of-range numerals used to flow into bare std::stoll /
+    // std::stod, whose uncaught std::out_of_range aborted the
+    // process. They must come back as ParseResult errors (or, for
+    // integers too wide for int64 inside a double-typed field,
+    // as an ordinary double) — never an abort.
+    const char *const numerals[] = {
+        "1e999",  "-1e999",  "1e308999",
+        "9999999999999999999999999",
+        "-9999999999999999999999999",
+        "9223372036854775808",   // INT64_MAX + 1
+        "-9223372036854775809",  // INT64_MIN - 1
+        "1e-999",                // underflow: harmless, must parse
+    };
+    for (const char *n : numerals) {
+        expectNoAbort(n);
+        expectNoAbort(std::string("{\"seed\": ") + n + "}");
+        std::string plan = kValidPlan;
+        const std::size_t pos = plan.find("\"mem_peak\": 1000");
+        ASSERT_NE(pos, std::string::npos);
+        plan.replace(pos, std::string("\"mem_peak\": 1000").size(),
+                     std::string("\"mem_peak\": ") + n);
+        expectNoAbort(plan);
+    }
+
+    // Magnitude overflow is a parse error at the JSON level...
+    EXPECT_FALSE(JsonValue::tryParse("1e999").ok());
+    EXPECT_FALSE(JsonValue::tryParse("-1e999").ok());
+    // ...while underflow quietly rounds to zero,
+    const auto tiny = JsonValue::tryParse("1e-999");
+    ASSERT_TRUE(tiny.ok());
+    EXPECT_EQ(tiny.value().asNumber(), 0.0);
+    // ...and an integer numeral wider than int64 degrades to a
+    // double, so integer-typed fields reject it by name.
+    const auto wide =
+        JsonValue::tryParse("9999999999999999999999999");
+    ASSERT_TRUE(wide.ok());
+    std::string plan = kValidPlan;
+    const std::size_t pos = plan.find("\"micro_batches\": 4");
+    ASSERT_NE(pos, std::string::npos);
+    plan.replace(pos, std::string("\"micro_batches\": 4").size(),
+                 "\"micro_batches\": 9999999999999999999999999");
+    const auto r = tryPlanFromJsonString(plan);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("micro_batches"), std::string::npos)
+        << r.error();
+}
+
 TEST(ParseFuzz, MissingFieldsNameTheField)
 {
     std::string doc = kValidPlan;

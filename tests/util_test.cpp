@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/csv.h"
@@ -121,6 +122,20 @@ TEST(Stats, Quantile)
     EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
     EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
     EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileFiltersNaN)
+{
+    // NaN breaks operator<'s strict weak ordering, so a sort over
+    // mixed samples used to return unspecified percentiles. NaNs
+    // must be dropped and the finite samples ranked as usual.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> v{nan, 4.0, 1.0, nan, 3.0, 2.0, nan};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+    // A single finite sample among NaNs is every percentile.
+    EXPECT_DOUBLE_EQ(quantile({nan, 7.0}, 0.25), 7.0);
 }
 
 TEST(Stats, GeometricMean)
