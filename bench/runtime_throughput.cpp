@@ -35,6 +35,7 @@ namespace {
 struct ConfigResult
 {
     int stages = 0;
+    int virtualStages = 1;
     std::string recompute;
     double tokensPerSecond = 0;
     double wallSeconds = 0;
@@ -47,6 +48,7 @@ JsonValue
 stageJson(const StageMetrics &sm)
 {
     JsonValue stage = JsonValue::object();
+    stage.set("chain_pos", JsonValue::integer(sm.chainPos));
     stage.set("first_block", JsonValue::integer(sm.firstBlock));
     stage.set("last_block", JsonValue::integer(sm.lastBlock));
     stage.set("fwd_ops", JsonValue::integer(sm.fwdOps));
@@ -69,6 +71,7 @@ configJson(const ConfigResult &r)
 {
     JsonValue cfg = JsonValue::object();
     cfg.set("stages", JsonValue::integer(r.stages));
+    cfg.set("virtual_stages", JsonValue::integer(r.virtualStages));
     cfg.set("recompute", JsonValue::string(r.recompute));
     cfg.set("tokens_per_second",
             JsonValue::number(r.tokensPerSecond));
@@ -131,6 +134,7 @@ main(int argc, char **argv)
     }
 
     const int stage_counts[] = {1, 2, 4};
+    const int virtual_counts[] = {1, 2};
     const BlockRecompute modes[] = {BlockRecompute::None,
                                     BlockRecompute::AttentionOnly,
                                     BlockRecompute::Full};
@@ -141,39 +145,63 @@ main(int argc, char **argv)
     for (const int p : stage_counts) {
         if (p > cfg.blocks)
             continue;
-        for (std::size_t mi = 0; mi < 3; ++mi) {
-            const std::vector<StageSpec> specs =
-                evenStageSpecs(cfg.blocks, p, modes[mi]);
-            TinyLM model(cfg);
+        for (const int v : virtual_counts) {
+            // Interleaving needs n % p == 0 (Megatron's constraint)
+            // and one block per chunk; skip the configs that cannot
+            // run instead of recording failures.
+            if (v > 1 && (opts.microBatches % p != 0 ||
+                          v * p > cfg.blocks)) {
+                continue;
+            }
+            for (std::size_t mi = 0; mi < 3; ++mi) {
+                const std::vector<StageSpec> specs =
+                    evenStageSpecs(cfg.blocks, v * p, modes[mi]);
+                RuntimeOptions run_opts = opts;
+                run_opts.virtualStages = v;
+                TinyLM model(cfg);
 
-            const TensorPool::Stats before = pool.stats();
-            const RuntimeResult run = runPipeline(model, specs, opts);
-            const TensorPool::Stats after = pool.stats();
+                const TensorPool::Stats before = pool.stats();
+                const RuntimeResult run =
+                    runPipeline(model, specs, run_opts);
+                const TensorPool::Stats after = pool.stats();
+                if (!run.ok) {
+                    std::cerr << "runtime_throughput: run failed "
+                                 "(p="
+                              << p << " v=" << v << " recompute="
+                              << mode_names[mi] << "): " << run.error
+                              << "\n";
+                    return 1;
+                }
 
-            ConfigResult r;
-            r.stages = p;
-            r.recompute = mode_names[mi];
-            r.wallSeconds = run.wallSeconds;
-            const double tokens =
-                static_cast<double>(opts.steps) * opts.microBatches *
-                opts.seqLen;
-            r.tokensPerSecond =
-                run.wallSeconds > 0 ? tokens / run.wallSeconds : 0;
-            r.finalLoss = run.losses.empty() ? 0 : run.losses.back();
-            r.pool.heapAllocs = after.heapAllocs - before.heapAllocs;
-            r.pool.reuses = after.reuses - before.reuses;
-            r.pool.releases = after.releases - before.releases;
-            r.pool.heapBytes = after.heapBytes - before.heapBytes;
-            r.stageMetrics = run.stages;
-            results.push_back(std::move(r));
+                ConfigResult r;
+                r.stages = p;
+                r.virtualStages = v;
+                r.recompute = mode_names[mi];
+                r.wallSeconds = run.wallSeconds;
+                const double tokens =
+                    static_cast<double>(opts.steps) *
+                    opts.microBatches * opts.seqLen;
+                r.tokensPerSecond =
+                    run.wallSeconds > 0 ? tokens / run.wallSeconds
+                                        : 0;
+                r.finalLoss =
+                    run.losses.empty() ? 0 : run.losses.back();
+                r.pool.heapAllocs =
+                    after.heapAllocs - before.heapAllocs;
+                r.pool.reuses = after.reuses - before.reuses;
+                r.pool.releases = after.releases - before.releases;
+                r.pool.heapBytes = after.heapBytes - before.heapBytes;
+                r.stageMetrics = run.stages;
+                results.push_back(std::move(r));
 
-            std::cout << "p=" << p << " recompute=" << mode_names[mi]
-                      << ": " << static_cast<long long>(
-                                     r.tokensPerSecond)
-                      << " tok/s, "
-                      << r.pool.heapAllocs << " heap allocs / "
-                      << r.pool.reuses << " reuses, final loss "
-                      << r.finalLoss << "\n";
+                std::cout << "p=" << p << " v=" << v
+                          << " recompute=" << mode_names[mi] << ": "
+                          << static_cast<long long>(r.tokensPerSecond)
+                          << " tok/s, " << r.pool.heapAllocs
+                          << " heap allocs / " << r.pool.reuses
+                          << " reuses, final loss " << r.finalLoss
+                          << "\n";
+            }
         }
     }
 

@@ -31,6 +31,7 @@
 #include "core/plan_io.h"
 #include "core/planner.h"
 #include "hw/cluster.h"
+#include "sim/interleaved_planner.h"
 #include "memory/memory_model.h"
 #include "obs/sinks.h"
 #include "runtime/pipeline_runtime.h"
@@ -105,6 +106,9 @@ main(int argc, char **argv)
     cli.addInt("data-seed", 7, "data-stream seed");
     cli.addInt("channel-capacity", 2,
                "bounded-channel depth per pipeline edge");
+    cli.addInt("virtual-stages", 0,
+               "model chunks per worker (interleaved 1F1B; 0 = "
+               "plan's value, else 1)");
     cli.addString("plan", "", "exported plan JSON (export_plan)");
     cli.addString("method", "adapipe",
                   "in-process planning method: adapipe|even|"
@@ -141,6 +145,8 @@ main(int argc, char **argv)
     int micro_batches = static_cast<int>(cli.getInt("micro-batches"));
 
     const int stages_flag = static_cast<int>(cli.getInt("stages"));
+    const int vs_flag =
+        static_cast<int>(cli.getInt("virtual-stages"));
     std::vector<StageSpec> specs;
     std::vector<std::string> notes;
     bool have_plan = false;
@@ -158,8 +164,10 @@ main(int argc, char **argv)
                       << "' (expected none|attn|full)\n";
             return 1;
         }
-        specs =
-            evenStageSpecs(cfg.blocks, stages_flag, strategy->mode);
+        const int v = vs_flag > 0 ? vs_flag : 1;
+        specs = evenStageSpecs(cfg.blocks, stages_flag * v,
+                               strategy->mode);
+        opts.virtualStages = v;
         notes.push_back("manual mode: no plan, no predictions");
     } else if (!plan_path.empty()) {
         const ParseResult<PipelinePlan> loaded =
@@ -211,7 +219,8 @@ main(int argc, char **argv)
         if (cap_mb > 0)
             cost_opts.memCapacityOverride =
                 static_cast<Bytes>(cap_mb) * 1024 * 1024;
-        const PlanResult result = makePlan(pm, method, cost_opts);
+        const PlanResult result = makeInterleavedPlan(
+            pm, method, vs_flag > 0 ? vs_flag : 1, cost_opts);
         if (!result.ok) {
             std::cerr << "pipeline_training: plan infeasible: "
                       << result.oomReason << "\n";
@@ -224,6 +233,7 @@ main(int argc, char **argv)
     if (have_plan) {
         StageMapping mapping = stageSpecsFromPlan(plan, cfg);
         specs = std::move(mapping.stages);
+        opts.virtualStages = mapping.virtualStages;
         notes.insert(notes.end(), mapping.notes.begin(),
                      mapping.notes.end());
         if (micro_batches == 0)
@@ -235,11 +245,16 @@ main(int argc, char **argv)
     opts.microBatches = micro_batches;
 
     const int p = static_cast<int>(specs.size());
+    const int workers = p / opts.virtualStages;
     std::cout << "Training a " << cfg.blocks
               << "-block transformer LM (dim " << cfg.dim << ") on "
-              << p << " pipeline stages, " << opts.steps
-              << " steps x " << opts.microBatches
-              << " micro-batches\n";
+              << workers << " pipeline stages";
+    if (opts.virtualStages > 1) {
+        std::cout << " x " << opts.virtualStages
+                  << " virtual chunks (interleaved 1F1B)";
+    }
+    std::cout << ", " << opts.steps << " steps x "
+              << opts.microBatches << " micro-batches\n";
     for (const std::string &note : notes)
         std::cout << "note: " << note << "\n";
     std::cout << "\n";
@@ -247,6 +262,11 @@ main(int argc, char **argv)
     TinyLM model(cfg);
     obs::Registry metrics;
     const RuntimeResult run = runPipeline(model, specs, opts, &metrics);
+    if (!run.ok) {
+        std::cerr << "pipeline_training: runtime failed: " << run.error
+                  << "\n";
+        return 1;
+    }
 
     // Predicted per-stage activation bytes: the plan's peak minus its
     // static (parameter/gradient/optimizer) part, which the runtime

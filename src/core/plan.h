@@ -92,9 +92,22 @@ struct PipelinePlan
     TrainConfig train;
     /** Number of micro-batches n per pipeline per iteration. */
     int microBatches = 0;
-    /** Per-stage sub-plans, stage 0 first. */
+    /**
+     * Virtual model chunks per device (Megatron's interleaved 1F1B,
+     * Sec. 2.1). 1 = plain 1F1B. When > 1, @ref stages holds
+     * par.pipeline * virtualStages entries in chain order: chunk g
+     * runs on device g % par.pipeline.
+     */
+    int virtualStages = 1;
+    /** Per-stage sub-plans, stage 0 first (chunk order when
+     *  virtualStages > 1). */
     std::vector<StagePlan> stages;
-    /** Predicted 1F1B timing from the Sec. 5.1 cost model. */
+    /**
+     * Predicted timing. For virtualStages = 1 this is the closed-form
+     * Sec. 5.1 decomposition; for virtualStages > 1 warmup/ending are
+     * folded into total, which comes from the event-driven simulator
+     * (the interleaved schedule has no closed form here).
+     */
     PipelineTiming timing;
 };
 

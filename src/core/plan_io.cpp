@@ -64,6 +64,14 @@ planFromReader(const JsonReader &root)
 
     plan.microBatches = asIntField(root.key("micro_batches"));
 
+    // Plans written before the interleaved-1F1B support carry no
+    // virtual_stages field; they are plain 1F1B plans.
+    if (root.has("virtual_stages")) {
+        plan.virtualStages = asIntField(root.key("virtual_stages"));
+        if (plan.virtualStages < 1)
+            root.key("virtual_stages").fail("must be >= 1");
+    }
+
     const JsonReader timing = root.key("timing");
     plan.timing.warmup = timing.key("warmup").asNumber();
     plan.timing.ending = timing.key("ending").asNumber();
@@ -94,11 +102,17 @@ planFromReader(const JsonReader &root)
                       std::to_string(sp.totalUnits));
         plan.stages.push_back(std::move(sp));
     }
-    if (static_cast<int>(plan.stages.size()) != plan.par.pipeline)
+    // One StagePlan per virtual chunk: pipeline * virtual_stages
+    // entries (virtual_stages defaults to 1 for legacy plans).
+    const long long expected_stages =
+        static_cast<long long>(plan.par.pipeline) * plan.virtualStages;
+    if (static_cast<long long>(plan.stages.size()) != expected_stages)
         stages.fail("stage count " +
                     std::to_string(plan.stages.size()) +
-                    " does not match parallel.pipeline " +
-                    std::to_string(plan.par.pipeline));
+                    " does not match parallel.pipeline (" +
+                    std::to_string(plan.par.pipeline) +
+                    ") * virtual_stages (" +
+                    std::to_string(plan.virtualStages) + ")");
     return plan;
 }
 
@@ -128,6 +142,7 @@ planToJson(const PipelinePlan &plan)
     root.set("train", std::move(train));
 
     root.set("micro_batches", JsonValue::integer(plan.microBatches));
+    root.set("virtual_stages", JsonValue::integer(plan.virtualStages));
 
     JsonValue timing = JsonValue::object();
     timing.set("warmup", JsonValue::number(plan.timing.warmup));

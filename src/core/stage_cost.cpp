@@ -22,6 +22,9 @@ StageCostCalculator::StageCostCalculator(const ProfiledModel &pm, int p,
         if (f != 1.0)
             neutral_factors_ = false;
     }
+    for (int m : opts_.inflightOverride)
+        ADAPIPE_ASSERT(m >= 1, "in-flight override must be >= 1, got ",
+                       m);
 }
 
 Bytes
@@ -43,6 +46,8 @@ StageCostCalculator::timeFactor(int s) const
 int
 StageCostCalculator::inflight(int s) const
 {
+    if (s >= 0 && s < static_cast<int>(opts_.inflightOverride.size()))
+        return opts_.inflightOverride[s];
     return MemoryModel::inflightMicroBatches(s, p_, n_);
 }
 

@@ -108,6 +108,16 @@ struct StageCostOptions
      * loss); 0 keeps the profiled capacity.
      */
     Bytes memCapacityOverride = 0;
+    /**
+     * Per-stage in-flight micro-batch override. Empty keeps the
+     * plain-1F1B closed form min(p - s, n); the interleaved planner
+     * fills this with the exact per-chunk peaks read off the
+     * schedule's device order (chunks deep in the chain keep fewer
+     * activations alive than min(p - s, n) suggests). Stages beyond
+     * the vector fall back to the closed form. Compatible with the
+     * isomorphism cache: the cache key includes the in-flight count.
+     */
+    std::vector<int> inflightOverride;
 };
 
 /**
@@ -158,7 +168,9 @@ class StageCostCalculator
     /** @return distinct stage costs computed (cache misses). */
     std::size_t evaluations() const { return cache_.size(); }
 
-    /** @return in-flight micro-batches of stage s, min(p - s, n). */
+    /** @return in-flight micro-batches of stage s: the override
+     *  entry when StageCostOptions::inflightOverride covers s, else
+     *  the 1F1B closed form min(p - s, n). */
     int inflight(int s) const;
 
     /** @return effective device capacity (override or profiled). */

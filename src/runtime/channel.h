@@ -14,6 +14,13 @@
  * edge has exactly one of each); the implementation is a plain
  * mutex + two condition variables, which is also what keeps it
  * trivially clean under ThreadSanitizer.
+ *
+ * Shutdown: close() marks the channel closed and wakes every blocked
+ * sender and receiver. A closed channel rejects new sends (the data
+ * could never be consumed reliably) but lets receivers drain items
+ * queued before the close; both throw ChannelClosedError once no
+ * progress is possible, so a worker blocked on a dead peer unwinds
+ * instead of waiting forever.
  */
 
 #ifndef ADAPIPE_RUNTIME_CHANNEL_H
@@ -23,12 +30,29 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace adapipe {
+
+/**
+ * Thrown by BoundedChannel::send()/recv() when the channel was
+ * closed and the call can make no progress. Pipeline workers treat
+ * it as a shutdown signal and unwind their stack; it is not an
+ * input error.
+ */
+class ChannelClosedError : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "channel closed";
+    }
+};
 
 /** Bounded blocking FIFO channel between two pipeline stages. */
 template <typename T>
@@ -50,21 +74,25 @@ class BoundedChannel
      *
      * @return microseconds spent blocked waiting for space (0 when
      *         the fast path succeeded immediately).
+     * @throws ChannelClosedError when the channel is (or becomes)
+     *         closed; the value is dropped.
      */
     double
     send(T value)
     {
         std::unique_lock<std::mutex> lock(mu_);
         double waited_us = 0;
-        if (queue_.size() >= capacity_) {
+        if (queue_.size() >= capacity_ && !closed_) {
             const auto start = std::chrono::steady_clock::now();
             not_full_.wait(lock, [this] {
-                return queue_.size() < capacity_;
+                return queue_.size() < capacity_ || closed_;
             });
             waited_us = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - start)
                             .count();
         }
+        if (closed_)
+            throw ChannelClosedError{};
         queue_.push_back(std::move(value));
         not_empty_.notify_one();
         return waited_us;
@@ -75,25 +103,55 @@ class BoundedChannel
      *
      * @param waited_us when non-null, receives the microseconds
      *        spent blocked waiting for data.
+     * @throws ChannelClosedError when the channel is closed and
+     *         empty (items queued before the close still drain).
      */
     T
     recv(double *waited_us = nullptr)
     {
         std::unique_lock<std::mutex> lock(mu_);
         double us = 0;
-        if (queue_.empty()) {
+        if (queue_.empty() && !closed_) {
             const auto start = std::chrono::steady_clock::now();
-            not_empty_.wait(lock, [this] { return !queue_.empty(); });
+            not_empty_.wait(lock, [this] {
+                return !queue_.empty() || closed_;
+            });
             us = std::chrono::duration<double, std::micro>(
                      std::chrono::steady_clock::now() - start)
                      .count();
         }
+        if (queue_.empty())
+            throw ChannelClosedError{};
         T value = std::move(queue_.front());
         queue_.pop_front();
         not_full_.notify_one();
         if (waited_us)
             *waited_us = us;
         return value;
+    }
+
+    /**
+     * Close the channel and wake every blocked send()/recv() waiter.
+     * Idempotent and callable from any thread; used by the runtime
+     * to propagate a worker failure to the peers blocked on it.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            closed_ = true;
+        }
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    /** @return whether close() was called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return closed_;
     }
 
     /** @return items currently queued (diagnostic; racy by nature). */
@@ -113,6 +171,7 @@ class BoundedChannel
     std::condition_variable not_empty_;
     std::deque<T> queue_;
     std::size_t capacity_;
+    bool closed_ = false;
 };
 
 } // namespace adapipe

@@ -1,7 +1,10 @@
 #include "runtime/pipeline_runtime.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
@@ -16,47 +19,79 @@ namespace adapipe {
 
 namespace {
 
-/** Activation state of one in-flight micro-batch on one stage. */
+/** Activation state of one in-flight micro-batch on one chunk. */
 struct Inflight
 {
-    /** Boundary leaf the stage's segment starts from (stages > 0). */
+    /** Boundary leaf the chunk's segment starts from (pos > 0). */
     Variable input;
-    /** Stage output kept until backward: the boundary activation,
-     *  or the loss on the head stage. This retention IS the 1F1B
-     *  in-flight activation memory. */
+    /** Chunk output kept until backward: the boundary activation,
+     *  or the loss on the head chunk. This retention IS the
+     *  schedule's in-flight activation memory. */
     Variable output;
 };
 
+/** One model chunk hosted by a worker: its spec, channels, stats. */
+struct ChunkCtx
+{
+    const StageSpec *spec = nullptr;
+    /** Chain position g = chunk * workers + workerIdx. */
+    int pos = 0;
+    BoundedChannel<Tensor> *fwdIn = nullptr;
+    BoundedChannel<Tensor> *fwdOut = nullptr;
+    BoundedChannel<Tensor> *bwdIn = nullptr;
+    BoundedChannel<Tensor> *bwdOut = nullptr;
+    StageMetrics metrics;
+};
+
 /**
- * One stage's worker: owns its optimizer, its obs registry and its
- * in-flight table; runs the stage's fixed 1F1B op order.
+ * One device's worker: owns its optimizer (over every hosted chunk's
+ * parameters), its obs registry and its in-flight table; runs the
+ * device's fixed op order, dispatching each op to the chunk its
+ * chain position names.
  */
 class StageWorker
 {
   public:
-    StageWorker(TinyLM &model, const StageSpec &spec, int stage_idx,
-                const Schedule &sched, const RuntimeOptions &opts,
-                BoundedChannel<Tensor> *fwd_in,
-                BoundedChannel<Tensor> *fwd_out,
-                BoundedChannel<Tensor> *bwd_in,
-                BoundedChannel<Tensor> *bwd_out)
-        : model_(model), spec_(spec), stageIdx_(stage_idx),
-          sched_(sched), opts_(opts), fwdIn_(fwd_in),
-          fwdOut_(fwd_out), bwdIn_(bwd_in), bwdOut_(bwd_out)
+    StageWorker(TinyLM &model, int worker_idx, int num_workers,
+                const Schedule &sched, const RuntimeOptions &opts)
+        : model_(model), workerIdx_(worker_idx),
+          numWorkers_(num_workers), sched_(sched), opts_(opts)
     {
-        metrics_.firstBlock = spec.firstBlock;
-        metrics_.lastBlock = spec.lastBlock;
-        metrics_.embedding = spec.embedding;
-        metrics_.head = spec.head;
+    }
+
+    void
+    addChunk(ChunkCtx ctx)
+    {
+        ctx.metrics.chainPos = ctx.pos;
+        ctx.metrics.firstBlock = ctx.spec->firstBlock;
+        ctx.metrics.lastBlock = ctx.spec->lastBlock;
+        ctx.metrics.embedding = ctx.spec->embedding;
+        ctx.metrics.head = ctx.spec->head;
+        if (ctx.spec->head)
+            hasHead_ = true;
+        chunks_.push_back(std::move(ctx));
     }
 
     void run();
 
-    const StageMetrics &metrics() const { return metrics_; }
+    int workerIdx() const { return workerIdx_; }
+
+    const StageMetrics &
+    metrics(int local_chunk) const
+    {
+        return chunks_[static_cast<std::size_t>(local_chunk)].metrics;
+    }
+
     const std::vector<double> &losses() const { return losses_; }
     const obs::Registry &registry() const { return registry_; }
 
   private:
+    ChunkCtx &
+    chunkOf(const PipeOp &op)
+    {
+        return chunks_[static_cast<std::size_t>(op.pos / numWorkers_)];
+    }
+
     std::vector<Variable> ownParams() const;
     void runForward(int step, const PipeOp &op);
     void runBackward(const PipeOp &op);
@@ -64,20 +99,19 @@ class StageWorker
     void flushGauges();
 
     TinyLM &model_;
-    const StageSpec &spec_;
-    int stageIdx_;
+    int workerIdx_;
+    int numWorkers_;
     const Schedule &sched_;
     const RuntimeOptions &opts_;
-    BoundedChannel<Tensor> *fwdIn_;
-    BoundedChannel<Tensor> *fwdOut_;
-    BoundedChannel<Tensor> *bwdIn_;
-    BoundedChannel<Tensor> *bwdOut_;
+    std::vector<ChunkCtx> chunks_;
+    bool hasHead_ = false;
 
-    std::map<int, Inflight> inflight_;
+    /** Keyed by (local chunk, micro-batch). */
+    std::map<std::pair<int, int>, Inflight> inflight_;
     std::vector<int> tokens_;
     std::vector<int> targets_;
     double lossSum_ = 0;
-    StageMetrics metrics_;
+    std::int64_t opsExecuted_ = 0;
     std::vector<double> losses_;
     obs::Registry registry_;
 };
@@ -86,17 +120,20 @@ std::vector<Variable>
 StageWorker::ownParams() const
 {
     std::vector<Variable> params;
-    if (spec_.embedding) {
-        const auto e = model_.embedParams();
-        params.insert(params.end(), e.begin(), e.end());
-    }
-    for (int b = spec_.firstBlock; b <= spec_.lastBlock; ++b) {
-        const auto bp = model_.blockParams(b);
-        params.insert(params.end(), bp.begin(), bp.end());
-    }
-    if (spec_.head) {
-        const auto h = model_.headParams();
-        params.insert(params.end(), h.begin(), h.end());
+    for (const ChunkCtx &ctx : chunks_) {
+        const StageSpec &spec = *ctx.spec;
+        if (spec.embedding) {
+            const auto e = model_.embedParams();
+            params.insert(params.end(), e.begin(), e.end());
+        }
+        for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
+            const auto bp = model_.blockParams(b);
+            params.insert(params.end(), bp.begin(), bp.end());
+        }
+        if (spec.head) {
+            const auto h = model_.headParams();
+            params.insert(params.end(), h.begin(), h.end());
+        }
     }
     return params;
 }
@@ -116,48 +153,51 @@ StageWorker::recordSpan(const char *name, double start_us)
 void
 StageWorker::runForward(int step, const PipeOp &op)
 {
+    ChunkCtx &ctx = chunkOf(op);
+    const StageSpec &spec = *ctx.spec;
+    const int local = op.pos / numWorkers_;
     const int n = opts_.microBatches;
     Variable h;
-    if (stageIdx_ > 0) {
+    if (ctx.fwdIn) {
         double waited_us = 0;
-        Tensor in = fwdIn_->recv(&waited_us);
-        metrics_.recvWaitSeconds += waited_us * 1e-6;
+        Tensor in = ctx.fwdIn->recv(&waited_us);
+        ctx.metrics.recvWaitSeconds += waited_us * 1e-6;
         registry_.add("runtime.recvs", 1);
         Variable leaf(std::move(in), /*requires_grad=*/true);
-        inflight_[op.microBatch].input = leaf;
+        inflight_[{local, op.microBatch}].input = leaf;
         h = leaf;
     }
 
     const double start_us = obs::nowUs();
-    if (spec_.embedding) {
+    if (spec.embedding) {
         makeBigramBatch(model_.config().vocab, opts_.seqLen,
                         step * n + op.microBatch, opts_.dataSeed,
                         tokens_, targets_);
         h = model_.embed(tokens_);
     }
-    for (int b = spec_.firstBlock; b <= spec_.lastBlock; ++b) {
-        h = model_.blockForward(
-            b, h, spec_.recompute[b - spec_.firstBlock]);
+    for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
+        h = model_.blockForward(b,
+                                h, spec.recompute[b - spec.firstBlock]);
     }
-    if (spec_.head) {
+    Inflight &fl = inflight_[{local, op.microBatch}];
+    if (spec.head) {
         makeBigramBatch(model_.config().vocab, opts_.seqLen,
                         step * n + op.microBatch, opts_.dataSeed,
                         tokens_, targets_);
         Variable loss = model_.headLoss(h, targets_);
         lossSum_ += loss.value()[0];
-        inflight_[op.microBatch].output = loss;
+        fl.output = loss;
     } else {
-        inflight_[op.microBatch].output = h;
+        fl.output = h;
     }
-    metrics_.fwdSeconds += (obs::nowUs() - start_us) * 1e-6;
-    ++metrics_.fwdOps;
+    ctx.metrics.fwdSeconds += (obs::nowUs() - start_us) * 1e-6;
+    ++ctx.metrics.fwdOps;
     recordSpan("runtime.forward", start_us);
     registry_.add("runtime.fwd_ops", 1);
 
-    if (fwdOut_) {
-        const double blocked_us =
-            fwdOut_->send(inflight_[op.microBatch].output.value());
-        metrics_.sendBlockedSeconds += blocked_us * 1e-6;
+    if (ctx.fwdOut) {
+        const double blocked_us = ctx.fwdOut->send(fl.output.value());
+        ctx.metrics.sendBlockedSeconds += blocked_us * 1e-6;
         registry_.add("runtime.sends", 1);
         if (blocked_us > 0)
             registry_.add("runtime.send_blocked", 1);
@@ -167,13 +207,16 @@ StageWorker::runForward(int step, const PipeOp &op)
 void
 StageWorker::runBackward(const PipeOp &op)
 {
-    const auto it = inflight_.find(op.microBatch);
+    ChunkCtx &ctx = chunkOf(op);
+    const int local = op.pos / numWorkers_;
+    const auto it = inflight_.find({local, op.microBatch});
     ADAPIPE_ASSERT(it != inflight_.end(), "backward of micro-batch ",
-                   op.microBatch, " before its forward");
+                   op.microBatch, " at position ", op.pos,
+                   " before its forward");
     Inflight fl = std::move(it->second);
 
     Tensor seed;
-    if (spec_.head) {
+    if (ctx.spec->head) {
         // Seed with 1/n: gradients average over the iteration's
         // micro-batches, matching the single-threaded reference.
         seed = Tensor::full(
@@ -181,28 +224,33 @@ StageWorker::runBackward(const PipeOp &op)
             1.0f / static_cast<float>(opts_.microBatches));
     } else {
         double waited_us = 0;
-        seed = bwdIn_->recv(&waited_us);
-        metrics_.recvWaitSeconds += waited_us * 1e-6;
+        seed = ctx.bwdIn->recv(&waited_us);
+        ctx.metrics.recvWaitSeconds += waited_us * 1e-6;
         registry_.add("runtime.recvs", 1);
     }
 
     const double start_us = obs::nowUs();
+    const std::int64_t replays_before =
+        registry_.counter("checkpoint.replays");
     fl.output.backward(seed);
     Tensor input_grad;
-    if (stageIdx_ > 0)
+    if (ctx.fwdIn)
         input_grad = fl.input.grad();
-    // Drop the micro-batch's graph: this is the moment the 1F1B
-    // schedule releases the stage's in-flight activation memory.
+    // Drop the micro-batch's graph: this is the moment the schedule
+    // releases the chunk's in-flight activation memory.
     inflight_.erase(it);
     fl = Inflight{};
-    metrics_.bwdSeconds += (obs::nowUs() - start_us) * 1e-6;
-    ++metrics_.bwdOps;
+    ctx.metrics.bwdSeconds += (obs::nowUs() - start_us) * 1e-6;
+    ++ctx.metrics.bwdOps;
+    ctx.metrics.replayOps +=
+        registry_.counter("checkpoint.replays") - replays_before;
     recordSpan("runtime.backward", start_us);
     registry_.add("runtime.bwd_ops", 1);
 
-    if (bwdOut_) {
-        const double blocked_us = bwdOut_->send(std::move(input_grad));
-        metrics_.sendBlockedSeconds += blocked_us * 1e-6;
+    if (ctx.bwdOut) {
+        const double blocked_us =
+            ctx.bwdOut->send(std::move(input_grad));
+        ctx.metrics.sendBlockedSeconds += blocked_us * 1e-6;
         registry_.add("runtime.sends", 1);
         if (blocked_us > 0)
             registry_.add("runtime.send_blocked", 1);
@@ -212,20 +260,24 @@ StageWorker::runBackward(const PipeOp &op)
 void
 StageWorker::flushGauges()
 {
-    const std::string prefix =
-        "runtime.stage." + std::to_string(stageIdx_) + ".";
-    registry_.set(prefix + "fwd_us", metrics_.fwdSeconds * 1e6);
-    registry_.set(prefix + "bwd_us", metrics_.bwdSeconds * 1e6);
-    registry_.set(prefix + "send_blocked_us",
-                  metrics_.sendBlockedSeconds * 1e6);
-    registry_.set(prefix + "recv_wait_us",
-                  metrics_.recvWaitSeconds * 1e6);
-    registry_.set(prefix + "peak_activation_floats",
-                  static_cast<double>(metrics_.peakActivationFloats));
-    registry_.set(prefix + "replay_us",
-                  metrics_.replaySeconds * 1e6);
-    registry_.set(prefix + "num_blocks",
-                  static_cast<double>(spec_.numBlocks()));
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+        const StageMetrics &m = chunks_[c].metrics;
+        std::string prefix =
+            "runtime.stage." + std::to_string(workerIdx_) + ".";
+        if (chunks_.size() > 1)
+            prefix += "chunk." + std::to_string(c) + ".";
+        registry_.set(prefix + "fwd_us", m.fwdSeconds * 1e6);
+        registry_.set(prefix + "bwd_us", m.bwdSeconds * 1e6);
+        registry_.set(prefix + "send_blocked_us",
+                      m.sendBlockedSeconds * 1e6);
+        registry_.set(prefix + "recv_wait_us",
+                      m.recvWaitSeconds * 1e6);
+        registry_.set(prefix + "peak_activation_floats",
+                      static_cast<double>(m.peakActivationFloats));
+        registry_.set(prefix + "replay_us", m.replaySeconds * 1e6);
+        registry_.set(prefix + "num_blocks",
+                      static_cast<double>(chunks_[c].spec->numBlocks()));
+    }
 }
 
 void
@@ -250,7 +302,7 @@ StageWorker::run()
     }
 
     const std::vector<std::size_t> &order =
-        sched_.deviceOrder[static_cast<std::size_t>(stageIdx_)];
+        sched_.deviceOrder[static_cast<std::size_t>(workerIdx_)];
     for (int step = 0; step < opts_.steps; ++step) {
         if (adam)
             adam->zeroGrad();
@@ -259,6 +311,13 @@ StageWorker::run()
         lossSum_ = 0;
 
         for (const std::size_t idx : order) {
+            if (workerIdx_ == opts_.injectFailStage &&
+                opsExecuted_ == opts_.injectFailAfterOps) {
+                throw std::runtime_error(
+                    "injected failure after " +
+                    std::to_string(opsExecuted_) + " ops");
+            }
+            ++opsExecuted_;
             const PipeOp &op = sched_.ops[idx];
             if (op.kind == OpKind::Forward)
                 runForward(step, op);
@@ -268,7 +327,7 @@ StageWorker::run()
         ADAPIPE_ASSERT(inflight_.empty(),
                        "in-flight micro-batches left after step");
 
-        if (spec_.head)
+        if (hasHead_)
             losses_.push_back(lossSum_ / opts_.microBatches);
         if (adam)
             adam->step();
@@ -276,19 +335,68 @@ StageWorker::run()
             sgd->step();
     }
 
-    metrics_.peakActivationFloats =
+    // Thread-level measurements land on the worker's first chunk
+    // (the only chunk when virtualStages == 1); replay *counts* are
+    // attributed exactly in runBackward.
+    chunks_.front().metrics.peakActivationFloats =
         threadPeakActivationFloats() - act_base;
-    // The worker's private registry holds exactly this stage's
-    // engine-level spans, so the replay totals attribute cleanly.
-    metrics_.replayOps = registry_.counter("checkpoint.replays");
     for (const obs::SpanRecord &span : registry_.spans()) {
         if (span.name == "checkpoint.replay")
-            metrics_.replaySeconds += span.durUs * 1e-6;
+            chunks_.front().metrics.replaySeconds += span.durUs * 1e-6;
     }
     flushGauges();
 }
 
-/** Validate the stage partition; panics on caller error. */
+/**
+ * Tracks the first worker failure and force-closes every channel so
+ * blocked peers unwind instead of waiting on a dead producer or
+ * consumer forever.
+ */
+class RunState
+{
+  public:
+    explicit RunState(
+        std::vector<BoundedChannel<Tensor> *> channels)
+        : channels_(std::move(channels))
+    {
+    }
+
+    void
+    fail(const std::string &message)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!failed_) {
+                failed_ = true;
+                error_ = message;
+            }
+        }
+        for (BoundedChannel<Tensor> *ch : channels_)
+            ch->close();
+    }
+
+    bool
+    failed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return failed_;
+    }
+
+    std::string
+    error() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return error_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    bool failed_ = false;
+    std::string error_;
+    std::vector<BoundedChannel<Tensor> *> channels_;
+};
+
+/** Validate the chain-order partition; panics on caller error. */
 void
 validateSpecs(const TinyLM &model, const std::vector<StageSpec> &specs)
 {
@@ -298,23 +406,23 @@ validateSpecs(const TinyLM &model, const std::vector<StageSpec> &specs)
     for (std::size_t s = 0; s < specs.size(); ++s) {
         const StageSpec &spec = specs[s];
         ADAPIPE_ASSERT(spec.embedding == (s == 0),
-                       "embedding must live on stage 0 (stage ", s,
-                       ")");
+                       "embedding must live on chain position 0 "
+                       "(position ", s, ")");
         ADAPIPE_ASSERT(spec.head == (s + 1 == specs.size()),
-                       "head must live on the last stage (stage ", s,
-                       ")");
+                       "head must live on the last chain position "
+                       "(position ", s, ")");
         if (spec.numBlocks() == 0)
             continue;
         ADAPIPE_ASSERT(spec.firstBlock == next_block,
-                       "stage ", s, " starts at block ",
+                       "position ", s, " starts at block ",
                        spec.firstBlock, ", expected ", next_block);
         ADAPIPE_ASSERT(spec.lastBlock < num_blocks,
-                       "stage ", s, " ends past block ",
+                       "position ", s, " ends past block ",
                        num_blocks - 1);
         ADAPIPE_ASSERT(spec.recompute.empty() ||
                            static_cast<int>(spec.recompute.size()) ==
                                spec.numBlocks(),
-                       "stage ", s,
+                       "position ", s,
                        " recompute size does not match its blocks");
         next_block = spec.lastBlock + 1;
     }
@@ -360,7 +468,25 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                    "seqLen must be in [1, maxSeq]");
     ADAPIPE_ASSERT(opts.channelCapacity >= 1,
                    "channel capacity must be >= 1");
+    const int v = opts.virtualStages;
+    ADAPIPE_ASSERT(v >= 1, "virtualStages must be >= 1");
+    ADAPIPE_ASSERT(static_cast<int>(stages.size()) % v == 0,
+                   "stage spec count ", stages.size(),
+                   " is not a multiple of virtualStages ", v);
     validateSpecs(model, stages);
+
+    const int chunks = static_cast<int>(stages.size());
+    const int p = chunks / v;
+
+    RuntimeResult result;
+    ParseResult<Schedule> built =
+        tryBuildInterleaved1F1B(p, opts.microBatches, v);
+    if (!built.ok()) {
+        result.ok = false;
+        result.error = built.error();
+        return result;
+    }
+    const Schedule sched = std::move(built).value();
 
     // Normalised copy: fill empty recompute vectors so workers can
     // index them unconditionally.
@@ -373,16 +499,24 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
         }
     }
 
-    const int p = static_cast<int>(specs.size());
-    const Schedule sched = build1F1B(p, opts.microBatches);
-
+    // One channel pair per chain boundary. The interleaved op order
+    // revisits a chunk's sends before draining its neighbour's, so
+    // v > 1 needs depth >= microBatches to keep blocking purely
+    // dependency-driven (one step never queues more per edge).
+    const std::size_t capacity =
+        v == 1 ? static_cast<std::size_t>(opts.channelCapacity)
+               : static_cast<std::size_t>(std::max(
+                     opts.channelCapacity, opts.microBatches));
     std::vector<std::unique_ptr<BoundedChannel<Tensor>>> fwd_chans;
     std::vector<std::unique_ptr<BoundedChannel<Tensor>>> bwd_chans;
-    for (int e = 0; e + 1 < p; ++e) {
-        fwd_chans.push_back(std::make_unique<BoundedChannel<Tensor>>(
-            static_cast<std::size_t>(opts.channelCapacity)));
-        bwd_chans.push_back(std::make_unique<BoundedChannel<Tensor>>(
-            static_cast<std::size_t>(opts.channelCapacity)));
+    std::vector<BoundedChannel<Tensor> *> all_chans;
+    for (int g = 0; g + 1 < chunks; ++g) {
+        fwd_chans.push_back(
+            std::make_unique<BoundedChannel<Tensor>>(capacity));
+        bwd_chans.push_back(
+            std::make_unique<BoundedChannel<Tensor>>(capacity));
+        all_chans.push_back(fwd_chans.back().get());
+        all_chans.push_back(bwd_chans.back().get());
     }
     auto edge = [](auto &chans, int i) -> BoundedChannel<Tensor> * {
         return (i >= 0 && i < static_cast<int>(chans.size()))
@@ -392,12 +526,23 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
 
     std::vector<std::unique_ptr<StageWorker>> workers;
     workers.reserve(static_cast<std::size_t>(p));
-    for (int s = 0; s < p; ++s) {
+    for (int r = 0; r < p; ++r) {
         workers.push_back(std::make_unique<StageWorker>(
-            model, specs[static_cast<std::size_t>(s)], s, sched, opts,
-            edge(fwd_chans, s - 1), edge(fwd_chans, s),
-            edge(bwd_chans, s), edge(bwd_chans, s - 1)));
+            model, r, p, sched, opts));
+        for (int c = 0; c < v; ++c) {
+            const int g = c * p + r;
+            ChunkCtx ctx;
+            ctx.spec = &specs[static_cast<std::size_t>(g)];
+            ctx.pos = g;
+            ctx.fwdIn = edge(fwd_chans, g - 1);
+            ctx.fwdOut = edge(fwd_chans, g);
+            ctx.bwdIn = edge(bwd_chans, g);
+            ctx.bwdOut = edge(bwd_chans, g - 1);
+            workers.back()->addChunk(std::move(ctx));
+        }
     }
+
+    RunState state(std::move(all_chans));
 
     resetActivationMeter();
     const std::int64_t act_base = liveActivationFloats();
@@ -405,22 +550,46 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
 
     std::vector<std::thread> threads;
     threads.reserve(workers.size());
-    for (auto &worker : workers)
-        threads.emplace_back([&worker] { worker->run(); });
+    for (auto &worker : workers) {
+        threads.emplace_back([&worker, &state] {
+            try {
+                worker->run();
+            } catch (const ChannelClosedError &) {
+                // Expected unwind path after a peer's failure; a
+                // close without a recorded failure is itself a bug.
+                if (!state.failed()) {
+                    state.fail("worker " +
+                               std::to_string(worker->workerIdx()) +
+                               ": channel closed unexpectedly");
+                }
+            } catch (const std::exception &e) {
+                state.fail("worker " +
+                           std::to_string(worker->workerIdx()) +
+                           ": " + e.what());
+            }
+        });
+    }
     for (std::thread &t : threads)
         t.join();
 
-    RuntimeResult result;
     result.wallSeconds = (obs::nowUs() - start_us) * 1e-6;
     result.peakActivationFloats = peakActivationFloats() - act_base;
     result.losses = workers.back()->losses();
+    for (int g = 0; g < chunks; ++g)
+        result.stages.push_back(workers[static_cast<std::size_t>(
+                                            g % p)]
+                                    ->metrics(g / p));
     for (auto &worker : workers) {
-        result.stages.push_back(worker->metrics());
         if (metrics)
             metrics->merge(worker->registry());
     }
+    if (state.failed()) {
+        result.ok = false;
+        result.error = state.error();
+    }
     if (metrics) {
         metrics->set("runtime.stages", p);
+        metrics->set("runtime.virtual_stages", v);
         metrics->set("runtime.micro_batches", opts.microBatches);
         metrics->set("runtime.wall_us", result.wallSeconds * 1e6);
         metrics->set("runtime.peak_activation_floats",

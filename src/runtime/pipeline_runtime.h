@@ -4,21 +4,33 @@
  * repo's execution backend, closing the loop the paper closes with
  * cluster measurements.
  *
- * One worker thread per pipeline stage. Each stage owns a contiguous
- * block range of a shared TinyLM (stage 0 additionally owns the
- * embedding, the last stage the head + loss), runs the 1F1B op order
- * from sim/schedule, and exchanges activation/gradient tensors with
- * its neighbours over bounded channels (runtime/channel.h) whose
- * blocking send models the activation-memory cap. Per-unit recompute
- * decisions apply through autograd/checkpoint, so saved units keep
- * their tensors and recomputed units replay forward during backward.
+ * One worker thread per pipeline device. Each worker hosts
+ * virtualStages model chunks (Megatron's interleaved 1F1B; 1 chunk =
+ * plain 1F1B): chunk g of the chain runs on worker g % workers, owns
+ * a contiguous block range of a shared TinyLM (chunk 0 additionally
+ * owns the embedding, the last chunk the head + loss), follows the
+ * worker's op order from sim/schedule, and exchanges
+ * activation/gradient tensors with the adjacent chunks over bounded
+ * channels (runtime/channel.h) whose blocking send models the
+ * activation-memory cap. Per-unit recompute decisions apply through
+ * autograd/checkpoint, so saved units keep their tensors and
+ * recomputed units replay forward during backward.
  *
- * Determinism: stage boundaries detach activations into fresh leaf
+ * Determinism: chunk boundaries detach activations into fresh leaf
  * variables, and boundary gradients add back exactly the floats the
  * monolithic graph would have propagated, so a pipeline run computes
  * bit-identical losses to trainTinyLM with the same seed, recompute
- * modes and micro-batch count — for any stage count. That is the
- * paper's Fig. 10 invariant, measured instead of assumed.
+ * modes and micro-batch count — for any stage count and any
+ * virtual-stage count (both the forward losses and the backward
+ * gradient accumulation visit micro-batches in the same order the
+ * single-threaded trainer does). That is the paper's Fig. 10
+ * invariant, measured instead of assumed.
+ *
+ * Failure handling: a worker that throws (autograd error, injected
+ * fault) marks the run failed and closes every channel, so peers
+ * blocked in send()/recv() unwind via ChannelClosedError instead of
+ * deadlocking in join(); the first failure's diagnostic comes back
+ * in RuntimeResult::error.
  */
 
 #ifndef ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H
@@ -73,14 +85,42 @@ struct RuntimeOptions
     /**
      * Bounded-channel depth per pipeline edge. 1 is the tightest
      * memory cap (sender stalls until the neighbour consumed the
-     * previous tensor); larger values trade memory for slack.
+     * previous tensor); larger values trade memory for slack. With
+     * virtualStages > 1 the effective depth is at least
+     * microBatches: the interleaved op order revisits a chunk's
+     * sends before draining its neighbour, so a tighter bound could
+     * deadlock; one step never queues more than microBatches tensors
+     * per edge, so that depth restores pure dependency-driven
+     * blocking.
      */
     int channelCapacity = 2;
+    /**
+     * Model chunks per worker (Megatron's interleaved 1F1B). The
+     * stage-spec vector must hold virtualStages * workers entries in
+     * chain order; chunk g runs on worker g % workers. Requires
+     * microBatches % workers == 0 when > 1 (Megatron's constraint) —
+     * violations fail the run gracefully, not fatally.
+     */
+    int virtualStages = 1;
+    /**
+     * Test hook: worker index to kill (-1 = disabled). The worker
+     * throws after executing injectFailAfterOps forward/backward
+     * ops, exercising the shutdown path peers observe as
+     * ChannelClosedError.
+     */
+    int injectFailStage = -1;
+    /** Ops the killed worker completes before throwing. */
+    std::int64_t injectFailAfterOps = 0;
 };
 
-/** Measured per-stage execution statistics. */
+/**
+ * Measured execution statistics of one chain position (one stage for
+ * virtualStages = 1, one model chunk otherwise).
+ */
 struct StageMetrics
 {
+    /** Chain position g; runs on worker g % workers. */
+    int chainPos = 0;
     int firstBlock = 0;
     int lastBlock = -1;
     bool embedding = false;
@@ -99,16 +139,31 @@ struct StageMetrics
     double sendBlockedSeconds = 0;
     /** Time blocked waiting for inputs (starvation / bubbles). */
     double recvWaitSeconds = 0;
-    /** Peak activation floats attributed to this stage's thread. */
+    /**
+     * Peak activation floats of the owning worker's thread;
+     * thread-level, so with virtualStages > 1 it is attributed to
+     * the worker's first chunk (chainPos < workers) and 0 elsewhere.
+     * replaySeconds is attributed the same way; replayOps counts are
+     * exact per chunk.
+     */
     std::int64_t peakActivationFloats = 0;
 };
 
 /** Result of one pipeline training run. */
 struct RuntimeResult
 {
+    /**
+     * False when a worker failed (or the configuration was invalid);
+     * @ref error carries the first failure's diagnostic and the
+     * other fields hold whatever completed before shutdown.
+     */
+    bool ok = true;
+    /** First failure diagnostic, naming the worker that died. */
+    std::string error;
     /** Mean micro-batch loss per step (recorded by the last stage). */
     std::vector<double> losses;
-    /** Per-stage measurements, stage 0 first. */
+    /** Per-chain-position measurements, position 0 first (one per
+     *  stage when virtualStages == 1, one per chunk otherwise). */
     std::vector<StageMetrics> stages;
     /** End-to-end wall time of the run. */
     double wallSeconds = 0;
@@ -132,20 +187,31 @@ std::vector<StageSpec> evenStageSpecs(int num_blocks, int num_stages,
                                       BlockRecompute mode);
 
 /**
- * Train @p model with one worker thread per stage.
+ * Train @p model with one worker thread per device.
  *
- * Stage coverage must be contiguous over all blocks, with the
- * embedding on stage 0 and the head on the last stage. Parameters
- * are updated by the owning stage only; the model is safe to read
- * from the caller after the run.
+ * @p stages holds one entry per chain position (stage for
+ * virtualStages = 1, chunk otherwise; opts.virtualStages * workers
+ * entries, chunk g on worker g % workers). Coverage must be
+ * contiguous over all blocks in chain order, with the embedding on
+ * position 0 and the head on the last position. Parameters are
+ * updated by the owning worker only; the model is safe to read from
+ * the caller after the run.
+ *
+ * A failing worker closes every channel so its peers unwind instead
+ * of deadlocking; the run returns ok = false with the first
+ * failure's diagnostic. Invalid interleaved configurations
+ * (microBatches not divisible by workers) fail the same way.
  *
  * @param model the (already initialised) model; updated in place
- * @param stages per-stage ownership and recompute decisions
+ * @param stages per-position ownership and recompute decisions
  * @param opts execution options
- * @param metrics optional registry receiving the merged per-stage
+ * @param metrics optional registry receiving the merged per-worker
  *        counters/gauges/spans (merge-on-join; deterministic order).
- *        Per-op spans land on the shared obs timeline, directly
- *        comparable to the simulator's Chrome traces.
+ *        Gauges are per stage ("runtime.stage.<r>.*") when
+ *        virtualStages == 1 and per chunk
+ *        ("runtime.stage.<r>.chunk.<c>.*") otherwise. Per-op spans
+ *        land on the shared obs timeline, directly comparable to the
+ *        simulator's Chrome traces.
  */
 RuntimeResult runPipeline(TinyLM &model,
                           const std::vector<StageSpec> &stages,

@@ -98,6 +98,7 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
     }
 
     StageMapping mapping;
+    mapping.virtualStages = plan.virtualStages;
 
     // Decode the per-unit masks against the tiny LM's own layer
     // sequence; fall back to the method's uniform policy when the

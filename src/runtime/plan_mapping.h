@@ -34,8 +34,15 @@ ModelConfig tinyLmModelConfig(const TinyLmConfig &config);
 /** Result of mapping a plan onto runtime stages. */
 struct StageMapping
 {
-    /** Per-stage ownership + recompute, ready for runPipeline. */
+    /**
+     * Per-chain-position ownership + recompute, ready for
+     * runPipeline: one entry per stage for virtualStages == 1, one
+     * per model chunk (pipeline * virtualStages entries, chunk g on
+     * worker g % pipeline) otherwise.
+     */
     std::vector<StageSpec> stages;
+    /** Copied from the plan; pass to RuntimeOptions::virtualStages. */
+    int virtualStages = 1;
     /**
      * Human-readable notes about roundings applied (block split
      * across a layer boundary, per-unit mask collapsed, fallback

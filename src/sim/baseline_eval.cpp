@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "core/partition_dp.h"
 #include "memory/memory_model.h"
@@ -310,11 +311,34 @@ evaluateInterleaved(const ProfiledModel &pm, int v,
 {
     const int p = pm.par.pipeline;
     const int n = pm.train.microBatches(pm.par);
-    ADAPIPE_ASSERT(v >= 1, "need at least one virtual chunk");
+
+    // Reject invalid (p, n, v) combinations as an infeasible result
+    // (with the builder's field-naming diagnostic) instead of
+    // aborting — v comes straight from CLI/bench sweeps.
+    ParseResult<Schedule> built = tryBuildInterleaved1F1B(p, n, v);
+    if (!built.ok()) {
+        EndToEndResult result;
+        result.feasible = false;
+        result.oomReason = built.error();
+        return result;
+    }
 
     // Chunk the layer sequence into v * p virtual stages; chunk g
-    // runs on device g % p.
+    // runs on device g % p. Every chunk needs at least one attention
+    // block for the even split to exist.
     const int chunks = v * p;
+    const int blocks = (pm.numLayers() - 2) / 2;
+    if (blocks < chunks) {
+        EndToEndResult result;
+        result.feasible = false;
+        std::ostringstream oss;
+        oss << "interleaved partition cannot split " << blocks
+            << " attention blocks across " << chunks
+            << " virtual chunks (pipeline " << p
+            << " * virtual_stages " << v << ")";
+        result.oomReason = oss.str();
+        return result;
+    }
     const auto ranges = evenPartition(pm.numLayers(), chunks);
     StageCostCalculator calc(pm, p, n, opts);
     MemoryModel mem_model(pm.model, pm.train, pm.par, pm.optimizer);
@@ -336,7 +360,7 @@ evaluateInterleaved(const ProfiledModel &pm, int v,
         buffer[g] = bufferBytes(mem_model, pm, mode, i, j);
     }
 
-    const Schedule schedule = buildInterleaved1F1B(p, n, v);
+    const Schedule schedule = std::move(built).value();
     const SimResult sim = simulate(schedule, times, {pm.p2pTime});
 
     EndToEndResult result;

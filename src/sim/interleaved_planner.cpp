@@ -1,0 +1,228 @@
+#include "sim/interleaved_planner.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/partition_dp.h"
+#include "obs/macros.h"
+#include "sim/pipeline_sim.h"
+#include "util/logging.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+std::vector<int>
+chunkInflightPeaks(const Schedule &sched)
+{
+    std::vector<int> alive(sched.chainLength, 0);
+    std::vector<int> peak(sched.chainLength, 0);
+    for (const auto &order : sched.deviceOrder) {
+        for (std::size_t idx : order) {
+            const PipeOp &op = sched.ops[idx];
+            if (op.kind == OpKind::Forward) {
+                alive[op.pos] += op.samples;
+                peak[op.pos] = std::max(peak[op.pos], alive[op.pos]);
+            } else {
+                alive[op.pos] -= op.samples;
+            }
+        }
+    }
+    return peak;
+}
+
+PlanResult
+makeInterleavedPlan(const ProfiledModel &pm, PlanMethod method, int v,
+                    StageCostOptions opts)
+{
+    if (v == 1)
+        return makePlan(pm, method, opts);
+
+    ADAPIPE_OBS_SPAN(obs_span, "planner.make_interleaved_plan");
+    ADAPIPE_OBS_COUNT("planner.plans", 1);
+    const int p = pm.par.pipeline;
+    const int L = pm.numLayers();
+    const int n = pm.train.microBatches(pm.par);
+    PlanResult result;
+
+    ParseResult<Schedule> built = tryBuildInterleaved1F1B(p, n, v);
+    if (!built.ok()) {
+        ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+        result.oomReason = built.error();
+        return result;
+    }
+    const Schedule schedule = std::move(built).value();
+
+    // Every chunk needs at least one attention block (same limit the
+    // even partitioner has for plain stages).
+    const int chunks = v * p;
+    const int blocks = (L - 2) / 2;
+    if (blocks < chunks) {
+        ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+        std::ostringstream oss;
+        oss << "interleaved partition cannot split " << blocks
+            << " attention blocks across " << chunks
+            << " virtual chunks (pipeline " << p
+            << " * virtual_stages " << v << ")";
+        result.oomReason = oss.str();
+        return result;
+    }
+
+    // Chunk g's in-flight count is not min(p - g, n): read the exact
+    // peaks off the interleaved device order. Each chunk plans
+    // against 1/v of the device memory so a device's v chunks fit
+    // together; the sum is re-checked exactly below.
+    const Bytes real_cap = opts.memCapacityOverride > 0
+                               ? opts.memCapacityOverride
+                               : pm.memCapacity;
+    StageCostOptions chunk_opts = opts;
+    chunk_opts.inflightOverride = chunkInflightPeaks(schedule);
+    chunk_opts.memCapacityOverride =
+        std::max<Bytes>(1, real_cap / static_cast<Bytes>(v));
+
+    StageCostCalculator calc(pm, chunks, n, chunk_opts);
+
+#if ADAPIPE_OBS_ENABLED
+    struct FlushStageCostStats
+    {
+        const StageCostCalculator &calc;
+        ~FlushStageCostStats()
+        {
+            ADAPIPE_OBS_COUNT("stage_cost.cache_hits",
+                              calc.cacheHits());
+            ADAPIPE_OBS_COUNT("stage_cost.evaluations",
+                              calc.evaluations());
+        }
+    } flush_stats{calc};
+#endif
+
+    std::optional<RecomputeBaseline> baseline;
+    if (method == PlanMethod::DappleFull)
+        baseline = RecomputeBaseline::Full;
+    else if (method == PlanMethod::DappleNon)
+        baseline = RecomputeBaseline::None;
+    else if (method == PlanMethod::DappleSelective)
+        baseline = RecomputeBaseline::Selective;
+
+    // AdaPipe partitions the chunk boundaries adaptively (the DP's
+    // 1F1B objective over the v*p-position chain is a proxy for the
+    // interleaved critical path — the final timing below comes from
+    // the simulator). The baselines keep the even chunk split.
+    std::vector<std::pair<int, int>> ranges;
+    if (method == PlanMethod::AdaPipe) {
+        const PartitionDpResult dp =
+            solveAdaptivePartition(calc, L, chunks, n);
+        if (!dp.feasible) {
+            ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+            result.oomReason =
+                "no memory-feasible interleaved partition";
+            return result;
+        }
+        ranges = dp.ranges;
+    } else {
+        ranges = evenPartition(L, chunks);
+    }
+
+    PipelinePlan plan;
+    plan.method = method;
+    plan.par = pm.par;
+    plan.train = pm.train;
+    plan.microBatches = n;
+    plan.virtualStages = v;
+
+    std::vector<StageTimes> times(chunks);
+    for (int g = 0; g < chunks; ++g) {
+        const auto [i, j] = ranges[g];
+        const StageCost c = baseline
+                                ? calc.baselineCost(g, i, j, *baseline)
+                                : calc.cost(g, i, j);
+        if (!c.feasible) {
+            ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+            std::ostringstream oss;
+            oss << "chunk " << g << " (device " << g % p << ", layers "
+                << i << "-" << j << ") needs " << formatBytes(c.memPeak)
+                << " of its " << formatBytes(calc.capacity())
+                << " share (capacity / " << v << ")";
+            result.oomReason = oss.str();
+            return result;
+        }
+        StagePlan sp;
+        sp.firstLayer = i;
+        sp.lastLayer = j;
+        sp.timeFwd = c.fwd;
+        sp.timeBwd = c.bwd;
+        sp.memPeak = c.memPeak;
+        sp.savedUnits = c.recompute.savedUnits;
+        sp.totalUnits = c.totalUnits;
+        sp.savedMask = c.recompute.saved;
+        plan.stages.push_back(std::move(sp));
+        times[g] = {c.fwd, c.bwd};
+    }
+
+    // The per-chunk capacity/v budgeting is conservative, not exact:
+    // verify the real constraint — device d's v chunks together fit
+    // the device.
+    for (int d = 0; d < p; ++d) {
+        Bytes total = 0;
+        for (int c = 0; c < v; ++c)
+            total += plan.stages[c * p + d].memPeak;
+        if (total > real_cap) {
+            ADAPIPE_OBS_COUNT("planner.infeasible", 1);
+            std::ostringstream oss;
+            oss << "device " << d << "'s " << v << " chunks need "
+                << formatBytes(total) << " of "
+                << formatBytes(real_cap);
+            result.oomReason = oss.str();
+            return result;
+        }
+    }
+
+    // P2P is already charged inside the stage times (includeP2p), so
+    // the simulator runs with zero transfer cost; warmup/ending have
+    // no closed form for the interleaved schedule and are folded
+    // into total.
+    const SimResult sim = simulate(schedule, times, {});
+    plan.timing.warmup = 0;
+    plan.timing.ending = 0;
+    plan.timing.total = sim.iterationTime;
+    Seconds steady = 0;
+    for (int d = 0; d < p; ++d) {
+        Seconds per_mb = 0;
+        for (int c = 0; c < v; ++c)
+            per_mb += times[c * p + d].fwd + times[c * p + d].bwd;
+        steady = std::max(steady, per_mb);
+    }
+    plan.timing.steadyPerMb = steady;
+
+    result.ok = true;
+    result.plan = std::move(plan);
+    return result;
+}
+
+PlanResult
+makeBestSchedulePlan(const ProfiledModel &pm, PlanMethod method,
+                     StageCostOptions opts)
+{
+    ADAPIPE_OBS_SPAN(obs_span, "planner.make_best_schedule_plan");
+    PlanResult best;
+    PlanResult first_failure;
+    bool have_failure = false;
+    for (int v : {1, 2, 4}) {
+        PlanResult r = makeInterleavedPlan(pm, method, v, opts);
+        if (!r.ok) {
+            if (!have_failure) {
+                first_failure = std::move(r);
+                have_failure = true;
+            }
+            continue;
+        }
+        if (!best.ok || r.plan.timing.total < best.plan.timing.total)
+            best = std::move(r);
+    }
+    if (best.ok)
+        return best;
+    return first_failure;
+}
+
+} // namespace adapipe

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Planner entry points for interleaved 1F1B (virtual stages).
+ *
+ * Extends the core planner with the virtual-stage dimension: a plan
+ * with virtualStages = v splits the layer sequence into v * p chunks
+ * (chunk g on device g % p) and executes them under Megatron's
+ * interleaved schedule. The per-chunk recomputation knapsack runs
+ * with the *exact* in-flight micro-batch counts read off the
+ * interleaved device order (StageCostOptions::inflightOverride) and
+ * a per-chunk share of the device memory, then the whole plan is
+ * timed by the event-driven simulator — the interleaved schedule has
+ * no Sec. 5.1 closed form.
+ *
+ * These functions live in sim/ (not core/) because they need the
+ * schedule builder and simulator; adapipe_sim already links
+ * adapipe_core, and the reverse edge would be a cycle.
+ */
+
+#ifndef ADAPIPE_SIM_INTERLEAVED_PLANNER_H
+#define ADAPIPE_SIM_INTERLEAVED_PLANNER_H
+
+#include "core/planner.h"
+#include "sim/schedule.h"
+
+namespace adapipe {
+
+/**
+ * Build a plan with @p v virtual chunks per device.
+ *
+ * v = 1 delegates to makePlan() (plain 1F1B, closed-form timing).
+ * For v > 1: AdaPipe runs the adaptive-partition DP over the v * p
+ * chunk boundaries (jointly with the per-chunk knapsack); Even
+ * Partitioning and the DAPPLE baselines use the even chunk split
+ * with their usual recomputation policies. Invalid configurations
+ * (n % p != 0, v < 1) and memory-infeasible plans come back as
+ * !ok with a diagnostic, never an abort.
+ *
+ * @param pm profiled model (carries t, p, d and the workload)
+ * @param method planning method
+ * @param v virtual chunks per device
+ * @param opts stage-cost options (memory budget fraction, knobs)
+ */
+PlanResult makeInterleavedPlan(const ProfiledModel &pm,
+                               PlanMethod method, int v,
+                               StageCostOptions opts = {});
+
+/**
+ * Sweep v over {1, 2, 4} and return the feasible plan with the
+ * smallest predicted iteration time (simulator and closed form agree
+ * for 1F1B, so the totals are comparable across v). When no v is
+ * feasible the result carries the v = 1 diagnosis.
+ */
+PlanResult makeBestSchedulePlan(const ProfiledModel &pm,
+                                PlanMethod method,
+                                StageCostOptions opts = {});
+
+/**
+ * Exact peak in-flight micro-batches per chain position, read off a
+ * static schedule's per-device order (+1 at each forward, -1 at each
+ * backward of the position). Valid because every position executes
+ * entirely on one device in that order. Exposed for tests and the
+ * interleaved memory accounting.
+ */
+std::vector<int> chunkInflightPeaks(const Schedule &sched);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SIM_INTERLEAVED_PLANNER_H

@@ -1,6 +1,7 @@
 #include "sim/schedule.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -87,13 +88,40 @@ build1F1B(int p, int n)
 Schedule
 buildInterleaved1F1B(int p, int n, int v)
 {
-    ADAPIPE_ASSERT(p >= 1 && n >= 1 && v >= 1,
-                   "invalid interleaved configuration");
-    ADAPIPE_ASSERT(n % p == 0,
-                   "interleaved 1F1B needs n divisible by p, got n=",
-                   n, " p=", p);
+    ParseResult<Schedule> r = tryBuildInterleaved1F1B(p, n, v);
+    if (!r.ok())
+        ADAPIPE_FATAL(r.error());
+    return std::move(r).value();
+}
+
+ParseResult<Schedule>
+tryBuildInterleaved1F1B(int p, int n, int v)
+{
+    // Reject bad configurations with the field names used by the
+    // plan/CLI schema so the diagnostic points at the input to fix.
+    if (p < 1) {
+        return ParseResult<Schedule>::failure(
+            "interleaved 1F1B: parallel.pipeline must be >= 1, got " +
+            std::to_string(p));
+    }
+    if (n < 1) {
+        return ParseResult<Schedule>::failure(
+            "interleaved 1F1B: micro_batches must be >= 1, got " +
+            std::to_string(n));
+    }
+    if (v < 1) {
+        return ParseResult<Schedule>::failure(
+            "interleaved 1F1B: virtual_stages must be >= 1, got " +
+            std::to_string(v));
+    }
+    if (v > 1 && n % p != 0) {
+        return ParseResult<Schedule>::failure(
+            "interleaved 1F1B: micro_batches (" + std::to_string(n) +
+            ") must be divisible by parallel.pipeline (" +
+            std::to_string(p) + ") when virtual_stages > 1");
+    }
     if (v == 1)
-        return build1F1B(p, n);
+        return ParseResult<Schedule>::success(build1F1B(p, n));
 
     Schedule sched;
     sched.name = "Interleaved1F1B(v=" + std::to_string(v) + ")";
@@ -144,7 +172,7 @@ buildInterleaved1F1B(int p, int n, int v)
         for (int k = total - warmup; k < total; ++k)
             add_bwd(k);
     }
-    return sched;
+    return ParseResult<Schedule>::success(std::move(sched));
 }
 
 Schedule

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "util/parse_result.h"
+
 namespace adapipe {
 
 /** Direction of one pipeline op. */
@@ -53,7 +55,14 @@ struct Schedule
     std::string name;
     /** Devices participating (= pipeline-parallel size). */
     int numDevices = 0;
-    /** Stages per chain (= numDevices for all supported schedules). */
+    /**
+     * Positions per chain. Equal to numDevices for the single-chunk
+     * schedules (GPipe, 1F1B, Chimera variants); interleaved 1F1B
+     * has chainLength = v * numDevices, position g on device
+     * g % numDevices. Consumers must index per-position state
+     * (stage times, PipeOp::pos) by chainLength and per-device state
+     * by numDevices — the two only coincide when v = 1.
+     */
     int chainLength = 0;
     /** Total micro-batches across chains. */
     int numMicroBatches = 0;
@@ -88,13 +97,28 @@ Schedule build1F1B(int p, int n);
  * (virtual stages), shrinking the bubble ratio by ~v at the cost of
  * more in-flight activations and communication (Sec. 2.1). The
  * chain has v*p positions; position g runs on device g % p.
- * Requires n % p == 0. With v = 1 this is plain 1F1B.
+ * Requires n % p == 0 when v > 1 (Megatron's constraint). With
+ * v = 1 this is plain 1F1B.
  *
  * @param p pipeline-parallel size (devices)
  * @param n micro-batches
  * @param v virtual chunks per device
+ *
+ * This overload terminates the process (exit 1, with the same
+ * diagnostic tryBuildInterleaved1F1B reports) on an invalid
+ * configuration; callers with user-reachable inputs should use the
+ * recoverable variant below.
  */
 Schedule buildInterleaved1F1B(int p, int n, int v);
+
+/**
+ * Recoverable variant of buildInterleaved1F1B: invalid configurations
+ * (p, n or v < 1; n not divisible by p when v > 1) come back as
+ * errors naming the offending field (pipeline / micro_batches /
+ * virtual_stages) instead of aborting, so CLIs and the planner can
+ * exit cleanly.
+ */
+ParseResult<Schedule> tryBuildInterleaved1F1B(int p, int n, int v);
 
 /**
  * Chimera: two bidirectional pipelines, micro-batches split evenly;

@@ -6,10 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/partition_dp.h"
+#include "core/plan_io.h"
 #include "core/planner.h"
+#include "core/stage_cost.h"
 #include "hw/cluster.h"
+#include "memory/memory_model.h"
 #include "model/model_config.h"
 #include "sim/baseline_eval.h"
+#include "sim/interleaved_planner.h"
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
 
@@ -101,6 +110,233 @@ TEST(Interleaved, EndToEndFasterButHeavier)
     EXPECT_LT(v2.iterationTime, v1.iterationTime);
     // Interleaving pins more in-flight chunk activations.
     EXPECT_GE(v2.peakAlive[0], v1.peakAlive[0]);
+}
+
+TEST(Interleaved, TryBuildNamesTheBadField)
+{
+    EXPECT_FALSE(tryBuildInterleaved1F1B(0, 8, 2).ok());
+    EXPECT_NE(tryBuildInterleaved1F1B(0, 8, 2).error().find(
+                  "parallel.pipeline"),
+              std::string::npos);
+    EXPECT_NE(
+        tryBuildInterleaved1F1B(4, 0, 2).error().find("micro_batches"),
+        std::string::npos);
+    EXPECT_NE(tryBuildInterleaved1F1B(4, 8, 0).error().find(
+                  "virtual_stages"),
+              std::string::npos);
+    // Megatron's divisibility constraint names both fields involved.
+    const ParseResult<Schedule> indivisible =
+        tryBuildInterleaved1F1B(3, 8, 2);
+    ASSERT_FALSE(indivisible.ok());
+    EXPECT_NE(indivisible.error().find("micro_batches"),
+              std::string::npos);
+    EXPECT_NE(indivisible.error().find("parallel.pipeline"),
+              std::string::npos);
+    // And the valid neighbours still build.
+    EXPECT_TRUE(tryBuildInterleaved1F1B(3, 8, 1).ok());
+    EXPECT_TRUE(tryBuildInterleaved1F1B(4, 8, 2).ok());
+}
+
+TEST(Interleaved, EvaluateRejectsInvalidConfigGracefully)
+{
+    // evaluateInterleaved used to ADAPIPE_ASSERT on these; they are
+    // user-reachable through CLI sweeps and must come back as
+    // infeasible results carrying the builder's diagnostic.
+    const ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    train.seqLen = 4096;
+    train.globalBatch = 9; // 9 micro-batches, p = 4 -> indivisible
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = 4;
+    par.data = 1;
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, clusterA(4));
+
+    const EndToEndResult bad_v =
+        evaluateInterleaved(pm, 0, RecomputeBaseline::Full);
+    EXPECT_FALSE(bad_v.feasible);
+    EXPECT_NE(bad_v.oomReason.find("virtual_stages"),
+              std::string::npos);
+
+    const EndToEndResult indivisible =
+        evaluateInterleaved(pm, 2, RecomputeBaseline::Full);
+    EXPECT_FALSE(indivisible.feasible);
+    EXPECT_NE(indivisible.oomReason.find("micro_batches"),
+              std::string::npos);
+}
+
+/**
+ * Cross-check: evaluateInterleaved's timing must equal an actual
+ * event-simulator run of the interleaved schedule over the same
+ * per-chunk costs — the closed-form shortcut it replaced is gone.
+ */
+class InterleavedCrossCheck
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(InterleavedCrossCheck, EvaluateMatchesDirectSimulation)
+{
+    const auto [p, v, n_per_p] = GetParam();
+    const ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    train.seqLen = 4096;
+    train.globalBatch = n_per_p * p;
+    ParallelConfig par;
+    par.tensor = 8;
+    par.pipeline = p;
+    par.data = 1;
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, clusterA(4));
+    const int n = pm.train.microBatches(pm.par);
+    ASSERT_EQ(n, n_per_p * p);
+
+    const EndToEndResult eval =
+        evaluateInterleaved(pm, v, RecomputeBaseline::Full);
+    ASSERT_TRUE(eval.feasible) << eval.oomReason;
+
+    // Rebuild the exact inputs evaluateInterleaved feeds the
+    // simulator: an even chunk partition costed per chunk.
+    const int chunks = v * p;
+    const auto ranges = evenPartition(pm.numLayers(), chunks);
+    StageCostCalculator calc(pm, p, n, {});
+    std::vector<StageTimes> times(chunks);
+    for (int g = 0; g < chunks; ++g) {
+        const auto [i, j] = ranges[static_cast<std::size_t>(g)];
+        const StageCost c =
+            calc.baselineCost(0, i, j, RecomputeBaseline::Full);
+        times[static_cast<std::size_t>(g)] = {c.fwd, c.bwd};
+    }
+    const ParseResult<Schedule> built =
+        tryBuildInterleaved1F1B(p, n, v);
+    ASSERT_TRUE(built.ok()) << built.error();
+    const SimResult sim =
+        simulate(built.value(), times, {pm.p2pTime});
+
+    EXPECT_DOUBLE_EQ(eval.iterationTime, sim.iterationTime);
+    EXPECT_DOUBLE_EQ(eval.bubbleTime, sim.totalBubbleTime());
+    ASSERT_EQ(eval.peakAlive.size(), sim.peakAlive.size());
+    for (std::size_t d = 0; d < sim.peakAlive.size(); ++d)
+        EXPECT_EQ(eval.peakAlive[d], sim.peakAlive[d]) << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InterleavedCrossCheck,
+    ::testing::Values(std::make_tuple(2, 2, 2),
+                      std::make_tuple(2, 4, 3),
+                      std::make_tuple(4, 2, 2),
+                      std::make_tuple(4, 4, 2)));
+
+class InterleavedPlannerTest : public ::testing::Test
+{
+  protected:
+    ModelConfig model = gpt3_13b();
+    TrainConfig train;
+    ParallelConfig par;
+    ClusterSpec cluster = clusterA(4);
+
+    void
+    SetUp() override
+    {
+        train.seqLen = 4096;
+        train.globalBatch = 16;
+        par.tensor = 8;
+        par.pipeline = 4;
+        par.data = 1;
+    }
+
+    ProfiledModel
+    profiled() const
+    {
+        return buildProfiledModel(model, train, par, cluster);
+    }
+};
+
+TEST_F(InterleavedPlannerTest, ChunkPeaksMatchMemoryModelForV1)
+{
+    // For plain 1F1B the exact per-position peaks walked off the
+    // schedule must reproduce the closed form min(p - s, n).
+    const int p = 4;
+    const int n = 16;
+    const auto peaks = chunkInflightPeaks(build1F1B(p, n));
+    ASSERT_EQ(peaks.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+        EXPECT_EQ(peaks[static_cast<std::size_t>(s)],
+                  MemoryModel::inflightMicroBatches(s, p, n))
+            << "stage " << s;
+    }
+}
+
+TEST_F(InterleavedPlannerTest, ChunkPeaksDropTowardTheChainTail)
+{
+    const auto peaks = chunkInflightPeaks(buildInterleaved1F1B(4, 8, 2));
+    ASSERT_EQ(peaks.size(), 8u);
+    // The chain head holds the most in-flight micro-batches, the
+    // tail the fewest — same shape as 1F1B, spread over v * p
+    // positions.
+    EXPECT_GT(peaks.front(), peaks.back());
+    for (std::size_t g = 1; g < peaks.size(); ++g)
+        EXPECT_LE(peaks[g], peaks[g - 1]) << "pos " << g;
+}
+
+TEST_F(InterleavedPlannerTest, PlanHasChunkStagesAndSimTiming)
+{
+    const ProfiledModel pm = profiled();
+    const int v = 2;
+    const PlanResult result =
+        makeInterleavedPlan(pm, PlanMethod::AdaPipe, v);
+    ASSERT_TRUE(result.ok) << result.oomReason;
+    EXPECT_EQ(result.plan.virtualStages, v);
+    ASSERT_EQ(result.plan.stages.size(),
+              static_cast<std::size_t>(v * par.pipeline));
+    // Chunk boundaries cover the layer sequence contiguously.
+    EXPECT_EQ(result.plan.stages.front().firstLayer, 0);
+    EXPECT_EQ(result.plan.stages.back().lastLayer,
+              pm.numLayers() - 1);
+    for (std::size_t g = 1; g < result.plan.stages.size(); ++g) {
+        EXPECT_EQ(result.plan.stages[g].firstLayer,
+                  result.plan.stages[g - 1].lastLayer + 1);
+    }
+    EXPECT_GT(result.plan.timing.total, 0.0);
+
+    // v = 1 through the same entry point degenerates to makePlan.
+    const PlanResult v1 =
+        makeInterleavedPlan(pm, PlanMethod::AdaPipe, 1);
+    ASSERT_TRUE(v1.ok);
+    EXPECT_EQ(v1.plan.virtualStages, 1);
+    EXPECT_EQ(v1.plan.stages.size(),
+              static_cast<std::size_t>(par.pipeline));
+}
+
+TEST_F(InterleavedPlannerTest, BestSchedulePicksTheFastestV)
+{
+    const ProfiledModel pm = profiled();
+    const PlanResult best =
+        makeBestSchedulePlan(pm, PlanMethod::AdaPipe);
+    ASSERT_TRUE(best.ok) << best.oomReason;
+    for (const int v : {1, 2, 4}) {
+        const PlanResult cand =
+            makeInterleavedPlan(pm, PlanMethod::AdaPipe, v);
+        if (cand.ok) {
+            EXPECT_LE(best.plan.timing.total,
+                      cand.plan.timing.total + 1e-9)
+                << "v=" << v;
+        }
+    }
+}
+
+TEST_F(InterleavedPlannerTest, PlanJsonRoundTripsVirtualStages)
+{
+    const ProfiledModel pm = profiled();
+    const PlanResult result =
+        makeInterleavedPlan(pm, PlanMethod::AdaPipe, 2);
+    ASSERT_TRUE(result.ok) << result.oomReason;
+    const std::string text = planToJsonString(result.plan);
+    const ParseResult<PipelinePlan> back =
+        tryPlanFromJsonString(text);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().virtualStages, 2);
+    EXPECT_EQ(back.value().stages.size(), result.plan.stages.size());
 }
 
 class BPipeTest : public ::testing::Test

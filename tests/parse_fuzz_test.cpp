@@ -262,6 +262,93 @@ TEST(ParseFuzz, OverflowNumeralsNeverAbort)
         << r.error();
 }
 
+TEST(ParseFuzz, VirtualStagesFieldIsValidatedByName)
+{
+    // Legacy plans carry no virtual_stages field: they parse as
+    // plain 1F1B plans (v = 1).
+    const ParseResult<PipelinePlan> legacy =
+        tryPlanFromJsonString(kValidPlan);
+    ASSERT_TRUE(legacy.ok()) << legacy.error();
+    EXPECT_EQ(legacy.value().virtualStages, 1);
+
+    auto with_field = [](const char *value) {
+        std::string doc = kValidPlan;
+        const std::string needle = "\"micro_batches\": 4,";
+        const std::size_t pos = doc.find(needle);
+        EXPECT_NE(pos, std::string::npos);
+        doc.insert(pos + needle.size(), std::string("\n  "
+                                                    "\"virtual_"
+                                                    "stages\": ") +
+                                            value + ",");
+        return doc;
+    };
+
+    // An explicit v = 1 is the same plan.
+    const auto v1 = tryPlanFromJsonString(with_field("1"));
+    ASSERT_TRUE(v1.ok()) << v1.error();
+    EXPECT_EQ(v1.value().virtualStages, 1);
+
+    // v = 2 with only pipeline * 1 stages: the count check names
+    // both fields of the product it enforces.
+    const auto mismatched = tryPlanFromJsonString(with_field("2"));
+    ASSERT_FALSE(mismatched.ok());
+    EXPECT_NE(mismatched.error().find("parallel.pipeline"),
+              std::string::npos)
+        << mismatched.error();
+    EXPECT_NE(mismatched.error().find("virtual_stages"),
+              std::string::npos)
+        << mismatched.error();
+
+    // v < 1, a wrong type, and an integer numeral wider than int64
+    // are all recoverable errors naming the field.
+    for (const char *bad : {"0", "-3", "\"two\"", "2.5",
+                            "9999999999999999999999999"}) {
+        const auto r = tryPlanFromJsonString(with_field(bad));
+        ASSERT_FALSE(r.ok()) << bad;
+        EXPECT_NE(r.error().find("virtual_stages"), std::string::npos)
+            << "value " << bad << ": " << r.error();
+    }
+
+    // A duplicate virtual_stages key is caught by the JSON layer.
+    std::string dup = with_field("1");
+    const std::size_t pos = dup.find("\"micro_batches\": 4,");
+    ASSERT_NE(pos, std::string::npos);
+    dup.insert(pos, "\"virtual_stages\": 2,\n  ");
+    const auto r = tryPlanFromJsonString(dup);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("duplicate key 'virtual_stages'"),
+              std::string::npos)
+        << r.error();
+
+    // A matching interleaved plan (p = 2, v = 2, 4 stages) parses.
+    std::string good = with_field("2");
+    const std::string tail =
+        R"(    {"first_layer": 2, "last_layer": 3, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 2, "saved_mask": [true, false]}
+  ]
+})";
+    const std::size_t tail_pos = good.rfind(tail);
+    ASSERT_NE(tail_pos, std::string::npos);
+    good.replace(
+        tail_pos, tail.size(),
+        R"(    {"first_layer": 2, "last_layer": 2, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 1, "saved_mask": [true]},
+    {"first_layer": 3, "last_layer": 3, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 1, "saved_mask": [true]},
+    {"first_layer": 4, "last_layer": 4, "time_fwd": 0.1,
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 1, "saved_mask": [true]}
+  ]
+})");
+    const auto parsed = tryPlanFromJsonString(good);
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().virtualStages, 2);
+    EXPECT_EQ(parsed.value().stages.size(), 4u);
+}
+
 TEST(ParseFuzz, MissingFieldsNameTheField)
 {
     std::string doc = kValidPlan;

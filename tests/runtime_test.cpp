@@ -21,6 +21,7 @@
 #include "runtime/channel.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/plan_mapping.h"
+#include "sim/interleaved_planner.h"
 
 namespace adapipe {
 namespace {
@@ -115,6 +116,46 @@ TEST(BoundedChannel, RecvReportsWaitTime)
     EXPECT_EQ(chan.recv(&waited_us), 7);
     producer.join();
     EXPECT_GT(waited_us, 0.0);
+}
+
+TEST(BoundedChannel, CloseWakesBlockedSender)
+{
+    BoundedChannel<int> chan(1);
+    chan.send(0);
+    std::thread sender([&] {
+        // Blocks on the full channel until close() wakes it; the
+        // send must fail, never silently drop the item.
+        EXPECT_THROW(chan.send(1), ChannelClosedError);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    chan.close();
+    sender.join();
+}
+
+TEST(BoundedChannel, CloseWakesBlockedReceiver)
+{
+    BoundedChannel<int> chan(1);
+    std::thread receiver(
+        [&] { EXPECT_THROW(chan.recv(), ChannelClosedError); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    chan.close();
+    receiver.join();
+}
+
+TEST(BoundedChannel, RecvDrainsQueuedItemsAfterClose)
+{
+    BoundedChannel<int> chan(2);
+    chan.send(1);
+    chan.send(2);
+    chan.close();
+    EXPECT_TRUE(chan.closed());
+    // In-flight tensors are still delivered so a consumer can finish
+    // the work it already depends on ...
+    EXPECT_EQ(chan.recv(), 1);
+    EXPECT_EQ(chan.recv(), 2);
+    // ... and only then does the shutdown surface.
+    EXPECT_THROW(chan.recv(), ChannelClosedError);
+    EXPECT_THROW(chan.send(3), ChannelClosedError);
 }
 
 TEST(EvenStageSpecs, SplitsBlocksContiguously)
@@ -439,6 +480,198 @@ TEST(PlanMapping, MismatchedMaskFallsBackToMethod)
         for (const BlockRecompute mode : spec.recompute)
             EXPECT_EQ(mode, BlockRecompute::Full);
     }
+}
+
+/**
+ * Interleaved 1F1B (virtual stages): v model chunks per worker must
+ * reproduce the single-threaded trajectory bit-exactly, because both
+ * sides accumulate gradients in increasing micro-batch order.
+ */
+TEST(PipelineRuntime, InterleavedMatchesSingleThreadedTrainer)
+{
+    TinyLmConfig cfg = smallConfig();
+    cfg.blocks = 8; // one block per chunk up to p=2, v=4
+    const RuntimeOptions base = smallOpts();
+    const BlockRecompute modes[] = {BlockRecompute::None,
+                                    BlockRecompute::AttentionOnly,
+                                    BlockRecompute::Full};
+    for (const BlockRecompute mode : modes) {
+        for (const int v : {1, 2, 4}) {
+            const int p = 2;
+            const auto specs =
+                evenStageSpecs(cfg.blocks, v * p, mode);
+            RuntimeOptions opts = base;
+            opts.virtualStages = v;
+            TinyLM model(cfg);
+            const RuntimeResult run =
+                runPipeline(model, specs, opts);
+            ASSERT_TRUE(run.ok) << run.error;
+            ASSERT_EQ(run.stages.size(),
+                      static_cast<std::size_t>(v * p));
+            const auto ref = referenceLosses(cfg, base, specs);
+            ASSERT_EQ(run.losses.size(), ref.size());
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                EXPECT_EQ(run.losses[i], ref[i])
+                    << "v=" << v << " mode="
+                    << static_cast<int>(mode) << " step " << i;
+            }
+        }
+    }
+}
+
+TEST(PipelineRuntime, InterleavedSingleWorkerSelfEdges)
+{
+    // p = 1, v = 2: the worker's forward output loops back to its
+    // own second chunk over a self-edge; the capacity clamp must
+    // keep this from deadlocking, and the result stays bit-exact.
+    const TinyLmConfig cfg = smallConfig();
+    RuntimeOptions opts = smallOpts();
+    opts.virtualStages = 2;
+    const auto specs =
+        evenStageSpecs(cfg.blocks, 2, BlockRecompute::None);
+    TinyLM model(cfg);
+    const RuntimeResult run = runPipeline(model, specs, opts);
+    ASSERT_TRUE(run.ok) << run.error;
+    EXPECT_EQ(run.losses, referenceLosses(cfg, smallOpts(), specs));
+}
+
+TEST(PipelineRuntime, InterleavedPerChunkMetricsAndGauges)
+{
+    const TinyLmConfig cfg = smallConfig();
+    RuntimeOptions opts = smallOpts();
+    opts.virtualStages = 2;
+    const int p = 2;
+    const auto specs = evenStageSpecs(
+        cfg.blocks, opts.virtualStages * p, BlockRecompute::Full);
+    TinyLM model(cfg);
+    obs::Registry metrics;
+    const RuntimeResult run =
+        runPipeline(model, specs, opts, &metrics);
+    ASSERT_TRUE(run.ok) << run.error;
+
+    // result.stages is in chain order: chunk g ran on worker g % p.
+    ASSERT_EQ(run.stages.size(), 4u);
+    const std::int64_t per_chunk_ops =
+        static_cast<std::int64_t>(opts.steps) * opts.microBatches;
+    for (int g = 0; g < 4; ++g) {
+        const StageMetrics &sm =
+            run.stages[static_cast<std::size_t>(g)];
+        EXPECT_EQ(sm.chainPos, g);
+        EXPECT_EQ(sm.fwdOps, per_chunk_ops);
+        EXPECT_EQ(sm.bwdOps, per_chunk_ops);
+        const std::int64_t blocks = sm.lastBlock - sm.firstBlock + 1;
+        EXPECT_GE(blocks, 1);
+        // Full recompute: one whole-block replay per block per
+        // backward, counted exactly per chunk.
+#if ADAPIPE_OBS_ENABLED
+        EXPECT_EQ(sm.replayOps, per_chunk_ops * blocks);
+#endif
+    }
+
+    EXPECT_EQ(metrics.gauge("runtime.virtual_stages"), 2.0);
+    for (int r = 0; r < p; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            const std::string prefix =
+                "runtime.stage." + std::to_string(r) + ".chunk." +
+                std::to_string(c) + ".";
+            EXPECT_GT(metrics.gauge(prefix + "fwd_us"), 0.0)
+                << prefix;
+            EXPECT_GT(metrics.gauge(prefix + "bwd_us"), 0.0)
+                << prefix;
+        }
+    }
+}
+
+TEST(PipelineRuntime, KilledWorkerTerminatesWithDiagnostic)
+{
+    // Regression for the shutdown deadlock: a worker dying mid-step
+    // used to leave its peers blocked forever inside send()/recv().
+    // Now the failure closes every channel and the run returns an
+    // error naming the worker.
+    const TinyLmConfig cfg = smallConfig();
+    RuntimeOptions opts = smallOpts();
+    opts.injectFailStage = 1;
+    opts.injectFailAfterOps = 3;
+    const auto specs =
+        evenStageSpecs(cfg.blocks, 3, BlockRecompute::None);
+    TinyLM model(cfg);
+    const RuntimeResult run = runPipeline(model, specs, opts);
+    EXPECT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("worker 1"), std::string::npos)
+        << run.error;
+    EXPECT_NE(run.error.find("injected failure"), std::string::npos)
+        << run.error;
+}
+
+TEST(PipelineRuntime, KilledInterleavedWorkerAlsoTerminates)
+{
+    const TinyLmConfig cfg = smallConfig();
+    RuntimeOptions opts = smallOpts();
+    opts.virtualStages = 2;
+    opts.injectFailStage = 0;
+    opts.injectFailAfterOps = 2;
+    const auto specs =
+        evenStageSpecs(cfg.blocks, 4, BlockRecompute::None);
+    TinyLM model(cfg);
+    const RuntimeResult run = runPipeline(model, specs, opts);
+    EXPECT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("worker 0"), std::string::npos)
+        << run.error;
+}
+
+TEST(PipelineRuntime, InvalidInterleavedConfigFailsGracefully)
+{
+    // p = 3 does not divide micro_batches = 4: the runtime must
+    // refuse with a diagnostic naming the fields, not abort.
+    const TinyLmConfig cfg = smallConfig();
+    RuntimeOptions opts = smallOpts();
+    opts.virtualStages = 2;
+    const auto specs =
+        evenStageSpecs(cfg.blocks, 6, BlockRecompute::None);
+    TinyLM model(cfg);
+    const RuntimeResult run = runPipeline(model, specs, opts);
+    EXPECT_FALSE(run.ok);
+    EXPECT_NE(run.error.find("micro_batches"), std::string::npos)
+        << run.error;
+    EXPECT_NE(run.error.find("virtual_stages"), std::string::npos)
+        << run.error;
+    EXPECT_TRUE(run.losses.empty());
+}
+
+TEST(PlanMapping, InterleavedPlanMapsAndRunsBitExact)
+{
+    const TinyLmConfig cfg = smallConfig();
+    TrainConfig train;
+    train.seqLen = 12;
+    train.microBatch = 1;
+    train.globalBatch = 4;
+    ParallelConfig par;
+    par.tensor = 1;
+    par.pipeline = 2;
+    par.data = 1;
+    const ProfiledModel pm = buildProfiledModel(
+        tinyLmModelConfig(cfg), train, par, clusterA(1));
+    const PlanResult result =
+        makeInterleavedPlan(pm, PlanMethod::AdaPipe, 2, {});
+    ASSERT_TRUE(result.ok) << result.oomReason;
+    EXPECT_EQ(result.plan.virtualStages, 2);
+    ASSERT_EQ(result.plan.stages.size(), 4u);
+
+    const StageMapping mapping =
+        stageSpecsFromPlan(result.plan, cfg);
+    EXPECT_EQ(mapping.virtualStages, 2);
+    ASSERT_EQ(mapping.stages.size(), 4u);
+
+    RuntimeOptions opts = smallOpts();
+    opts.steps = 2;
+    opts.virtualStages = mapping.virtualStages;
+    TinyLM model(cfg);
+    const RuntimeResult run =
+        runPipeline(model, mapping.stages, opts);
+    ASSERT_TRUE(run.ok) << run.error;
+    RuntimeOptions ref_opts = opts;
+    EXPECT_EQ(run.losses,
+              referenceLosses(cfg, ref_opts, mapping.stages));
 }
 
 } // namespace
