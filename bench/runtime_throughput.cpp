@@ -11,6 +11,12 @@
  * (heap allocations vs freelist reuses) so pool regressions show
  * up as numbers, not vibes.
  *
+ * Every configuration runs at intra_stage_threads 1 and 4 (the
+ * backward-engine worker count per stage). The engine's reduction is
+ * bit-deterministic, so the paired runs must report the same
+ * final_loss — CI asserts that — while bwd_seconds records the
+ * intra-stage speedup.
+ *
  * Usage:
  *   runtime_throughput                 # full grid, BENCH_runtime.json
  *   runtime_throughput --smoke         # CI-sized, same schema
@@ -36,6 +42,7 @@ struct ConfigResult
 {
     int stages = 0;
     int virtualStages = 1;
+    int intraStageThreads = 1;
     std::string recompute;
     double tokensPerSecond = 0;
     double wallSeconds = 0;
@@ -72,6 +79,8 @@ configJson(const ConfigResult &r)
     JsonValue cfg = JsonValue::object();
     cfg.set("stages", JsonValue::integer(r.stages));
     cfg.set("virtual_stages", JsonValue::integer(r.virtualStages));
+    cfg.set("intra_stage_threads",
+            JsonValue::integer(r.intraStageThreads));
     cfg.set("recompute", JsonValue::string(r.recompute));
     cfg.set("tokens_per_second",
             JsonValue::number(r.tokensPerSecond));
@@ -135,6 +144,7 @@ main(int argc, char **argv)
 
     const int stage_counts[] = {1, 2, 4};
     const int virtual_counts[] = {1, 2};
+    const int thread_counts[] = {1, 4};
     const BlockRecompute modes[] = {BlockRecompute::None,
                                     BlockRecompute::AttentionOnly,
                                     BlockRecompute::Full};
@@ -154,53 +164,63 @@ main(int argc, char **argv)
                 continue;
             }
             for (std::size_t mi = 0; mi < 3; ++mi) {
-                const std::vector<StageSpec> specs =
-                    evenStageSpecs(cfg.blocks, v * p, modes[mi]);
-                RuntimeOptions run_opts = opts;
-                run_opts.virtualStages = v;
-                TinyLM model(cfg);
+                for (const int t : thread_counts) {
+                    const std::vector<StageSpec> specs =
+                        evenStageSpecs(cfg.blocks, v * p, modes[mi]);
+                    RuntimeOptions run_opts = opts;
+                    run_opts.virtualStages = v;
+                    run_opts.intraStageThreads = t;
+                    TinyLM model(cfg);
 
-                const TensorPool::Stats before = pool.stats();
-                const RuntimeResult run =
-                    runPipeline(model, specs, run_opts);
-                const TensorPool::Stats after = pool.stats();
-                if (!run.ok) {
-                    std::cerr << "runtime_throughput: run failed "
-                                 "(p="
-                              << p << " v=" << v << " recompute="
-                              << mode_names[mi] << "): " << run.error
-                              << "\n";
-                    return 1;
+                    const TensorPool::Stats before = pool.stats();
+                    const RuntimeResult run =
+                        runPipeline(model, specs, run_opts);
+                    const TensorPool::Stats after = pool.stats();
+                    if (!run.ok) {
+                        std::cerr << "runtime_throughput: run "
+                                     "failed (p="
+                                  << p << " v=" << v
+                                  << " recompute=" << mode_names[mi]
+                                  << " threads=" << t
+                                  << "): " << run.error << "\n";
+                        return 1;
+                    }
+
+                    ConfigResult r;
+                    r.stages = p;
+                    r.virtualStages = v;
+                    r.intraStageThreads = t;
+                    r.recompute = mode_names[mi];
+                    r.wallSeconds = run.wallSeconds;
+                    const double tokens =
+                        static_cast<double>(opts.steps) *
+                        opts.microBatches * opts.seqLen;
+                    r.tokensPerSecond =
+                        run.wallSeconds > 0
+                            ? tokens / run.wallSeconds
+                            : 0;
+                    r.finalLoss =
+                        run.losses.empty() ? 0 : run.losses.back();
+                    r.pool.heapAllocs =
+                        after.heapAllocs - before.heapAllocs;
+                    r.pool.reuses = after.reuses - before.reuses;
+                    r.pool.releases =
+                        after.releases - before.releases;
+                    r.pool.heapBytes =
+                        after.heapBytes - before.heapBytes;
+                    r.stageMetrics = run.stages;
+                    results.push_back(std::move(r));
+
+                    std::cout
+                        << "p=" << p << " v=" << v
+                        << " recompute=" << mode_names[mi]
+                        << " threads=" << t << ": "
+                        << static_cast<long long>(r.tokensPerSecond)
+                        << " tok/s, " << r.pool.heapAllocs
+                        << " heap allocs / " << r.pool.reuses
+                        << " reuses, final loss " << r.finalLoss
+                        << "\n";
                 }
-
-                ConfigResult r;
-                r.stages = p;
-                r.virtualStages = v;
-                r.recompute = mode_names[mi];
-                r.wallSeconds = run.wallSeconds;
-                const double tokens =
-                    static_cast<double>(opts.steps) *
-                    opts.microBatches * opts.seqLen;
-                r.tokensPerSecond =
-                    run.wallSeconds > 0 ? tokens / run.wallSeconds
-                                        : 0;
-                r.finalLoss =
-                    run.losses.empty() ? 0 : run.losses.back();
-                r.pool.heapAllocs =
-                    after.heapAllocs - before.heapAllocs;
-                r.pool.reuses = after.reuses - before.reuses;
-                r.pool.releases = after.releases - before.releases;
-                r.pool.heapBytes = after.heapBytes - before.heapBytes;
-                r.stageMetrics = run.stages;
-                results.push_back(std::move(r));
-
-                std::cout << "p=" << p << " v=" << v
-                          << " recompute=" << mode_names[mi] << ": "
-                          << static_cast<long long>(r.tokensPerSecond)
-                          << " tok/s, " << r.pool.heapAllocs
-                          << " heap allocs / " << r.pool.reuses
-                          << " reuses, final loss " << r.finalLoss
-                          << "\n";
             }
         }
     }

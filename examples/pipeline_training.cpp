@@ -109,6 +109,9 @@ main(int argc, char **argv)
     cli.addInt("virtual-stages", 0,
                "model chunks per worker (interleaved 1F1B; 0 = "
                "plan's value, else 1)");
+    cli.addInt("intra-stage-threads", 1,
+               "backward-engine workers per stage (bit-identical "
+               "losses at any value)");
     cli.addString("plan", "", "exported plan JSON (export_plan)");
     cli.addString("method", "adapipe",
                   "in-process planning method: adapipe|even|"
@@ -230,10 +233,21 @@ main(int argc, char **argv)
         have_plan = true;
     }
 
+    const int intra_threads =
+        static_cast<int>(cli.getInt("intra-stage-threads"));
+    if (intra_threads < 1) {
+        std::cerr << "pipeline_training: error: --intra-stage-threads "
+                     "must be >= 1\n";
+        return 1;
+    }
+    opts.intraStageThreads = intra_threads;
+
     if (have_plan) {
         StageMapping mapping = stageSpecsFromPlan(plan, cfg);
+        mapping.intraStageThreads = intra_threads;
         specs = std::move(mapping.stages);
         opts.virtualStages = mapping.virtualStages;
+        opts.intraStageThreads = mapping.intraStageThreads;
         notes.insert(notes.end(), mapping.notes.begin(),
                      mapping.notes.end());
         if (micro_batches == 0)
@@ -254,7 +268,12 @@ main(int argc, char **argv)
                   << " virtual chunks (interleaved 1F1B)";
     }
     std::cout << ", " << opts.steps << " steps x "
-              << opts.microBatches << " micro-batches\n";
+              << opts.microBatches << " micro-batches";
+    if (opts.intraStageThreads > 1) {
+        std::cout << ", " << opts.intraStageThreads
+                  << " backward threads per stage";
+    }
+    std::cout << "\n";
     for (const std::string &note : notes)
         std::cout << "note: " << note << "\n";
     std::cout << "\n";

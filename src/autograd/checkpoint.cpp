@@ -1,5 +1,9 @@
 #include "autograd/checkpoint.h"
 
+#include <unordered_set>
+#include <utility>
+
+#include "autograd/engine.h"
 #include "obs/macros.h"
 #include "util/logging.h"
 
@@ -37,19 +41,56 @@ checkpoint(const Segment &segment, const Variable &input,
         [segment, input](Variable::Impl &node) {
             // Recompute the segment with recording enabled, then
             // backpropagate the downstream gradient through the
-            // rebuilt sub-graph. Parameters captured by the segment
-            // receive their gradients directly.
+            // rebuilt sub-graph — entirely on this thread, with leaf
+            // accumulation redirected into a private capture map so
+            // concurrent replays never touch shared parameter grads.
+            // The captured addends come back as ordered lists the
+            // outer engine applies in its deterministic reduction,
+            // reproducing the eager engine's float sequence exactly
+            // (a replayed parameter used twice yields two addends,
+            // added one after the other as before — summing them
+            // here first would reassociate the floats).
             ADAPIPE_OBS_COUNT("checkpoint.replays", 1);
             ADAPIPE_OBS_SPAN(replay_span, "checkpoint.replay");
             Variable in_copy = input.detach(true);
-            in_copy.zeroGrad();
             Variable out = segment(in_copy);
             ADAPIPE_ASSERT(out.value().sameShape(node.value),
                            "checkpoint recompute shape mismatch");
-            out.backward(node.grad);
-            // Route the input gradient into the real parent.
-            if (node.parents[0])
-                node.parents[0]->grad.add_(in_copy.grad());
+
+            engine_detail::GradCapture capture;
+            capture[in_copy.impl().get()];
+            for (std::size_t i = 1; i < node.parents.size(); ++i) {
+                if (node.parents[i])
+                    capture[node.parents[i].get()];
+            }
+            engine_detail::backwardInline(out.impl(), node.grad,
+                                          &capture);
+
+            autograd_detail::BackwardResult result(
+                node.parents.size());
+            // Input slot: the eager engine accumulated the replay's
+            // input gradient into one zero-initialised buffer and
+            // added it to the real parent once; fold the captured
+            // list the same way.
+            if (node.parents[0]) {
+                Tensor folded(in_copy.value().shape());
+                for (const Tensor &part :
+                     capture[in_copy.impl().get()])
+                    folded.add_(part);
+                result[0].push_back(std::move(folded));
+            }
+            // Parameter slots receive their captured lists verbatim;
+            // a parameter listed in several slots routes everything
+            // through its first slot (the map holds one list per
+            // leaf).
+            std::unordered_set<Variable::Impl *> routed;
+            for (std::size_t i = 1; i < node.parents.size(); ++i) {
+                Variable::Impl *param = node.parents[i].get();
+                if (!param || !routed.insert(param).second)
+                    continue;
+                result[i] = std::move(capture[param]);
+            }
+            return result;
         });
 }
 

@@ -80,15 +80,17 @@ transpose(const Variable &a)
     }
     return Variable::makeNode(
         std::move(at), {a}, [](Variable::Impl &node) {
+            autograd_detail::BackwardResult result(1);
             const auto &pa = node.parents[0];
             if (!pa)
-                return;
+                return result;
             Tensor da(pa->value.shape());
             for (int i = 0; i < da.rows(); ++i) {
                 for (int j = 0; j < da.cols(); ++j)
                     da.at(i, j) += node.grad.at(j, i);
             }
-            pa->grad.add_(da);
+            result[0].push_back(std::move(da));
+            return result;
         });
 }
 

@@ -12,14 +12,16 @@ namespace ops {
 namespace {
 
 using Impl = Variable::Impl;
+using autograd_detail::BackwardResult;
+using autograd_detail::GradParts;
 
-/** Accumulate @p delta into @p parent's grad if it participates. */
-void
-accumulate(const std::shared_ptr<Impl> &parent, const Tensor &delta)
+/** Single-addend contribution list. */
+GradParts
+one(Tensor t)
 {
-    if (!parent)
-        return;
-    parent->grad.add_(delta);
+    GradParts parts;
+    parts.push_back(std::move(t));
+    return parts;
 }
 
 /**
@@ -180,21 +182,20 @@ matmul(const Variable &a, const Variable &b)
     Tensor out({m, n});
     matmulForward(av, bv, out);
 
-    return Variable::makeNode(
-        std::move(out), {a, b}, [m, k, n](Impl &node) {
+    // Slotwise: dA and dB are independent kernels, so the engine can
+    // run them on different workers.
+    return Variable::makeNodeSlotwise(
+        std::move(out), {a, b},
+        [m, k, n](Impl &node, int slot) -> GradParts {
             const Tensor &g = node.grad;
-            const auto &pa = node.parents[0];
-            const auto &pb = node.parents[1];
-            if (pa) {
+            if (slot == 0) {
                 Tensor da({m, k});
-                matmulBackwardA(g, pb->value, da);
-                accumulate(pa, da);
+                matmulBackwardA(g, node.parents[1]->value, da);
+                return one(std::move(da));
             }
-            if (pb) {
-                Tensor db({k, n});
-                matmulBackwardB(pa->value, g, db);
-                accumulate(pb, db);
-            }
+            Tensor db({k, n});
+            matmulBackwardB(node.parents[0]->value, g, db);
+            return one(std::move(db));
         });
 }
 
@@ -204,10 +205,15 @@ add(const Variable &a, const Variable &b)
     ADAPIPE_ASSERT(a.value().sameShape(b.value()), "add shape mismatch");
     Tensor out = a.value();
     out.add_(b.value());
-    return Variable::makeNode(std::move(out), {a, b}, [](Impl &node) {
-        accumulate(node.parents[0], node.grad);
-        accumulate(node.parents[1], node.grad);
-    });
+    return Variable::makeNode(
+        std::move(out), {a, b}, [](Impl &node) {
+            BackwardResult result(2);
+            if (node.parents[0])
+                result[0] = one(node.grad);
+            if (node.parents[1])
+                result[1] = one(node.grad);
+            return result;
+        });
 }
 
 Variable
@@ -226,13 +232,15 @@ addBias(const Variable &a, const Variable &bias)
     }
     return Variable::makeNode(
         std::move(out), {a, bias}, [](Impl &node) {
-            accumulate(node.parents[0], node.grad);
-            const auto &pb = node.parents[1];
-            if (pb) {
+            BackwardResult result(2);
+            if (node.parents[0])
+                result[0] = one(node.grad);
+            if (const auto &pb = node.parents[1]) {
                 Tensor db(pb->value.shape());
                 biasGrad(node.grad, db);
-                accumulate(pb, db);
+                result[1] = one(std::move(db));
             }
+            return result;
         });
 }
 
@@ -266,27 +274,23 @@ linearBias(const Variable &x, const Variable &w, const Variable &bias)
         }
     }
 
-    return Variable::makeNode(
-        std::move(out), {x, w, bias}, [m, k, n](Impl &node) {
+    return Variable::makeNodeSlotwise(
+        std::move(out), {x, w, bias},
+        [m, k, n](Impl &node, int slot) -> GradParts {
             const Tensor &g = node.grad;
-            const auto &px = node.parents[0];
-            const auto &pw = node.parents[1];
-            const auto &pb = node.parents[2];
-            if (px) {
+            if (slot == 0) {
                 Tensor da({m, k});
-                matmulBackwardA(g, pw->value, da);
-                accumulate(px, da);
+                matmulBackwardA(g, node.parents[1]->value, da);
+                return one(std::move(da));
             }
-            if (pw) {
+            if (slot == 1) {
                 Tensor dw({k, n});
-                matmulBackwardB(px->value, g, dw);
-                accumulate(pw, dw);
+                matmulBackwardB(node.parents[0]->value, g, dw);
+                return one(std::move(dw));
             }
-            if (pb) {
-                Tensor db(pb->value.shape());
-                biasGrad(g, db);
-                accumulate(pb, db);
-            }
+            Tensor db(node.parents[2]->value.shape());
+            biasGrad(g, db);
+            return one(std::move(db));
         });
 }
 
@@ -330,13 +334,14 @@ linearBiasGelu(const Variable &x, const Variable &w,
         out[i] = 0.5f * xv * (1.0f + std::tanh(inner));
     }
 
-    return Variable::makeNode(
+    return Variable::makeNodeSlotwise(
         std::move(out), {x, w, bias},
-        [m, k, n, c, pre = std::move(pre)](Impl &node) {
-            const auto &px = node.parents[0];
-            const auto &pw = node.parents[1];
-            const auto &pb = node.parents[2];
-
+        [m, k, n, c, pre = std::move(pre)](Impl &node,
+                                           int slot) -> GradParts {
+            // Every slot recomputes dpre from the saved
+            // pre-activation: the elementwise work is cheap next to
+            // the matmuls, and it keeps the three slot tasks free of
+            // shared mutable state (pre is read-only here).
             Tensor dpre = node.grad;
             for (std::int64_t i = 0; i < dpre.numel(); ++i) {
                 const float xv = pre[i];
@@ -351,21 +356,19 @@ linearBiasGelu(const Variable &x, const Variable &w,
                 dpre[i] *= d;
             }
 
-            if (px) {
+            if (slot == 0) {
                 Tensor da({m, k});
-                matmulBackwardA(dpre, pw->value, da);
-                accumulate(px, da);
+                matmulBackwardA(dpre, node.parents[1]->value, da);
+                return one(std::move(da));
             }
-            if (pw) {
+            if (slot == 1) {
                 Tensor dw({k, n});
-                matmulBackwardB(px->value, dpre, dw);
-                accumulate(pw, dw);
+                matmulBackwardB(node.parents[0]->value, dpre, dw);
+                return one(std::move(dw));
             }
-            if (pb) {
-                Tensor db(pb->value.shape());
-                biasGrad(dpre, db);
-                accumulate(pb, db);
-            }
+            Tensor db(node.parents[2]->value.shape());
+            biasGrad(dpre, db);
+            return one(std::move(db));
         });
 }
 
@@ -376,9 +379,13 @@ scale(const Variable &a, float factor)
     out.scale_(factor);
     return Variable::makeNode(
         std::move(out), {a}, [factor](Impl &node) {
-            Tensor da = node.grad;
-            da.scale_(factor);
-            accumulate(node.parents[0], da);
+            BackwardResult result(1);
+            if (node.parents[0]) {
+                Tensor da = node.grad;
+                da.scale_(factor);
+                result[0] = one(std::move(da));
+            }
+            return result;
         });
 }
 
@@ -389,22 +396,25 @@ mul(const Variable &a, const Variable &b)
     Tensor out = a.value();
     for (std::int64_t i = 0; i < out.numel(); ++i)
         out[i] *= b.value()[i];
-    return Variable::makeNode(std::move(out), {a, b}, [](Impl &node) {
-        const auto &pa = node.parents[0];
-        const auto &pb = node.parents[1];
-        if (pa) {
-            Tensor da = node.grad;
-            for (std::int64_t i = 0; i < da.numel(); ++i)
-                da[i] *= pb->value[i];
-            accumulate(pa, da);
-        }
-        if (pb) {
-            Tensor db = node.grad;
-            for (std::int64_t i = 0; i < db.numel(); ++i)
-                db[i] *= pa->value[i];
-            accumulate(pb, db);
-        }
-    });
+    return Variable::makeNode(
+        std::move(out), {a, b}, [](Impl &node) {
+            const auto &pa = node.parents[0];
+            const auto &pb = node.parents[1];
+            BackwardResult result(2);
+            if (pa) {
+                Tensor da = node.grad;
+                for (std::int64_t i = 0; i < da.numel(); ++i)
+                    da[i] *= pb->value[i];
+                result[0] = one(std::move(da));
+            }
+            if (pb) {
+                Tensor db = node.grad;
+                for (std::int64_t i = 0; i < db.numel(); ++i)
+                    db[i] *= pa->value[i];
+                result[1] = one(std::move(db));
+            }
+            return result;
+        });
 }
 
 Variable
@@ -419,9 +429,10 @@ gelu(const Variable &a)
         out[i] = 0.5f * x * (1.0f + std::tanh(inner));
     }
     return Variable::makeNode(std::move(out), {a}, [c](Impl &node) {
+        BackwardResult result(1);
         const auto &pa = node.parents[0];
         if (!pa)
-            return;
+            return result;
         Tensor da = node.grad;
         for (std::int64_t i = 0; i < da.numel(); ++i) {
             const float x = pa->value[i];
@@ -433,7 +444,8 @@ gelu(const Variable &a)
                 0.5f * x * sech2 * c * (1.0f + 3.0f * 0.044715f * x * x);
             da[i] *= d;
         }
-        accumulate(pa, da);
+        result[0] = one(std::move(da));
+        return result;
     });
 }
 
@@ -446,16 +458,18 @@ silu(const Variable &a)
         out[i] = x / (1.0f + std::exp(-x));
     }
     return Variable::makeNode(std::move(out), {a}, [](Impl &node) {
+        BackwardResult result(1);
         const auto &pa = node.parents[0];
         if (!pa)
-            return;
+            return result;
         Tensor da = node.grad;
         for (std::int64_t i = 0; i < da.numel(); ++i) {
             const float x = pa->value[i];
             const float s = 1.0f / (1.0f + std::exp(-x));
             da[i] *= s * (1.0f + x * (1.0f - s));
         }
-        accumulate(pa, da);
+        result[0] = one(std::move(da));
+        return result;
     });
 }
 
@@ -486,6 +500,7 @@ rmsNorm(const Variable &a, const Variable &gamma, float eps)
             const auto &pa = node.parents[0];
             const auto &pg = node.parents[1];
             const Tensor &g = node.grad;
+            BackwardResult result(2);
             if (pg) {
                 Tensor dg(pg->value.shape());
                 for (int i = 0; i < m; ++i) {
@@ -494,7 +509,7 @@ rmsNorm(const Variable &a, const Variable &gamma, float eps)
                                  rms[i];
                     }
                 }
-                accumulate(pg, dg);
+                result[1] = one(std::move(dg));
             }
             if (pa) {
                 Tensor da({m, n});
@@ -514,8 +529,9 @@ rmsNorm(const Variable &a, const Variable &gamma, float eps)
                                 static_cast<float>(n);
                     }
                 }
-                accumulate(pa, da);
+                result[0] = one(std::move(da));
             }
+            return result;
         });
 }
 
@@ -535,15 +551,17 @@ sliceCols(const Variable &a, int start, int len)
     }
     return Variable::makeNode(
         std::move(out), {a}, [m, len, start](Impl &node) {
+            BackwardResult result(1);
             const auto &pa = node.parents[0];
             if (!pa)
-                return;
+                return result;
             Tensor da(pa->value.shape());
             for (int i = 0; i < m; ++i) {
                 for (int j = 0; j < len; ++j)
                     da.at(i, start + j) = node.grad.at(i, j);
             }
-            accumulate(pa, da);
+            result[0] = one(std::move(da));
+            return result;
         });
 }
 
@@ -573,6 +591,7 @@ concatCols(const std::vector<Variable> &parts)
     return Variable::makeNode(
         std::move(out), parts,
         [m, offsets = std::move(offsets)](Impl &node) {
+            BackwardResult result(node.parents.size());
             for (std::size_t k = 0; k < node.parents.size(); ++k) {
                 const auto &p = node.parents[k];
                 if (!p)
@@ -583,8 +602,9 @@ concatCols(const std::vector<Variable> &parts)
                     for (int j = 0; j < cols; ++j)
                         dp.at(i, j) = node.grad.at(i, offsets[k] + j);
                 }
-                accumulate(p, dp);
+                result[k] = one(std::move(dp));
             }
+            return result;
         });
 }
 
@@ -631,6 +651,7 @@ layerNorm(const Variable &a, const Variable &gamma, const Variable &beta,
             const auto &pg = node.parents[1];
             const auto &pb = node.parents[2];
             const Tensor &g = node.grad;
+            BackwardResult result(3);
 
             if (pg) {
                 Tensor dg(pg->value.shape());
@@ -638,7 +659,7 @@ layerNorm(const Variable &a, const Variable &gamma, const Variable &beta,
                     for (int j = 0; j < n; ++j)
                         dg[j] += g.at(i, j) * xhat.at(i, j);
                 }
-                accumulate(pg, dg);
+                result[1] = one(std::move(dg));
             }
             if (pb) {
                 Tensor db(pb->value.shape());
@@ -646,7 +667,7 @@ layerNorm(const Variable &a, const Variable &gamma, const Variable &beta,
                     for (int j = 0; j < n; ++j)
                         db[j] += g.at(i, j);
                 }
-                accumulate(pb, db);
+                result[2] = one(std::move(db));
             }
             if (pa) {
                 Tensor da({m, n});
@@ -667,8 +688,9 @@ layerNorm(const Variable &a, const Variable &gamma, const Variable &beta,
                              xhat.at(i, j) * sum_dx_xhat / n);
                     }
                 }
-                accumulate(pa, da);
+                result[0] = one(std::move(da));
             }
+            return result;
         });
 }
 
@@ -687,15 +709,17 @@ embedding(const Variable &table, const std::vector<int> &ids)
     }
     return Variable::makeNode(
         std::move(out), {table}, [ids, rows, dim](Impl &node) {
+            BackwardResult result(1);
             const auto &pt = node.parents[0];
             if (!pt)
-                return;
+                return result;
             Tensor dt(pt->value.shape());
             for (int i = 0; i < rows; ++i) {
                 for (int j = 0; j < dim; ++j)
                     dt.at(ids[i], j) += node.grad.at(i, j);
             }
-            accumulate(pt, dt);
+            result[0] = one(std::move(dt));
+            return result;
         });
 }
 
@@ -731,9 +755,10 @@ softmaxRows(const Variable &a, bool causal)
     return Variable::makeNode(
         std::move(out), {a},
         [m, n, causal, probs = std::move(probs)](Impl &node) {
+            BackwardResult result(1);
             const auto &pa = node.parents[0];
             if (!pa)
-                return;
+                return result;
             Tensor da({m, n});
             for (int i = 0; i < m; ++i) {
                 const int limit = causal ? i + 1 : n;
@@ -745,7 +770,8 @@ softmaxRows(const Variable &a, bool causal)
                                   (node.grad.at(i, j) - dot);
                 }
             }
-            accumulate(pa, da);
+            result[0] = one(std::move(da));
+            return result;
         });
 }
 
@@ -782,9 +808,10 @@ crossEntropy(const Variable &logits, const std::vector<int> &targets)
     return Variable::makeNode(
         std::move(out), {logits},
         [m, v, targets, probs = std::move(probs)](Impl &node) {
+            BackwardResult result(1);
             const auto &pl = node.parents[0];
             if (!pl)
-                return;
+                return result;
             const float g = node.grad[0] / static_cast<float>(m);
             Tensor dl({m, v});
             for (int i = 0; i < m; ++i) {
@@ -792,7 +819,8 @@ crossEntropy(const Variable &logits, const std::vector<int> &targets)
                     dl.at(i, j) = g * probs.at(i, j);
                 dl.at(i, targets[i]) -= g;
             }
-            accumulate(pl, dl);
+            result[0] = one(std::move(dl));
+            return result;
         });
 }
 

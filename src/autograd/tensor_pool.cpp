@@ -31,18 +31,25 @@ struct PoolState
     std::atomic<std::int64_t> releases{0};
     std::atomic<std::int64_t> heap_bytes{0};
 
-    /** Move @p from into the global freelist, respecting the cap. */
+    /**
+     * Move @p from into the global freelist. Uncapped on purpose:
+     * this runs when a thread's cache is flushed (worker exit,
+     * explicit drain), and dropping the overflow there is exactly
+     * the bug that made pool.heap_bytes grow without bound — every
+     * generation of short-lived engine workers re-allocated the
+     * buffers its predecessor's exit flush had thrown away. The
+     * per-release caps in release() still bound steady-state
+     * hoarding; the exit flush merely preserves what was already
+     * cached.
+     */
     void
     absorb(Freelist &from)
     {
         std::lock_guard<std::mutex> lock(mu);
         for (auto &[n, bufs] : from) {
             auto &bucket = global[n];
-            for (auto &buf : bufs) {
-                if (bucket.size() >= kGlobalBucketCap)
-                    break; // excess frees normally
+            for (auto &buf : bufs)
                 bucket.push_back(std::move(buf));
-            }
         }
         from.clear();
     }
@@ -175,6 +182,13 @@ TensorPool::stats() const
     s.releases = pool.releases.load(std::memory_order_relaxed);
     s.heapBytes = pool.heap_bytes.load(std::memory_order_relaxed);
     return s;
+}
+
+void
+TensorPool::drainThreadCache()
+{
+    if (ThreadCache *cache = threadCache())
+        poolImpl().absorb(cache->free);
 }
 
 void

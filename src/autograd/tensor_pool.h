@@ -61,6 +61,17 @@ class TensorPool
     Stats stats() const;
 
     /**
+     * Flush the calling thread's cache into the global freelist
+     * (uncapped), leaving the cache usable. Worker threads that are
+     * about to exit call this — and the cache destructor performs
+     * the same uncapped flush — so repeated worker churn (a new
+     * backward engine per run) recycles buffers across generations
+     * instead of re-allocating them, keeping heap_bytes flat after
+     * warmup.
+     */
+    void drainThreadCache();
+
+    /**
      * Drop every cached buffer (current thread's cache + the global
      * freelist) and reset no counters. Test/bench hook for
      * measuring cold-start behaviour.

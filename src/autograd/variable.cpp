@@ -1,9 +1,8 @@
 #include "autograd/variable.h"
 
-#include <algorithm>
 #include <atomic>
-#include <unordered_set>
 
+#include "autograd/engine.h"
 #include "util/logging.h"
 
 namespace adapipe {
@@ -44,6 +43,15 @@ VarImpl::~VarImpl()
     const std::int64_t n = value.numel() + grad.numel();
     live_floats.fetch_sub(n, std::memory_order_relaxed);
     tl_live_floats -= n;
+}
+
+void
+ensureGradBuffer(VarImpl &node)
+{
+    if (!node.grad.sameShape(node.value)) {
+        meterAdd(node.value.numel());
+        node.grad = Tensor(node.value.shape());
+    }
 }
 
 } // namespace autograd_detail
@@ -131,8 +139,9 @@ Variable::detach(bool requires_grad) const
 }
 
 Variable
-Variable::makeNode(Tensor value, std::vector<Variable> parents,
-                   std::function<void(Impl &)> backward_fn)
+Variable::makeNode(
+    Tensor value, std::vector<Variable> parents,
+    std::function<autograd_detail::BackwardResult(Impl &)> backward_fn)
 {
     bool any_grad = false;
     if (grad_enabled) {
@@ -160,6 +169,19 @@ Variable::makeNode(Tensor value, std::vector<Variable> parents,
     return fromImpl(std::move(impl));
 }
 
+Variable
+Variable::makeNodeSlotwise(
+    Tensor value, std::vector<Variable> parents,
+    std::function<autograd_detail::GradParts(Impl &, int)>
+        slot_backward_fn)
+{
+    Variable v = makeNode(std::move(value), std::move(parents), {});
+    if (!v.impl_->isLeaf) {
+        v.impl_->slotBackwardFn = std::move(slot_backward_fn);
+    }
+    return v;
+}
+
 void
 Variable::backward()
 {
@@ -174,52 +196,7 @@ Variable::backward(const Tensor &seed)
     ADAPIPE_ASSERT(defined(), "backward on undefined variable");
     ADAPIPE_ASSERT(seed.sameShape(impl_->value),
                    "backward seed shape mismatch");
-
-    // Topological order via iterative DFS.
-    std::vector<Impl *> order;
-    std::unordered_set<Impl *> visited;
-    std::vector<std::pair<Impl *, std::size_t>> stack;
-    stack.emplace_back(impl_.get(), 0);
-    visited.insert(impl_.get());
-    while (!stack.empty()) {
-        auto &[node, child] = stack.back();
-        if (child < node->parents.size()) {
-            Impl *next = node->parents[child].get();
-            ++child;
-            if (next && !next->isLeaf && !visited.count(next)) {
-                visited.insert(next);
-                stack.emplace_back(next, 0);
-            }
-        } else {
-            order.push_back(node);
-            stack.pop_back();
-        }
-    }
-    // order is post-order: parents before children; reverse it so
-    // gradients flow from the output to the leaves.
-    std::reverse(order.begin(), order.end());
-
-    // Seed and allocate gradient buffers.
-    for (Impl *node : order) {
-        if (!node->grad.sameShape(node->value)) {
-            meterAdd(node->value.numel());
-            node->grad = Tensor(node->value.shape());
-        }
-    }
-    impl_->grad.add_(seed);
-
-    for (Impl *node : order) {
-        if (!node->backwardFn)
-            continue;
-        // Ensure parents have grad buffers before accumulation.
-        for (auto &parent : node->parents) {
-            if (parent && !parent->grad.sameShape(parent->value)) {
-                meterAdd(parent->value.numel());
-                parent->grad = Tensor(parent->value.shape());
-            }
-        }
-        node->backwardFn(*node);
-    }
+    engine_detail::backwardInline(impl_, seed, nullptr);
 }
 
 } // namespace adapipe

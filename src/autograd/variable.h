@@ -4,10 +4,21 @@
  *
  * A Variable is a shared handle to a value plus (when gradients are
  * enabled) its position in the computation graph. Calling
- * Variable::backward() runs a topological sweep accumulating
- * gradients into leaves. A thread-local GradMode switch lets the
- * checkpointing machinery run segments without recording the graph,
- * exactly like the recomputation the paper performs at scale.
+ * Variable::backward() runs the dependency-counting ready-queue
+ * executor (autograd/engine.h) on the calling thread, accumulating
+ * gradients into leaves; BackwardEngine runs the same executor over
+ * multiple worker threads with bit-identical results. A thread-local
+ * GradMode switch lets the checkpointing machinery run segments
+ * without recording the graph, exactly like the recomputation the
+ * paper performs at scale.
+ *
+ * Deterministic reduction rule: a node's backward produces, for each
+ * parent slot, an ORDERED list of gradient addends instead of adding
+ * into the parent directly. The engine applies every parent's
+ * contributions in (consumer topological index, parent-slot index)
+ * order — the exact order the historical eager sweep performed its
+ * in-place accumulations — so gradients are bit-identical at any
+ * worker count, regardless of execution interleaving.
  */
 
 #ifndef ADAPIPE_AUTOGRAD_VARIABLE_H
@@ -26,6 +37,17 @@ class Variable;
 
 namespace autograd_detail {
 
+/**
+ * Ordered gradient addends for one parent slot. Usually a single
+ * tensor; checkpoint replay emits one addend per inner accumulation
+ * so the reduction replays the eager engine's exact float order. An
+ * empty list means the node contributes nothing to that slot.
+ */
+using GradParts = std::vector<Tensor>;
+
+/** One contribution list per parent slot, slot order. */
+using BackwardResult = std::vector<GradParts>;
+
 /** Shared state of one graph node. */
 struct VarImpl
 {
@@ -35,8 +57,19 @@ struct VarImpl
     bool isLeaf = true;
     /** Parents whose gradients this node contributes to. */
     std::vector<std::shared_ptr<VarImpl>> parents;
-    /** Propagates this node's grad into its parents' grads. */
-    std::function<void(VarImpl &)> backwardFn;
+    /**
+     * Whole-node backward: maps this node's grad to one contribution
+     * list per parent slot (result size == parents.size()). Exactly
+     * one of backwardFn / slotBackwardFn is set on interior nodes.
+     */
+    std::function<BackwardResult(VarImpl &)> backwardFn;
+    /**
+     * Per-slot backward: computes the contribution for one parent
+     * slot independently of the others, so the engine can run the
+     * slots of one node on different workers (e.g. a matmul's dA and
+     * dB). Must be safe to call concurrently for distinct slots.
+     */
+    std::function<GradParts(VarImpl &, int)> slotBackwardFn;
 
     VarImpl();
     ~VarImpl();
@@ -44,6 +77,13 @@ struct VarImpl
     VarImpl(const VarImpl &) = delete;
     VarImpl &operator=(const VarImpl &) = delete;
 };
+
+/**
+ * Allocate @p node's grad buffer (zeros, metered) when its shape
+ * does not match the value; otherwise keep the existing buffer so
+ * gradients accumulate across backward calls (micro-batching).
+ */
+void ensureGradBuffer(VarImpl &node);
 
 } // namespace autograd_detail
 
@@ -137,8 +177,9 @@ class Variable
 
     /**
      * Run reverse-mode differentiation seeded with @p seed (same
-     * shape as the value). Used by checkpointed segments to inject
-     * the downstream gradient.
+     * shape as the value), on the calling thread. This is the
+     * single-threaded reference the parallel BackwardEngine is
+     * bit-identical to.
      */
     void backward(const Tensor &seed);
 
@@ -167,11 +208,24 @@ class Variable
      *
      * @param value forward result
      * @param parents graph parents
-     * @param backward_fn gradient propagation into the parents
+     * @param backward_fn produces per-parent gradient contributions
      */
     static Variable
     makeNode(Tensor value, std::vector<Variable> parents,
-             std::function<void(Impl &)> backward_fn);
+             std::function<autograd_detail::BackwardResult(Impl &)>
+                 backward_fn);
+
+    /**
+     * Create an interior node whose backward runs one independent
+     * task per parent slot (see VarImpl::slotBackwardFn). Used by
+     * the matmul-family ops, whose per-parent kernels share no
+     * mutable state.
+     */
+    static Variable
+    makeNodeSlotwise(
+        Tensor value, std::vector<Variable> parents,
+        std::function<autograd_detail::GradParts(Impl &, int)>
+            slot_backward_fn);
     /** @} */
 
   private:

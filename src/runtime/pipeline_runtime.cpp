@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "autograd/engine.h"
 #include "autograd/optim.h"
 #include "autograd/trainer.h"
 #include "runtime/channel.h"
@@ -110,6 +111,9 @@ class StageWorker
     std::map<std::pair<int, int>, Inflight> inflight_;
     std::vector<int> tokens_;
     std::vector<int> targets_;
+    /** Per-stage backward engine (opts.intraStageThreads workers);
+     *  created on the worker thread so helpers are its children. */
+    std::unique_ptr<BackwardEngine> engine_;
     double lossSum_ = 0;
     std::int64_t opsExecuted_ = 0;
     std::vector<double> losses_;
@@ -232,7 +236,7 @@ StageWorker::runBackward(const PipeOp &op)
     const double start_us = obs::nowUs();
     const std::int64_t replays_before =
         registry_.counter("checkpoint.replays");
-    fl.output.backward(seed);
+    engine_->run(fl.output, seed);
     Tensor input_grad;
     if (ctx.fwdIn)
         input_grad = fl.input.grad();
@@ -291,6 +295,13 @@ StageWorker::run()
     resetThreadActivationMeter();
     const std::int64_t act_base = threadLiveActivationFloats();
 
+    // The engine (and its persistent helper threads) lives for the
+    // whole run, so per-backward thread churn never happens; its
+    // deterministic reduction keeps every gradient bit-identical to
+    // intraStageThreads == 1.
+    engine_ = std::make_unique<BackwardEngine>(
+        EngineOptions{opts_.intraStageThreads});
+
     const std::vector<Variable> params = ownParams();
     std::unique_ptr<Adam> adam;
     std::unique_ptr<Sgd> sgd;
@@ -338,6 +349,10 @@ StageWorker::run()
     // Thread-level measurements land on the worker's first chunk
     // (the only chunk when virtualStages == 1); replay *counts* are
     // attributed exactly in runBackward.
+    // Tear the engine down on this thread: helpers drain their
+    // tensor-pool caches and exit before the worker joins.
+    engine_.reset();
+
     chunks_.front().metrics.peakActivationFloats =
         threadPeakActivationFloats() - act_base;
     for (const obs::SpanRecord &span : registry_.spans()) {
@@ -468,6 +483,8 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                    "seqLen must be in [1, maxSeq]");
     ADAPIPE_ASSERT(opts.channelCapacity >= 1,
                    "channel capacity must be >= 1");
+    ADAPIPE_ASSERT(opts.intraStageThreads >= 1,
+                   "intraStageThreads must be >= 1");
     const int v = opts.virtualStages;
     ADAPIPE_ASSERT(v >= 1, "virtualStages must be >= 1");
     ADAPIPE_ASSERT(static_cast<int>(stages.size()) % v == 0,
@@ -590,6 +607,8 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
     if (metrics) {
         metrics->set("runtime.stages", p);
         metrics->set("runtime.virtual_stages", v);
+        metrics->set("runtime.intra_stage_threads",
+                     opts.intraStageThreads);
         metrics->set("runtime.micro_batches", opts.microBatches);
         metrics->set("runtime.wall_us", result.wallSeconds * 1e6);
         metrics->set("runtime.peak_activation_floats",

@@ -103,6 +103,18 @@ struct RuntimeOptions
      */
     int virtualStages = 1;
     /**
+     * Backward-engine workers per stage (intra-stage parallelism).
+     * Each stage worker owns a BackwardEngine with this many
+     * threads (itself included); 1 keeps backward fully inline on
+     * the stage thread. The engine's deterministic reduction makes
+     * losses bit-identical across every value of this knob, so it
+     * trades wall clock only — never reproducibility. With > 1,
+     * per-stage peakActivationFloats attribution drifts: helper
+     * threads charge their allocations to their own thread-local
+     * meters (process-wide peaks stay exact).
+     */
+    int intraStageThreads = 1;
+    /**
      * Test hook: worker index to kill (-1 = disabled). The worker
      * throws after executing injectFailAfterOps forward/backward
      * ops, exercising the shutdown path peers observe as

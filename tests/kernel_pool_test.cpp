@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "autograd/checkpoint.h"
@@ -243,6 +244,45 @@ TEST(TensorPoolTest, CheckpointReplayStopsAllocatingAfterWarmup)
     // gradients alike): once the freelists are primed, the heap
     // allocation counter must be flat.
     EXPECT_EQ(pool.stats().heapAllocs, after_warmup);
+}
+
+TEST(TensorPoolTest, ShortLivedThreadsStopAllocatingAfterWarmup)
+{
+    // Regression: a dying thread's cache flush used to obey the
+    // global per-bucket cap, silently freeing the overflow — so
+    // every generation of short-lived worker threads (the backward
+    // engine spins helpers up and down per pipeline run) re-heap-
+    // allocated what its predecessor had cached, and heap_bytes grew
+    // without bound. The exit flush is now uncapped: after one
+    // warmup generation the pool must serve every later generation
+    // entirely from the freelist.
+    //
+    // 72 live buffers of one unusual size: 8 land in the thread
+    // cache, 64 fill the global bucket to its steady-state cap, so
+    // the exit flush must carry the cached 8 past the cap for later
+    // generations to run allocation-free.
+    constexpr int kBuffers = 72;
+    const std::vector<int> shape = {103, 1}; // unlikely pre-pooled
+
+    TensorPool &pool = TensorPool::instance();
+    auto generation = [&shape]() {
+        std::thread worker([&shape]() {
+            std::vector<Tensor> live;
+            live.reserve(kBuffers);
+            for (int i = 0; i < kBuffers; ++i)
+                live.emplace_back(shape);
+        });
+        worker.join();
+    };
+
+    for (int warm = 0; warm < 2; ++warm)
+        generation();
+    const TensorPool::Stats after_warmup = pool.stats();
+    for (int gen = 0; gen < 5; ++gen)
+        generation();
+    const TensorPool::Stats after = pool.stats();
+    EXPECT_EQ(after.heapBytes, after_warmup.heapBytes);
+    EXPECT_EQ(after.heapAllocs, after_warmup.heapAllocs);
 }
 
 } // namespace
