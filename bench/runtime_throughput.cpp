@@ -23,13 +23,19 @@
  *   runtime_throughput --out my.json
  */
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "autograd/tensor_pool.h"
 #include "autograd/trainer.h"
+#include "core/planner.h"
+#include "hw/cluster.h"
+#include "runtime/fault_injector.h"
 #include "runtime/pipeline_runtime.h"
+#include "runtime/plan_mapping.h"
+#include "runtime/recovery.h"
 #include "util/cli.h"
 #include "util/file_io.h"
 #include "util/json.h"
@@ -225,6 +231,107 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Recovery-time section: the same job clean vs killed at
+    // iteration crash_step and recovered (watchdog detection ->
+    // replan to fewer stages -> snapshot restore -> resume). The
+    // recovered job must reproduce the clean losses bit-for-bit;
+    // what recovery costs is wall clock, split into its parts. ---
+    const int rec_stages = 2;
+    const int rec_steps = opts.steps >= 4 ? opts.steps : 4;
+    const int crash_step = 3;
+    const int snapshot_every = 2;
+    JsonValue recovery = JsonValue::object();
+    {
+        const std::vector<StageSpec> specs = evenStageSpecs(
+            cfg.blocks, rec_stages, BlockRecompute::None);
+        RuntimeOptions run_opts = opts;
+        run_opts.steps = rec_steps;
+
+        TinyLM clean_model(cfg);
+        const RuntimeResult clean =
+            runPipeline(clean_model, specs, run_opts);
+        if (!clean.ok) {
+            std::cerr << "runtime_throughput: clean recovery "
+                         "baseline failed: "
+                      << clean.error << "\n";
+            return 1;
+        }
+
+        RuntimeFaultSpec faults;
+        faults.crash.worker = 1;
+        faults.crash.step = crash_step;
+        faults.crash.afterOps = 1;
+        faults.crash.hang = true;
+        run_opts.faults = &faults;
+        run_opts.watchdog.enabled = true;
+        run_opts.watchdog.stallTimeoutUs = 3e5;
+        run_opts.watchdog.pollIntervalUs = 2e4;
+        const std::string snap_path =
+            cli.getString("out") + ".snap";
+        std::remove(snap_path.c_str());
+        run_opts.snapshot.every = snapshot_every;
+        run_opts.snapshot.path = snap_path;
+
+        TrainConfig train;
+        train.seqLen = opts.seqLen;
+        train.microBatch = 1;
+        train.globalBatch = opts.microBatches;
+        ParallelConfig par;
+        par.tensor = 1;
+        par.pipeline = rec_stages;
+        par.data = 1;
+        const ProfiledModel pm = buildProfiledModel(
+            tinyLmModelConfig(cfg), train, par, clusterA(1));
+        RecoveryOptions rec;
+        rec.replanOnFault = true;
+        rec.pm = &pm;
+
+        TinyLM model(cfg);
+        const RecoveryResult res = runPipelineWithRecovery(
+            model, specs, run_opts, rec);
+        std::remove(snap_path.c_str());
+        if (!res.ok || res.attempts.empty()) {
+            std::cerr << "runtime_throughput: recovery run failed: "
+                      << res.error << "\n";
+            return 1;
+        }
+        const RecoveryAttempt &attempt = res.attempts.front();
+        const bool losses_match = res.losses == clean.losses;
+
+        recovery.set("stages", JsonValue::integer(rec_stages));
+        recovery.set("crash_step", JsonValue::integer(crash_step));
+        recovery.set("snapshot_every",
+                     JsonValue::integer(snapshot_every));
+        recovery.set("clean_wall_seconds",
+                     JsonValue::number(clean.wallSeconds));
+        recovery.set("recovered_wall_seconds",
+                     JsonValue::number(res.wallSeconds));
+        recovery.set("detect_seconds",
+                     JsonValue::number(attempt.detectSeconds));
+        recovery.set("replan_seconds",
+                     JsonValue::number(attempt.replanSeconds));
+        recovery.set("restore_seconds",
+                     JsonValue::number(attempt.restoreSeconds));
+        recovery.set("lost_iterations",
+                     JsonValue::integer(attempt.lostIterations));
+        recovery.set("resumed_from_step",
+                     JsonValue::integer(attempt.resumedFromStep));
+        recovery.set("final_stages",
+                     JsonValue::integer(res.finalStages));
+        recovery.set("losses_match",
+                     JsonValue::boolean(losses_match));
+
+        std::cout << "recovery: clean "
+                  << clean.wallSeconds << " s, recovered "
+                  << res.wallSeconds << " s (detect "
+                  << attempt.detectSeconds << " s, replan "
+                  << attempt.replanSeconds << " s, restore "
+                  << attempt.restoreSeconds << " s, "
+                  << attempt.lostIterations
+                  << " iterations lost), losses_match="
+                  << (losses_match ? "true" : "false") << "\n";
+    }
+
     JsonValue doc = JsonValue::object();
     doc.set("benchmark", JsonValue::string("runtime_throughput"));
     JsonValue model_obj = JsonValue::object();
@@ -241,6 +348,7 @@ main(int argc, char **argv)
     for (const ConfigResult &r : results)
         arr.push(configJson(r));
     doc.set("configs", std::move(arr));
+    doc.set("recovery", std::move(recovery));
 
     const std::string out_path = cli.getString("out");
     const ParseStatus wrote =

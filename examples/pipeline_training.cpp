@@ -34,8 +34,11 @@
 #include "sim/interleaved_planner.h"
 #include "memory/memory_model.h"
 #include "obs/sinks.h"
+#include "runtime/fault_injector.h"
 #include "runtime/pipeline_runtime.h"
 #include "runtime/plan_mapping.h"
+#include "runtime/recovery.h"
+#include "runtime/snapshot.h"
 #include "util/cli.h"
 #include "util/file_io.h"
 #include "util/table.h"
@@ -124,6 +127,28 @@ main(int argc, char **argv)
                   "none|attn|full recompute");
     cli.addString("metrics-out", "",
                   "write runtime metrics as JSON-lines");
+    cli.addString("fault-spec", "",
+                  "runtime fault-injection spec JSON (seeded "
+                  "slowdowns/stalls/send delays/one-shot crash)");
+    cli.addInt("stall-timeout-ms", 0,
+               "enable the watchdog: a worker silent this long is "
+               "declared stalled (0 = watchdog off)");
+    cli.addInt("snapshot-every", 0,
+               "write a training-state snapshot every N steps "
+               "(0 = off)");
+    cli.addString("snapshot-path", "pipeline_snapshot.bin",
+                  "snapshot target file");
+    cli.addString("resume-from", "",
+                  "restore a snapshot and resume; --steps counts "
+                  "the whole job including the snapshotted part");
+    cli.addFlag("recover",
+                "on a detected fault, replan onto fewer stages, "
+                "restore the latest snapshot and resume");
+    cli.addInt("max-recoveries", 1,
+               "replan-and-resume rounds before giving up");
+    cli.addString("degraded-plan-out", "",
+                  "write each recovery round's degraded plan (with "
+                  "provenance) to this JSON file");
     cli.addFlag("reference",
                 "also train single-threaded and compare losses");
     cli.addFlag("quiet", "suppress the tables");
@@ -258,6 +283,65 @@ main(int argc, char **argv)
         micro_batches = 4;
     opts.microBatches = micro_batches;
 
+    RuntimeFaultSpec faults;
+    const std::string fault_path = cli.getString("fault-spec");
+    if (!fault_path.empty()) {
+        const ParseResult<RuntimeFaultSpec> loaded =
+            loadRuntimeFaultSpecFile(fault_path);
+        if (!loaded.ok()) {
+            std::cerr << "pipeline_training: error: "
+                      << loaded.error() << "\n";
+            return 1;
+        }
+        faults = loaded.value();
+        if (!faults.empty())
+            opts.faults = &faults;
+    }
+    const long long stall_ms = cli.getInt("stall-timeout-ms");
+    if (stall_ms > 0) {
+        opts.watchdog.enabled = true;
+        opts.watchdog.stallTimeoutUs =
+            static_cast<double>(stall_ms) * 1000.0;
+    }
+    const int snapshot_every =
+        static_cast<int>(cli.getInt("snapshot-every"));
+    if (snapshot_every > 0) {
+        opts.snapshot.every = snapshot_every;
+        opts.snapshot.path = cli.getString("snapshot-path");
+    }
+
+    TrainingSnapshot resume;
+    const std::string resume_path = cli.getString("resume-from");
+    if (!resume_path.empty()) {
+        const ParseResult<TrainingSnapshot> loaded =
+            loadSnapshotFile(resume_path);
+        if (!loaded.ok()) {
+            std::cerr << "pipeline_training: error: "
+                      << loaded.error() << "\n";
+            return 1;
+        }
+        resume = loaded.value();
+        if (resume.dataSeed != opts.dataSeed) {
+            std::cerr << "pipeline_training: error: snapshot was "
+                         "trained on data-seed "
+                      << resume.dataSeed
+                      << " but this run uses --data-seed "
+                      << opts.dataSeed
+                      << " (resuming would change the stream)\n";
+            return 1;
+        }
+        if (resume.step >= opts.steps) {
+            std::cerr << "pipeline_training: error: snapshot "
+                         "already holds "
+                      << resume.step << " steps; --steps "
+                      << opts.steps << " adds nothing\n";
+            return 1;
+        }
+        opts.firstStep = static_cast<int>(resume.step);
+        opts.steps -= opts.firstStep;
+        opts.restore = &resume;
+    }
+
     const int p = static_cast<int>(specs.size());
     const int workers = p / opts.virtualStages;
     std::cout << "Training a " << cfg.blocks
@@ -279,26 +363,100 @@ main(int argc, char **argv)
     std::cout << "\n";
 
     TinyLM model(cfg);
-    obs::Registry metrics;
-    const RuntimeResult run = runPipeline(model, specs, opts, &metrics);
-    if (!run.ok) {
-        std::cerr << "pipeline_training: runtime failed: " << run.error
-                  << "\n";
-        return 1;
+    if (opts.restore) {
+        const ParseStatus applied = restoreTinyLM(model, resume);
+        if (!applied.ok()) {
+            std::cerr << "pipeline_training: error: "
+                      << applied.error() << "\n";
+            return 1;
+        }
+        std::cout << "resumed from " << resume_path << " at step "
+                  << opts.firstStep << "\n";
     }
+
+    obs::Registry metrics;
+    RuntimeResult run;
+    std::vector<double> losses;
+    std::vector<RecoveryAttempt> attempts;
+    if (cli.getFlag("recover")) {
+        // Recovery replans against a healthy profile of the current
+        // job, whichever way the stage specs were sourced.
+        TrainConfig train;
+        train.seqLen = opts.seqLen;
+        train.microBatch = 1;
+        train.globalBatch = opts.microBatches;
+        ParallelConfig par;
+        par.tensor = 1;
+        par.pipeline = workers;
+        par.data = 1;
+        const ProfiledModel recovery_pm = buildProfiledModel(
+            tinyLmModelConfig(cfg), train, par,
+            clusterA((workers + 7) / 8));
+        RecoveryOptions rec;
+        rec.replanOnFault = true;
+        rec.maxRecoveries =
+            static_cast<int>(cli.getInt("max-recoveries"));
+        rec.pm = &recovery_pm;
+        rec.degradedPlanOut = cli.getString("degraded-plan-out");
+        if (have_plan)
+            rec.originalPlan = &plan;
+        const RecoveryResult res = runPipelineWithRecovery(
+            model, specs, opts, rec, &metrics);
+        attempts = res.attempts;
+        for (const RecoveryAttempt &a : attempts) {
+            std::cout
+                << "recovery: worker " << a.failedWorker
+                << (a.kind == RuntimeFailureKind::WatchdogStall
+                        ? " went silent (watchdog, detected after "
+                        : " failed (detected after ")
+                << fmt("%.0f", a.detectSeconds * 1e3)
+                << " ms); replanned onto " << a.newStages
+                << " stages, ";
+            if (a.restoredFromSnapshot) {
+                std::cout << "restored snapshot at step "
+                          << a.resumedFromStep;
+            } else {
+                std::cout << "fresh restart (no snapshot yet)";
+            }
+            std::cout << ", " << a.lostIterations
+                      << " iterations lost\n";
+        }
+        if (!res.ok) {
+            std::cerr << "pipeline_training: runtime failed: "
+                      << res.error << "\n";
+            return 1;
+        }
+        run = res.finalRun;
+        specs = res.finalSpecs;
+        opts.virtualStages = res.finalVirtualStages;
+        losses = res.losses;
+    } else {
+        run = runPipeline(model, specs, opts, &metrics);
+        if (!run.ok) {
+            std::cerr << "pipeline_training: runtime failed";
+            if (run.failedWorker >= 0)
+                std::cerr << " (worker " << run.failedWorker << ")";
+            std::cerr << ": " << run.error << "\n";
+            return 1;
+        }
+        losses = run.losses;
+    }
+
+    // Recovery may have finished on a different partition.
+    const int pf = static_cast<int>(specs.size());
 
     // Predicted per-stage activation bytes: the plan's peak minus its
     // static (parameter/gradient/optimizer) part, which the runtime
     // meter does not count.
     std::vector<double> predicted_act(
-        static_cast<std::size_t>(p), -1.0);
+        static_cast<std::size_t>(pf), -1.0);
     if (have_plan &&
-        static_cast<int>(plan.stages.size()) == p) {
+        static_cast<int>(plan.stages.size()) == pf) {
         const ModelConfig model_cfg = tinyLmModelConfig(cfg);
         const MemoryModel mm(model_cfg, plan.train, plan.par);
         const std::vector<Layer> layers = buildLayerSequence(
             model_cfg, plan.train, plan.par);
-        for (int s = 0; s < p; ++s) {
+        for (int s = 0; s < pf; ++s) {
             const StagePlan &sp =
                 plan.stages[static_cast<std::size_t>(s)];
             std::uint64_t params = 0;
@@ -316,7 +474,7 @@ main(int argc, char **argv)
         Table table({"Stage", "Blocks", "Recompute", "Fwd", "Bwd",
                      "Blocked", "Waited", "Peak act (meas)",
                      "Peak act (pred)"});
-        for (int s = 0; s < p; ++s) {
+        for (int s = 0; s < pf; ++s) {
             const StageMetrics &sm =
                 run.stages[static_cast<std::size_t>(s)];
             const StageSpec &spec =
@@ -347,9 +505,7 @@ main(int argc, char **argv)
         }
         table.print(std::cout);
 
-        std::cout << "\nfinal loss " << fmt("%.6f", run.losses.back())
-                  << " after " << opts.steps << " steps\n";
-        std::cout << "measured step time "
+        std::cout << "\nmeasured step time "
                   << formatSeconds(run.stepSeconds(opts.steps));
         if (have_plan) {
             std::cout << ", predicted "
@@ -360,30 +516,43 @@ main(int argc, char **argv)
         std::cout << "\n";
     }
 
+    // Exact (round-trippable) final loss, printed even with --quiet
+    // so kill-and-restore harnesses can compare runs bit-for-bit.
+    std::cout << "final loss " << fmt("%.17g", losses.back())
+              << " after " << (opts.firstStep + opts.steps)
+              << " steps\n";
+
     if (cli.getFlag("reference")) {
-        TinyLM ref(cfg); // same seed: identical initialisation
-        TrainOptions ref_opts;
-        ref_opts.steps = opts.steps;
-        ref_opts.seqLen = opts.seqLen;
-        ref_opts.lr = opts.lr;
-        ref_opts.dataSeed = opts.dataSeed;
-        ref_opts.microBatches = opts.microBatches;
-        ref_opts.recompute.clear();
-        for (const StageSpec &spec : specs)
-            ref_opts.recompute.insert(ref_opts.recompute.end(),
-                                      spec.recompute.begin(),
-                                      spec.recompute.end());
-        const TrainStats ref_stats = trainTinyLM(ref, ref_opts);
-        double max_delta = 0;
-        for (std::size_t i = 0; i < run.losses.size(); ++i) {
-            const double delta =
-                std::abs(run.losses[i] - ref_stats.losses[i]);
-            if (delta > max_delta)
-                max_delta = delta;
+        if (opts.firstStep > 0) {
+            std::cout << "reference comparison skipped: the run "
+                         "resumed at step "
+                      << opts.firstStep << "\n";
+        } else {
+            TinyLM ref(cfg); // same seed: identical initialisation
+            TrainOptions ref_opts;
+            ref_opts.steps = opts.steps;
+            ref_opts.seqLen = opts.seqLen;
+            ref_opts.lr = opts.lr;
+            ref_opts.dataSeed = opts.dataSeed;
+            ref_opts.microBatches = opts.microBatches;
+            ref_opts.recompute.clear();
+            for (const StageSpec &spec : specs)
+                ref_opts.recompute.insert(ref_opts.recompute.end(),
+                                          spec.recompute.begin(),
+                                          spec.recompute.end());
+            const TrainStats ref_stats = trainTinyLM(ref, ref_opts);
+            double max_delta = 0;
+            for (std::size_t i = 0; i < losses.size(); ++i) {
+                const double delta =
+                    std::abs(losses[i] - ref_stats.losses[i]);
+                if (delta > max_delta)
+                    max_delta = delta;
+            }
+            std::cout
+                << "reference (single-threaded) max loss delta "
+                << fmt("%.3g", max_delta) << " over "
+                << losses.size() << " steps\n";
         }
-        std::cout << "reference (single-threaded) max loss delta "
-                  << fmt("%.3g", max_delta) << " over "
-                  << run.losses.size() << " steps\n";
     }
 
     const std::string metrics_out = cli.getString("metrics-out");

@@ -109,4 +109,37 @@ Adam::zeroGrad()
         p.zeroGrad();
 }
 
+void
+Adam::setStepCount(int t)
+{
+    ADAPIPE_ASSERT(t >= 0, "Adam step counter must be >= 0, got ", t);
+    t_ = t;
+}
+
+const Tensor &
+Adam::moment1(std::size_t i) const
+{
+    ADAPIPE_ASSERT(i < m_.size(), "Adam moment index out of range");
+    return m_[i];
+}
+
+const Tensor &
+Adam::moment2(std::size_t i) const
+{
+    ADAPIPE_ASSERT(i < v_.size(), "Adam moment index out of range");
+    return v_[i];
+}
+
+void
+Adam::setMoments(std::size_t i, const Tensor &m, const Tensor &v)
+{
+    ADAPIPE_ASSERT(i < params_.size(),
+                   "Adam moment index out of range");
+    ADAPIPE_ASSERT(m.sameShape(params_[i].value()) &&
+                       v.sameShape(params_[i].value()),
+                   "Adam moment shape mismatch for parameter ", i);
+    m_[i] = m;
+    v_[i] = v;
+}
+
 } // namespace adapipe

@@ -29,6 +29,9 @@ class Sgd
     /** Zero all parameter gradients. */
     void zeroGrad();
 
+    /** @return the parameters in construction order (snapshots). */
+    const std::vector<Variable> &params() const { return params_; }
+
   private:
     std::vector<Variable> params_;
     std::vector<Tensor> velocity_;
@@ -68,6 +71,37 @@ class Adam
 
     /** Zero all parameter gradients. */
     void zeroGrad();
+
+    /** @name Training-state export/import (checkpoints)
+     *
+     * Adam's update depends on the moment tensors and the step
+     * counter (bias correction), so a bit-exact restore must carry
+     * all three. Indices follow the construction-order params()
+     * vector.
+     *  @{
+     */
+
+    /** @return the parameters in construction order. */
+    const std::vector<Variable> &params() const { return params_; }
+
+    /** @return completed step() calls (bias-correction t). */
+    int stepCount() const { return t_; }
+
+    /** Set the step counter (restore); @p t must be >= 0. */
+    void setStepCount(int t);
+
+    /** @return first moment of parameter @p i. */
+    const Tensor &moment1(std::size_t i) const;
+
+    /** @return second moment of parameter @p i. */
+    const Tensor &moment2(std::size_t i) const;
+
+    /**
+     * Overwrite both moments of parameter @p i (restore); shapes
+     * must match the parameter's.
+     */
+    void setMoments(std::size_t i, const Tensor &m, const Tensor &v);
+    /** @} */
 
   private:
     std::vector<Variable> params_;

@@ -1,0 +1,171 @@
+#include "robust/replan_io.h"
+
+#include <cstdio>
+
+#include "core/plan_io.h"
+#include "util/file_io.h"
+#include "util/json_reader.h"
+
+namespace adapipe {
+
+namespace {
+
+bool
+isHex16(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s) {
+        const bool hex = (c >= '0' && c <= '9') ||
+                         (c >= 'a' && c <= 'f');
+        if (!hex)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+planFingerprint(const PipelinePlan &plan)
+{
+    const std::string canonical = planToJsonString(plan, 0);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : canonical) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
+JsonValue
+degradedPlanToJson(const DegradedPlanDoc &doc)
+{
+    JsonValue root = JsonValue::object();
+    JsonValue scenario = JsonValue::object();
+    scenario.set("straggler_stage",
+                 JsonValue::integer(doc.scenario.stragglerStage));
+    scenario.set("straggler_factor",
+                 JsonValue::number(doc.scenario.stragglerFactor));
+    scenario.set("mem_factor",
+                 JsonValue::number(doc.scenario.memFactor));
+    scenario.set("lost_stages",
+                 JsonValue::integer(doc.scenario.lostStages));
+    root.set("scenario", std::move(scenario));
+    root.set("original_fingerprint",
+             JsonValue::string(doc.originalFingerprint));
+    root.set("degraded_capacity",
+             JsonValue::integer(
+                 static_cast<std::int64_t>(doc.degradedCapacity)));
+    root.set("plan", planToJson(doc.plan));
+    return root;
+}
+
+std::string
+degradedPlanToJsonString(const DegradedPlanDoc &doc, int indent)
+{
+    return degradedPlanToJson(doc).dump(indent);
+}
+
+ParseResult<DegradedPlanDoc>
+tryDegradedPlanFromJson(const JsonValue &json)
+{
+    ParseResult<DegradedPlanDoc> head = readJson<DegradedPlanDoc>(
+        json, "degraded_plan", [](JsonReader root) {
+            DegradedPlanDoc doc;
+            const JsonReader scenario = root.key("scenario");
+            doc.scenario.stragglerStage = static_cast<int>(
+                scenario.key("straggler_stage").asInteger());
+            if (doc.scenario.stragglerStage < -1) {
+                scenario.key("straggler_stage")
+                    .fail("straggler_stage must be >= -1");
+            }
+            doc.scenario.stragglerFactor =
+                scenario.key("straggler_factor").asNumber();
+            if (doc.scenario.stragglerFactor < 1.0) {
+                scenario.key("straggler_factor")
+                    .fail("straggler_factor must be >= 1");
+            }
+            doc.scenario.memFactor =
+                scenario.key("mem_factor").asNumber();
+            if (doc.scenario.memFactor <= 0 ||
+                doc.scenario.memFactor > 1.0) {
+                scenario.key("mem_factor")
+                    .fail("mem_factor must be in (0, 1]");
+            }
+            doc.scenario.lostStages = static_cast<int>(
+                scenario.key("lost_stages").asInteger());
+            if (doc.scenario.lostStages < 0) {
+                scenario.key("lost_stages")
+                    .fail("lost_stages must be >= 0");
+            }
+            doc.originalFingerprint =
+                root.key("original_fingerprint").asString();
+            if (!doc.originalFingerprint.empty() &&
+                !isHex16(doc.originalFingerprint)) {
+                root.key("original_fingerprint")
+                    .fail("expected 16 lowercase hex digits (or "
+                          "empty)");
+            }
+            const std::int64_t capacity =
+                root.key("degraded_capacity").asInteger();
+            if (capacity < 0) {
+                root.key("degraded_capacity")
+                    .fail("degraded_capacity must be >= 0");
+            }
+            doc.degradedCapacity = static_cast<Bytes>(capacity);
+            // The nested plan parses below through tryPlanFromJson
+            // so it gets the plan loader's own field validation.
+            root.key("plan");
+            return doc;
+        });
+    if (!head.ok())
+        return head;
+    DegradedPlanDoc doc = std::move(head).value();
+    ParseResult<PipelinePlan> plan =
+        tryPlanFromJson(json.at("plan"));
+    if (!plan.ok()) {
+        return ParseResult<DegradedPlanDoc>::failure(
+            "degraded_plan.plan: " + plan.error());
+    }
+    doc.plan = std::move(plan).value();
+    return ParseResult<DegradedPlanDoc>::success(std::move(doc));
+}
+
+ParseResult<DegradedPlanDoc>
+tryDegradedPlanFromJsonString(const std::string &text)
+{
+    ParseResult<JsonValue> json = JsonValue::tryParse(text);
+    if (!json.ok())
+        return ParseResult<DegradedPlanDoc>::failure(json.error());
+    return tryDegradedPlanFromJson(json.value());
+}
+
+ParseResult<DegradedPlanDoc>
+loadDegradedPlanFile(const std::string &path)
+{
+    ParseResult<std::string> text = readTextFile(path);
+    if (!text.ok())
+        return ParseResult<DegradedPlanDoc>::failure(text.error());
+    ParseResult<DegradedPlanDoc> doc =
+        tryDegradedPlanFromJsonString(text.value());
+    if (!doc.ok()) {
+        return ParseResult<DegradedPlanDoc>::failure(path + ": " +
+                                                     doc.error());
+    }
+    return doc;
+}
+
+ParseStatus
+saveDegradedPlanFile(const std::string &path,
+                     const DegradedPlanDoc &doc, int indent)
+{
+    return writeTextFile(path,
+                         degradedPlanToJsonString(doc, indent) +
+                             "\n");
+}
+
+} // namespace adapipe

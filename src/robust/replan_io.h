@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Serialization of degraded-mode replans with provenance.
+ *
+ * A replanDegraded() output is only actionable if an operator (or a
+ * later tool) can tell which failure produced it and which healthy
+ * plan it replaces. A DegradedPlanDoc therefore wraps the degraded
+ * plan together with the scenario that triggered the replan, the
+ * FNV-1a-64 fingerprint of the original plan's canonical JSON, and
+ * the reduced memory capacity the replan was solved against. The
+ * document round-trips through the same plan_io machinery (and the
+ * same dotted-field-path validation) as healthy plans.
+ */
+
+#ifndef ADAPIPE_ROBUST_REPLAN_IO_H
+#define ADAPIPE_ROBUST_REPLAN_IO_H
+
+#include <string>
+
+#include "core/plan.h"
+#include "robust/replan.h"
+#include "util/json.h"
+#include "util/parse_result.h"
+#include "util/units.h"
+
+namespace adapipe {
+
+/** A degraded plan plus the provenance of its replanning. */
+struct DegradedPlanDoc
+{
+    /** The degraded plan (replanDegraded()'s output). */
+    PipelinePlan plan;
+    /** The degradation the replan answered. */
+    DegradedScenario scenario;
+    /**
+     * planFingerprint() of the healthy plan this one replaces; empty
+     * when the original plan was not available at replan time.
+     */
+    std::string originalFingerprint;
+    /** Per-device memory capacity the replan was solved against. */
+    Bytes degradedCapacity = 0;
+};
+
+/**
+ * @return 16-hex-digit FNV-1a-64 fingerprint of @p plan's canonical
+ * (compact) JSON rendering — stable across processes and runs.
+ */
+std::string planFingerprint(const PipelinePlan &plan);
+
+/** Serialize to JSON (root object "degraded_plan"). */
+JsonValue degradedPlanToJson(const DegradedPlanDoc &doc);
+
+/** Serialize to a JSON string. @param indent pretty-print */
+std::string degradedPlanToJsonString(const DegradedPlanDoc &doc,
+                                     int indent = 2);
+
+/**
+ * Recoverable parse; schema violations name the offending field
+ * (e.g. "degraded_plan.scenario.straggler_factor").
+ */
+ParseResult<DegradedPlanDoc>
+tryDegradedPlanFromJson(const JsonValue &json);
+
+/** Recoverable parse from a string (covers syntax errors). */
+ParseResult<DegradedPlanDoc>
+tryDegradedPlanFromJsonString(const std::string &text);
+
+/** Load a document from a file; errors name the path/field. */
+ParseResult<DegradedPlanDoc>
+loadDegradedPlanFile(const std::string &path);
+
+/** Write a document to a file. */
+ParseStatus saveDegradedPlanFile(const std::string &path,
+                                 const DegradedPlanDoc &doc,
+                                 int indent = 2);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_ROBUST_REPLAN_IO_H

@@ -54,6 +54,19 @@ class ChannelClosedError : public std::exception
     }
 };
 
+/**
+ * Outcome of a bounded-wait channel operation. The timeout variants
+ * exist for the watchdog/heartbeat layer: a worker waiting on a dead
+ * peer keeps returning TimedOut (and keeps beating its heartbeat)
+ * instead of blocking forever, so stall detection never depends on
+ * the peer dying cleanly.
+ */
+enum class ChannelStatus {
+    Ok,       ///< item transferred
+    TimedOut, ///< deadline expired; nothing transferred
+    Closed,   ///< channel closed and no progress possible
+};
+
 /** Bounded blocking FIFO channel between two pipeline stages. */
 template <typename T>
 class BoundedChannel
@@ -128,6 +141,76 @@ class BoundedChannel
         if (waited_us)
             *waited_us = us;
         return value;
+    }
+
+    /**
+     * Bounded-wait send: wait up to @p timeout for space, then give
+     * up instead of blocking. On Ok @p value has been moved into the
+     * queue; on TimedOut it is untouched so the caller can retry; on
+     * Closed nothing was enqueued (and never will be).
+     *
+     * @param waited_us when non-null, accumulates the microseconds
+     *        spent waiting inside this call.
+     */
+    ChannelStatus
+    trySendFor(T &value, std::chrono::microseconds timeout,
+               double *waited_us = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.size() >= capacity_ && !closed_) {
+            const auto start = std::chrono::steady_clock::now();
+            not_full_.wait_for(lock, timeout, [this] {
+                return queue_.size() < capacity_ || closed_;
+            });
+            if (waited_us) {
+                *waited_us +=
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            }
+        }
+        if (closed_)
+            return ChannelStatus::Closed;
+        if (queue_.size() >= capacity_)
+            return ChannelStatus::TimedOut;
+        queue_.push_back(std::move(value));
+        not_empty_.notify_one();
+        return ChannelStatus::Ok;
+    }
+
+    /**
+     * Bounded-wait receive: wait up to @p timeout for data, then
+     * give up instead of blocking. Items queued before a close still
+     * drain (Closed only once the channel is closed *and* empty).
+     *
+     * @param out receives the dequeued item on Ok
+     * @param waited_us when non-null, accumulates the microseconds
+     *        spent waiting inside this call.
+     */
+    ChannelStatus
+    tryRecvFor(T &out, std::chrono::microseconds timeout,
+               double *waited_us = nullptr)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.empty() && !closed_) {
+            const auto start = std::chrono::steady_clock::now();
+            not_empty_.wait_for(lock, timeout, [this] {
+                return !queue_.empty() || closed_;
+            });
+            if (waited_us) {
+                *waited_us +=
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            }
+        }
+        if (queue_.empty())
+            return closed_ ? ChannelStatus::Closed
+                           : ChannelStatus::TimedOut;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        not_full_.notify_one();
+        return ChannelStatus::Ok;
     }
 
     /**

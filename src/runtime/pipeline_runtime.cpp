@@ -9,9 +9,13 @@
 #include <thread>
 #include <utility>
 
+#include <chrono>
+#include <condition_variable>
+
 #include "autograd/engine.h"
 #include "autograd/optim.h"
 #include "autograd/trainer.h"
+#include "obs/macros.h"
 #include "runtime/channel.h"
 #include "sim/schedule.h"
 #include "util/logging.h"
@@ -19,6 +23,116 @@
 namespace adapipe {
 
 namespace {
+
+/** Channel-wait tick under the watchdog: a blocked worker re-arms
+ *  its wait this often and beats in between, so waiting on a slow
+ *  but alive neighbour never looks like a stall. */
+constexpr auto kHeartbeatTick = std::chrono::milliseconds(2);
+
+/**
+ * Snapshot barrier + capturer. Every worker arrives after its
+ * optimizer step on a due iteration; channels are empty at that
+ * point (the step's in-flight micro-batches all drained), so the
+ * barrier cannot deadlock against channel backpressure. The last
+ * arriver captures the training state under the barrier mutex —
+ * every peer is parked, and its arrival gave the capture
+ * happens-before over the peer's parameter writes — then writes the
+ * file *outside* the lock while the others resume training. Parked
+ * waiters wake on a short tick to beat the watchdog, and abort()
+ * (called from RunState::fail) converts them to the standard
+ * ChannelClosedError unwind so a failure elsewhere never strands the
+ * barrier.
+ */
+class SnapshotCoordinator
+{
+  public:
+    SnapshotCoordinator(TinyLM &model, const RuntimeOptions &opts,
+                        int num_workers)
+        : model_(model), opts_(opts), numWorkers_(num_workers),
+          adams_(static_cast<std::size_t>(num_workers), nullptr)
+    {
+    }
+
+    /** @return whether global step @p gstep ends with a snapshot. */
+    bool
+    due(int gstep) const
+    {
+        return opts_.snapshot.every > 0 &&
+               (gstep + 1) % opts_.snapshot.every == 0;
+    }
+
+    /** Publish @p worker's Adam (may be null) for moment capture. */
+    void
+    registerAdam(int worker, const Adam *adam)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        adams_[static_cast<std::size_t>(worker)] = adam;
+    }
+
+    /**
+     * Barrier after the optimizer step of global step @p gstep.
+     * @throws std::runtime_error when the snapshot write fails
+     * @throws ChannelClosedError after abort()
+     */
+    void
+    arrive(int worker, int gstep, Watchdog *watchdog)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (aborted_)
+            throw ChannelClosedError{};
+        const std::int64_t gen = generation_;
+        if (++arrived_ == numWorkers_) {
+            // The snapshot records *completed* steps: gstep + 1.
+            TrainingSnapshot snap = captureTrainingSnapshot(
+                model_, adams_, gstep + 1, opts_.dataSeed,
+                opts_.useAdam);
+            arrived_ = 0;
+            ++generation_;
+            lock.unlock();
+            cv_.notify_all();
+            const ParseStatus wrote =
+                writeSnapshotFile(opts_.snapshot.path, snap);
+            if (watchdog)
+                watchdog->beat(worker);
+            if (!wrote.ok()) {
+                throw std::runtime_error("snapshot write failed: " +
+                                         wrote.error());
+            }
+            ADAPIPE_OBS_COUNT("snapshot.writes", 1);
+            return;
+        }
+        while (generation_ == gen && !aborted_) {
+            cv_.wait_for(lock, kHeartbeatTick);
+            if (watchdog)
+                watchdog->beat(worker);
+        }
+        if (generation_ == gen)
+            throw ChannelClosedError{};
+    }
+
+    /** Release parked waiters into the shutdown unwind. */
+    void
+    abort()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            aborted_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    TinyLM &model_;
+    const RuntimeOptions &opts_;
+    int numWorkers_;
+    std::vector<const Adam *> adams_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int arrived_ = 0;
+    std::int64_t generation_ = 0;
+    bool aborted_ = false;
+};
 
 /** Activation state of one in-flight micro-batch on one chunk. */
 struct Inflight
@@ -54,9 +168,13 @@ class StageWorker
 {
   public:
     StageWorker(TinyLM &model, int worker_idx, int num_workers,
-                const Schedule &sched, const RuntimeOptions &opts)
+                const Schedule &sched, const RuntimeOptions &opts,
+                FaultInjector *injector, Watchdog *watchdog,
+                SnapshotCoordinator *snapshots)
         : model_(model), workerIdx_(worker_idx),
-          numWorkers_(num_workers), sched_(sched), opts_(opts)
+          numWorkers_(num_workers), sched_(sched), opts_(opts),
+          injector_(injector), watchdog_(watchdog),
+          snapshots_(snapshots)
     {
     }
 
@@ -74,6 +192,9 @@ class StageWorker
     }
 
     void run();
+
+    /** Attach the heartbeat monitor (before run(); may stay null). */
+    void setWatchdog(Watchdog *watchdog) { watchdog_ = watchdog; }
 
     int workerIdx() const { return workerIdx_; }
 
@@ -95,7 +216,9 @@ class StageWorker
 
     std::vector<Variable> ownParams() const;
     void runForward(int step, const PipeOp &op);
-    void runBackward(const PipeOp &op);
+    void runBackward(int step, const PipeOp &op);
+    Tensor recvFrom(BoundedChannel<Tensor> *ch, double *waited_us);
+    double sendTo(BoundedChannel<Tensor> *ch, Tensor value);
     void recordSpan(const char *name, double start_us);
     void flushGauges();
 
@@ -104,6 +227,9 @@ class StageWorker
     int numWorkers_;
     const Schedule &sched_;
     const RuntimeOptions &opts_;
+    FaultInjector *injector_;
+    Watchdog *watchdog_;
+    SnapshotCoordinator *snapshots_;
     std::vector<ChunkCtx> chunks_;
     bool hasHead_ = false;
 
@@ -116,6 +242,9 @@ class StageWorker
     std::unique_ptr<BackwardEngine> engine_;
     double lossSum_ = 0;
     std::int64_t opsExecuted_ = 0;
+    /** Ops completed within the current step (the fault injector's
+     *  crash coordinate). */
+    std::int64_t opsThisStep_ = 0;
     std::vector<double> losses_;
     obs::Registry registry_;
 };
@@ -142,6 +271,46 @@ StageWorker::ownParams() const
     return params;
 }
 
+/**
+ * Channel receive that keeps beating the heartbeat while blocked.
+ * Without a watchdog this is the plain blocking recv (no extra
+ * branches inside the wait).
+ */
+Tensor
+StageWorker::recvFrom(BoundedChannel<Tensor> *ch, double *waited_us)
+{
+    if (!watchdog_)
+        return ch->recv(waited_us);
+    Tensor out;
+    for (;;) {
+        const ChannelStatus status =
+            ch->tryRecvFor(out, kHeartbeatTick, waited_us);
+        if (status == ChannelStatus::Ok)
+            return out;
+        if (status == ChannelStatus::Closed)
+            throw ChannelClosedError{};
+        watchdog_->beat(workerIdx_);
+    }
+}
+
+/** Heartbeat-capable counterpart of BoundedChannel::send(). */
+double
+StageWorker::sendTo(BoundedChannel<Tensor> *ch, Tensor value)
+{
+    if (!watchdog_)
+        return ch->send(std::move(value));
+    double waited_us = 0;
+    for (;;) {
+        const ChannelStatus status =
+            ch->trySendFor(value, kHeartbeatTick, &waited_us);
+        if (status == ChannelStatus::Ok)
+            return waited_us;
+        if (status == ChannelStatus::Closed)
+            throw ChannelClosedError{};
+        watchdog_->beat(workerIdx_);
+    }
+}
+
 void
 StageWorker::recordSpan(const char *name, double start_us)
 {
@@ -164,7 +333,7 @@ StageWorker::runForward(int step, const PipeOp &op)
     Variable h;
     if (ctx.fwdIn) {
         double waited_us = 0;
-        Tensor in = ctx.fwdIn->recv(&waited_us);
+        Tensor in = recvFrom(ctx.fwdIn, &waited_us);
         ctx.metrics.recvWaitSeconds += waited_us * 1e-6;
         registry_.add("runtime.recvs", 1);
         Variable leaf(std::move(in), /*requires_grad=*/true);
@@ -200,7 +369,12 @@ StageWorker::runForward(int step, const PipeOp &op)
     registry_.add("runtime.fwd_ops", 1);
 
     if (ctx.fwdOut) {
-        const double blocked_us = ctx.fwdOut->send(fl.output.value());
+        if (injector_) {
+            injector_->beforeSend(workerIdx_, op.pos, step,
+                                  op.microBatch, /*forward=*/true);
+        }
+        const double blocked_us =
+            sendTo(ctx.fwdOut, fl.output.value());
         ctx.metrics.sendBlockedSeconds += blocked_us * 1e-6;
         registry_.add("runtime.sends", 1);
         if (blocked_us > 0)
@@ -209,7 +383,7 @@ StageWorker::runForward(int step, const PipeOp &op)
 }
 
 void
-StageWorker::runBackward(const PipeOp &op)
+StageWorker::runBackward(int step, const PipeOp &op)
 {
     ChunkCtx &ctx = chunkOf(op);
     const int local = op.pos / numWorkers_;
@@ -228,7 +402,7 @@ StageWorker::runBackward(const PipeOp &op)
             1.0f / static_cast<float>(opts_.microBatches));
     } else {
         double waited_us = 0;
-        seed = ctx.bwdIn->recv(&waited_us);
+        seed = recvFrom(ctx.bwdIn, &waited_us);
         ctx.metrics.recvWaitSeconds += waited_us * 1e-6;
         registry_.add("runtime.recvs", 1);
     }
@@ -252,8 +426,12 @@ StageWorker::runBackward(const PipeOp &op)
     registry_.add("runtime.bwd_ops", 1);
 
     if (ctx.bwdOut) {
+        if (injector_) {
+            injector_->beforeSend(workerIdx_, op.pos, step,
+                                  op.microBatch, /*forward=*/false);
+        }
         const double blocked_us =
-            ctx.bwdOut->send(std::move(input_grad));
+            sendTo(ctx.bwdOut, std::move(input_grad));
         ctx.metrics.sendBlockedSeconds += blocked_us * 1e-6;
         registry_.add("runtime.sends", 1);
         if (blocked_us > 0)
@@ -311,15 +489,27 @@ StageWorker::run()
         else
             sgd = std::make_unique<Sgd>(params, opts_.lr);
     }
+    if (opts_.restore && adam) {
+        // Parameters were restored before launch; the moments and
+        // the bias-correction counter are per-worker state.
+        const ParseStatus restored =
+            restoreAdamState(*adam, model_, *opts_.restore);
+        if (!restored.ok())
+            throw std::runtime_error(restored.error());
+    }
+    if (snapshots_)
+        snapshots_->registerAdam(workerIdx_, adam.get());
 
     const std::vector<std::size_t> &order =
         sched_.deviceOrder[static_cast<std::size_t>(workerIdx_)];
     for (int step = 0; step < opts_.steps; ++step) {
+        const int gstep = opts_.firstStep + step;
         if (adam)
             adam->zeroGrad();
         else if (sgd)
             sgd->zeroGrad();
         lossSum_ = 0;
+        opsThisStep_ = 0;
 
         for (const std::size_t idx : order) {
             if (workerIdx_ == opts_.injectFailStage &&
@@ -328,12 +518,27 @@ StageWorker::run()
                     "injected failure after " +
                     std::to_string(opsExecuted_) + " ops");
             }
-            ++opsExecuted_;
             const PipeOp &op = sched_.ops[idx];
-            if (op.kind == OpKind::Forward)
-                runForward(step, op);
+            const bool forward = op.kind == OpKind::Forward;
+            if (injector_) {
+                injector_->beforeOp(workerIdx_, op.pos, gstep,
+                                    op.microBatch, forward,
+                                    opsThisStep_);
+            }
+            const double op_start = injector_ ? obs::nowUs() : 0;
+            if (forward)
+                runForward(gstep, op);
             else
-                runBackward(op);
+                runBackward(gstep, op);
+            if (injector_) {
+                injector_->afterOp(workerIdx_, op.pos, gstep,
+                                   op.microBatch, forward,
+                                   obs::nowUs() - op_start);
+            }
+            ++opsExecuted_;
+            ++opsThisStep_;
+            if (watchdog_)
+                watchdog_->beat(workerIdx_);
         }
         ADAPIPE_ASSERT(inflight_.empty(),
                        "in-flight micro-batches left after step");
@@ -344,7 +549,11 @@ StageWorker::run()
             adam->step();
         else if (sgd)
             sgd->step();
+        if (snapshots_ && snapshots_->due(gstep))
+            snapshots_->arrive(workerIdx_, gstep, watchdog_);
     }
+    if (watchdog_)
+        watchdog_->markDone(workerIdx_);
 
     // Thread-level measurements land on the worker's first chunk
     // (the only chunk when virtualStages == 1); replay *counts* are
@@ -365,27 +574,39 @@ StageWorker::run()
 /**
  * Tracks the first worker failure and force-closes every channel so
  * blocked peers unwind instead of waiting on a dead producer or
- * consumer forever.
+ * consumer forever. fail() also cancels every pending injected sleep
+ * (a stalled or hung injector sleep would otherwise outlive the
+ * shutdown) and releases any workers parked at the snapshot barrier.
  */
 class RunState
 {
   public:
-    explicit RunState(
-        std::vector<BoundedChannel<Tensor> *> channels)
-        : channels_(std::move(channels))
+    RunState(std::vector<BoundedChannel<Tensor> *> channels,
+             FaultInjector *injector,
+             SnapshotCoordinator *snapshots)
+        : channels_(std::move(channels)), injector_(injector),
+          snapshots_(snapshots)
     {
     }
 
     void
-    fail(const std::string &message)
+    fail(int worker, RuntimeFailureKind kind,
+         const std::string &message, double detect_us = 0)
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (!failed_) {
                 failed_ = true;
                 error_ = message;
+                failedWorker_ = worker;
+                kind_ = kind;
+                detectUs_ = detect_us;
             }
         }
+        if (injector_)
+            injector_->cancelSleeps();
+        if (snapshots_)
+            snapshots_->abort();
         for (BoundedChannel<Tensor> *ch : channels_)
             ch->close();
     }
@@ -404,11 +625,37 @@ class RunState
         return error_;
     }
 
+    int
+    failedWorker() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return failedWorker_;
+    }
+
+    RuntimeFailureKind
+    kind() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return kind_;
+    }
+
+    double
+    detectUs() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return detectUs_;
+    }
+
   private:
     mutable std::mutex mu_;
     bool failed_ = false;
     std::string error_;
+    int failedWorker_ = -1;
+    RuntimeFailureKind kind_ = RuntimeFailureKind::None;
+    double detectUs_ = 0;
     std::vector<BoundedChannel<Tensor> *> channels_;
+    FaultInjector *injector_;
+    SnapshotCoordinator *snapshots_;
 };
 
 /** Validate the chain-order partition; panics on caller error. */
@@ -492,10 +739,40 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                    " is not a multiple of virtualStages ", v);
     validateSpecs(model, stages);
 
+    ADAPIPE_ASSERT(opts.firstStep >= 0, "firstStep must be >= 0");
     const int chunks = static_cast<int>(stages.size());
     const int p = chunks / v;
 
     RuntimeResult result;
+    const auto invalid = [&result](const std::string &why) {
+        result.ok = false;
+        result.error = why;
+        return result;
+    };
+    if (opts.faults && opts.faults->crash.worker >= 0 &&
+        opts.faults->crash.hang && !opts.watchdog.enabled) {
+        return invalid(
+            "fault spec: a hang crash requires the watchdog "
+            "(a silently parked worker can only be detected by the "
+            "heartbeat monitor; enable RuntimeOptions::watchdog)");
+    }
+    if (opts.snapshot.every < 0)
+        return invalid("snapshot: every must be >= 0");
+    if (opts.snapshot.every > 0 && opts.snapshot.path.empty())
+        return invalid("snapshot: every is set but path is empty");
+    if (opts.restore && opts.useAdam &&
+        opts.restore->optimizer != "adam") {
+        return invalid("restore: run uses adam but the snapshot "
+                       "carries '" +
+                       opts.restore->optimizer + "' state");
+    }
+    if (opts.restore) {
+        const ParseStatus restored =
+            restoreTinyLM(model, *opts.restore);
+        if (!restored.ok())
+            return invalid("restore: " + restored.error());
+    }
+
     ParseResult<Schedule> built =
         tryBuildInterleaved1F1B(p, opts.microBatches, v);
     if (!built.ok()) {
@@ -541,11 +818,21 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                    : nullptr;
     };
 
+    std::unique_ptr<FaultInjector> injector;
+    if (opts.faults && !opts.faults->empty())
+        injector = std::make_unique<FaultInjector>(*opts.faults, p);
+    std::unique_ptr<SnapshotCoordinator> snapshots;
+    if (opts.snapshot.every > 0) {
+        snapshots =
+            std::make_unique<SnapshotCoordinator>(model, opts, p);
+    }
+
     std::vector<std::unique_ptr<StageWorker>> workers;
     workers.reserve(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r) {
         workers.push_back(std::make_unique<StageWorker>(
-            model, r, p, sched, opts));
+            model, r, p, sched, opts, injector.get(),
+            /*watchdog=*/nullptr, snapshots.get()));
         for (int c = 0; c < v; ++c) {
             const int g = c * p + r;
             ChunkCtx ctx;
@@ -559,12 +846,32 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
         }
     }
 
-    RunState state(std::move(all_chans));
+    RunState state(std::move(all_chans), injector.get(),
+                   snapshots.get());
+
+    std::unique_ptr<Watchdog> watchdog;
+    if (opts.watchdog.enabled) {
+        watchdog = std::make_unique<Watchdog>(
+            p, opts.watchdog, [&state](int w, double silent_us) {
+                state.fail(
+                    w, RuntimeFailureKind::WatchdogStall,
+                    "watchdog: worker " + std::to_string(w) +
+                        " made no progress for " +
+                        std::to_string(static_cast<std::int64_t>(
+                            silent_us / 1000)) +
+                        " ms",
+                    silent_us);
+            });
+        for (auto &worker : workers)
+            worker->setWatchdog(watchdog.get());
+    }
 
     resetActivationMeter();
     const std::int64_t act_base = liveActivationFloats();
     const double start_us = obs::nowUs();
 
+    if (watchdog)
+        watchdog->start();
     std::vector<std::thread> threads;
     threads.reserve(workers.size());
     for (auto &worker : workers) {
@@ -575,19 +882,26 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                 // Expected unwind path after a peer's failure; a
                 // close without a recorded failure is itself a bug.
                 if (!state.failed()) {
-                    state.fail("worker " +
-                               std::to_string(worker->workerIdx()) +
-                               ": channel closed unexpectedly");
+                    state.fail(worker->workerIdx(),
+                               RuntimeFailureKind::WorkerError,
+                               "worker " +
+                                   std::to_string(
+                                       worker->workerIdx()) +
+                                   ": channel closed unexpectedly");
                 }
             } catch (const std::exception &e) {
-                state.fail("worker " +
-                           std::to_string(worker->workerIdx()) +
-                           ": " + e.what());
+                state.fail(worker->workerIdx(),
+                           RuntimeFailureKind::WorkerError,
+                           "worker " +
+                               std::to_string(worker->workerIdx()) +
+                               ": " + e.what());
             }
         });
     }
     for (std::thread &t : threads)
         t.join();
+    if (watchdog)
+        watchdog->stop();
 
     result.wallSeconds = (obs::nowUs() - start_us) * 1e-6;
     result.peakActivationFloats = peakActivationFloats() - act_base;
@@ -603,6 +917,18 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
     if (state.failed()) {
         result.ok = false;
         result.error = state.error();
+        result.failureKind = state.kind();
+        result.failedWorker = state.failedWorker();
+        result.detectSeconds = state.detectUs() * 1e-6;
+    }
+    if (injector)
+        result.faultEvents = injector->events();
+    if (metrics && watchdog) {
+        metrics->set("watchdog.polls",
+                     static_cast<double>(watchdog->polls()));
+        metrics->set("watchdog.stall_detections",
+                     static_cast<double>(
+                         watchdog->stallsDetected()));
     }
     if (metrics) {
         metrics->set("runtime.stages", p);

@@ -41,6 +41,9 @@
 
 #include "autograd/module.h"
 #include "obs/registry.h"
+#include "runtime/fault_injector.h"
+#include "runtime/snapshot.h"
+#include "runtime/watchdog.h"
 
 namespace adapipe {
 
@@ -123,6 +126,37 @@ struct RuntimeOptions
     int injectFailStage = -1;
     /** Ops the killed worker completes before throwing. */
     std::int64_t injectFailAfterOps = 0;
+    /**
+     * Global step of the run's first iteration (resume offset). The
+     * data stream, the fault injector and the snapshot cadence are
+     * all keyed by the global step firstStep + local step, so a run
+     * restored from a step-k snapshot consumes exactly the batches
+     * (and faults) the uninterrupted run would have from step k on.
+     */
+    int firstStep = 0;
+    /**
+     * Runtime fault scenario to inject (nullptr / empty spec = the
+     * unhooked fast path). Borrowed for the duration of the run.
+     */
+    const RuntimeFaultSpec *faults = nullptr;
+    /** Watchdog/heartbeat configuration (disabled by default). */
+    WatchdogOptions watchdog;
+    /** Training-state snapshot cadence (disabled by default). */
+    SnapshotOptions snapshot;
+    /**
+     * Snapshot to resume from (nullptr = fresh start): parameters
+     * are restored before workers launch and each worker's Adam
+     * moments/step counter before its first step. Borrowed for the
+     * duration of the run. Combine with firstStep = restore->step.
+     */
+    const TrainingSnapshot *restore = nullptr;
+};
+
+/** How a failed run failed (RuntimeResult::failureKind). */
+enum class RuntimeFailureKind {
+    None,        ///< the run succeeded
+    WorkerError, ///< a worker threw (autograd error, injected crash)
+    WatchdogStall, ///< the watchdog detected a silent worker
 };
 
 /**
@@ -172,6 +206,18 @@ struct RuntimeResult
     bool ok = true;
     /** First failure diagnostic, naming the worker that died. */
     std::string error;
+    /** How the run failed (None when ok). */
+    RuntimeFailureKind failureKind = RuntimeFailureKind::None;
+    /** Worker the first failure was attributed to (-1 when ok or not
+     *  attributable to a worker). */
+    int failedWorker = -1;
+    /** Watchdog detections only: how long the stalled worker had
+     *  been silent when it was reported (the detection latency). */
+    double detectSeconds = 0;
+    /** Injected fault events, merged over workers in deterministic
+     *  (step, pos, microBatch, forward, kind) order. Empty without a
+     *  fault spec. */
+    std::vector<FaultEvent> faultEvents;
     /** Mean micro-batch loss per step (recorded by the last stage). */
     std::vector<double> losses;
     /** Per-chain-position measurements, position 0 first (one per

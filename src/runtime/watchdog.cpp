@@ -1,0 +1,103 @@
+#include "runtime/watchdog.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/registry.h"
+#include "util/logging.h"
+
+namespace adapipe {
+
+Watchdog::Watchdog(int num_workers, const WatchdogOptions &opts,
+                   std::function<void(int, double)> on_stall)
+    : opts_(opts), onStall_(std::move(on_stall)),
+      beats_(static_cast<std::size_t>(num_workers)),
+      done_(static_cast<std::size_t>(num_workers))
+{
+    ADAPIPE_ASSERT(num_workers >= 1, "watchdog needs >= 1 worker");
+    ADAPIPE_ASSERT(opts.stallTimeoutUs > 0 && opts.pollIntervalUs > 0,
+                   "watchdog timeouts must be positive");
+    for (auto &b : beats_)
+        b.store(0, std::memory_order_relaxed);
+    for (auto &d : done_)
+        d.store(false, std::memory_order_relaxed);
+}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+void
+Watchdog::start()
+{
+    ADAPIPE_ASSERT(!thread_.joinable(), "watchdog already started");
+    stopping_ = false;
+    thread_ = std::thread([this] { monitorLoop(); });
+}
+
+void
+Watchdog::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+std::int64_t
+Watchdog::polls() const
+{
+    return polls_.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+Watchdog::stallsDetected() const
+{
+    return stalls_.load(std::memory_order_relaxed);
+}
+
+void
+Watchdog::monitorLoop()
+{
+    const std::size_t n = beats_.size();
+    std::vector<std::int64_t> last_beat(n, 0);
+    std::vector<double> last_change_us(n, obs::nowUs());
+
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+        cv_.wait_for(lock,
+                     std::chrono::duration<double, std::micro>(
+                         opts_.pollIntervalUs),
+                     [this] { return stopping_; });
+        if (stopping_)
+            break;
+        polls_.fetch_add(1, std::memory_order_relaxed);
+        const double now_us = obs::nowUs();
+        for (std::size_t w = 0; w < n; ++w) {
+            if (done_[w].load(std::memory_order_relaxed))
+                continue;
+            const std::int64_t beat =
+                beats_[w].load(std::memory_order_relaxed);
+            if (beat != last_beat[w]) {
+                last_beat[w] = beat;
+                last_change_us[w] = now_us;
+                continue;
+            }
+            const double silent_us = now_us - last_change_us[w];
+            if (silent_us < opts_.stallTimeoutUs)
+                continue;
+            stalls_.fetch_add(1, std::memory_order_relaxed);
+            if (onStall_)
+                onStall_(static_cast<int>(w), silent_us);
+            // One report is all a run needs: the callback fails the
+            // run and closes every channel, which unwinds the rest.
+            return;
+        }
+    }
+}
+
+} // namespace adapipe

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Watchdog/heartbeat layer for the pipeline runtime.
+ *
+ * Each worker publishes a progress epoch (an atomic counter bumped
+ * after every op, on every bounded channel wait tick, and while
+ * parked at the snapshot barrier). A monitor thread samples the
+ * epochs; a worker whose epoch has not moved for the stall timeout
+ * is reported through the on-stall callback — which is how the
+ * runtime detects a worker that hangs *without* dying cleanly (an
+ * injected hang crash, a wedged device): its healthy peers keep
+ * beating while they wait on it, so only the silent worker trips
+ * the timeout.
+ */
+
+#ifndef ADAPIPE_RUNTIME_WATCHDOG_H
+#define ADAPIPE_RUNTIME_WATCHDOG_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adapipe {
+
+/** Watchdog configuration (RuntimeOptions::watchdog). */
+struct WatchdogOptions
+{
+    /** Run the monitor thread; when false the runtime executes the
+     *  plain blocking-channel code path (zero overhead). */
+    bool enabled = false;
+    /** A worker silent for longer than this is declared stalled. */
+    double stallTimeoutUs = 2e6;
+    /** Monitor sampling interval. */
+    double pollIntervalUs = 20e3;
+};
+
+/**
+ * The monitor. Construction allocates the per-worker epochs; start()
+ * launches the thread; stop() (or destruction) joins it. beat() and
+ * markDone() are wait-free and safe from any thread.
+ */
+class Watchdog
+{
+  public:
+    /**
+     * @param num_workers worker count (worker indices [0, n))
+     * @param opts timeouts
+     * @param on_stall called once, from the monitor thread, for the
+     *        first worker that trips the stall timeout; receives the
+     *        worker index and its silent time in microseconds
+     */
+    Watchdog(int num_workers, const WatchdogOptions &opts,
+             std::function<void(int, double)> on_stall);
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Launch the monitor thread. */
+    void start();
+
+    /** Stop and join the monitor thread. Idempotent. */
+    void stop();
+
+    /** Publish progress of @p worker (wait-free). */
+    void
+    beat(int worker)
+    {
+        beats_[static_cast<std::size_t>(worker)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    /** Mark @p worker finished: it stops being monitored. */
+    void
+    markDone(int worker)
+    {
+        done_[static_cast<std::size_t>(worker)].store(
+            true, std::memory_order_relaxed);
+    }
+
+    /** @return monitor sampling rounds executed. */
+    std::int64_t polls() const;
+
+    /** @return stalls reported (0 or 1; stops after the first). */
+    std::int64_t stallsDetected() const;
+
+  private:
+    void monitorLoop();
+
+    WatchdogOptions opts_;
+    std::function<void(int, double)> onStall_;
+    std::vector<std::atomic<std::int64_t>> beats_;
+    std::vector<std::atomic<bool>> done_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+
+    std::atomic<std::int64_t> polls_{0};
+    std::atomic<std::int64_t> stalls_{0};
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_RUNTIME_WATCHDOG_H

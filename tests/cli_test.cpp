@@ -204,6 +204,167 @@ TEST(CliProcess, UnknownFlagExitsWithUsage)
     EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
 }
 
+#ifdef ADAPIPE_PIPELINE_TRAINING_BIN
+
+const char *const kThrowCrashSpec = R"({
+  "seed": 5,
+  "slowdowns": [],
+  "stalls": {"probability": 0.0, "base": 0.0, "max_retries": 0},
+  "send_delay": {"us": 0.0, "jitter": 0.0},
+  "crash": {"worker": 1, "step": 2, "after_ops": 1, "hang": false}
+})";
+
+const char *const kHangCrashSpec = R"({
+  "seed": 5,
+  "slowdowns": [],
+  "stalls": {"probability": 0.0, "base": 0.0, "max_retries": 0},
+  "send_delay": {"us": 0.0, "jitter": 0.0},
+  "crash": {"worker": 1, "step": 2, "after_ops": 1, "hang": true}
+})";
+
+/** Common tiny-run arguments keeping the subprocess fast. */
+std::string
+trainingArgs()
+{
+    return " --stages 3 --steps 4 --recompute none --quiet";
+}
+
+/** Extract the "final loss <value> after" token from CLI output. */
+std::string
+finalLossToken(const std::string &output)
+{
+    const std::string key = "final loss ";
+    const std::size_t pos = output.find(key);
+    if (pos == std::string::npos)
+        return "";
+    const std::size_t end = output.find(" after", pos);
+    if (end == std::string::npos)
+        return "";
+    return output.substr(pos + key.size(),
+                         end - pos - key.size());
+}
+
+TEST(CliProcess, PipelineTrainingFailsNonzeroNamingTheWorker)
+{
+    const std::string spec = writeTempFile(
+        "cli_test_throw_crash.json", kThrowCrashSpec);
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --fault-spec " + spec);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("runtime failed"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("worker 1"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("injected crash"), std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, PipelineTrainingRejectsMalformedFaultSpec)
+{
+    const std::string spec = writeTempFile(
+        "cli_test_bad_fault.json",
+        R"({"seed": 1, "slowdowns": [{"worker": -3, "factor": 2}]})");
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --fault-spec " + spec);
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("pipeline_training: error:"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("runtime_fault.slowdowns[0].worker"),
+              std::string::npos)
+        << r.output;
+}
+
+TEST(CliProcess, PipelineTrainingRecoversFromAHungWorker)
+{
+    // Reference: the same job without any fault.
+    const RunResult clean = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs());
+    ASSERT_EQ(clean.exitCode, 0) << clean.output;
+    const std::string want = finalLossToken(clean.output);
+    ASSERT_FALSE(want.empty()) << clean.output;
+
+    const std::string spec = writeTempFile(
+        "cli_test_hang_crash.json", kHangCrashSpec);
+    const std::string snap =
+        ::testing::TempDir() + "cli_test_recover_snap.bin";
+    std::remove(snap.c_str());
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --fault-spec " + spec +
+        " --stall-timeout-ms 300 --snapshot-every 2"
+        " --snapshot-path " + snap + " --recover");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("recovery: worker 1"),
+              std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("replanned onto 2 stages"),
+              std::string::npos)
+        << r.output;
+    // Recovery must not change a single bit of the final loss.
+    EXPECT_EQ(finalLossToken(r.output), want) << r.output;
+    std::remove(snap.c_str());
+}
+
+TEST(CliProcess, PipelineTrainingResumesFromASnapshot)
+{
+    const RunResult clean = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs());
+    ASSERT_EQ(clean.exitCode, 0) << clean.output;
+    const std::string want = finalLossToken(clean.output);
+
+    const std::string spec = writeTempFile(
+        "cli_test_kill_crash.json", kThrowCrashSpec);
+    const std::string snap =
+        ::testing::TempDir() + "cli_test_resume_snap.bin";
+    std::remove(snap.c_str());
+    // Killed run leaves a snapshot behind ...
+    const RunResult killed = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --fault-spec " + spec +
+        " --snapshot-every 2 --snapshot-path " + snap);
+    EXPECT_EQ(killed.exitCode, 1) << killed.output;
+    // ... and the restarted process finishes the job bit-exactly.
+    const RunResult resumed = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --resume-from " + snap);
+    EXPECT_EQ(resumed.exitCode, 0) << resumed.output;
+    EXPECT_NE(resumed.output.find("resumed from"),
+              std::string::npos)
+        << resumed.output;
+    EXPECT_EQ(finalLossToken(resumed.output), want)
+        << resumed.output;
+    std::remove(snap.c_str());
+}
+
+TEST(CliProcess, PipelineTrainingRejectsMismatchedResumeSeed)
+{
+    const std::string spec = writeTempFile(
+        "cli_test_kill_crash2.json", kThrowCrashSpec);
+    const std::string snap =
+        ::testing::TempDir() + "cli_test_seed_snap.bin";
+    std::remove(snap.c_str());
+    const RunResult killed = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --fault-spec " + spec +
+        " --snapshot-every 2 --snapshot-path " + snap);
+    EXPECT_EQ(killed.exitCode, 1) << killed.output;
+    const RunResult r = runCommand(
+        std::string(ADAPIPE_PIPELINE_TRAINING_BIN) +
+        trainingArgs() + " --resume-from " + snap +
+        " --data-seed 9");
+    EXPECT_EQ(r.exitCode, 1);
+    EXPECT_NE(r.output.find("data-seed"), std::string::npos)
+        << r.output;
+    std::remove(snap.c_str());
+}
+
+#endif // ADAPIPE_PIPELINE_TRAINING_BIN
+
 #endif // ADAPIPE_QUICKSTART_BIN && ADAPIPE_EXPORT_PLAN_BIN
 
 } // namespace

@@ -18,6 +18,9 @@
 #include "core/plan_io.h"
 #include "hw/profile_io.h"
 #include "robust/fault_spec.h"
+#include "robust/replan_io.h"
+#include "runtime/fault_injector.h"
+#include "runtime/snapshot.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -360,6 +363,260 @@ TEST(ParseFuzz, MissingFieldsNameTheField)
     EXPECT_NE(r.error().find("missing required field 'micro_batches'"),
               std::string::npos)
         << r.error();
+}
+
+const char *const kValidRuntimeFault = R"({
+  "seed": 7,
+  "slowdowns": [{"worker": 1, "factor": 1.5}],
+  "stalls": {"probability": 0.1, "base": 0.01, "max_retries": 2},
+  "send_delay": {"us": 100.0, "jitter": 0.25},
+  "crash": {"worker": 1, "step": 3, "after_ops": 2, "hang": true}
+})";
+
+TEST(ParseFuzz, RuntimeFaultSpecBaseIsValid)
+{
+    const auto r =
+        tryRuntimeFaultSpecFromJsonString(kValidRuntimeFault);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.value().crash.worker, 1);
+    EXPECT_TRUE(r.value().crash.hang);
+}
+
+TEST(ParseFuzz, RuntimeFaultSpecCorruptionsNameTheField)
+{
+    struct Case
+    {
+        const char *needle;
+        const char *replacement;
+        const char *expected;
+    };
+    const Case cases[] = {
+        {"\"factor\": 1.5", "\"factor\": 0.5",
+         "runtime_fault.slowdowns[0].factor"},
+        {"\"worker\": 1,", "\"worker\": -2,",
+         "runtime_fault.slowdowns[0].worker"},
+        {"\"probability\": 0.1", "\"probability\": 1.5",
+         "runtime_fault.stalls.probability"},
+        {"\"us\": 100.0", "\"us\": -1",
+         "runtime_fault.send_delay.us"},
+        {"\"after_ops\": 2", "\"after_ops\": -2",
+         "runtime_fault.crash.after_ops"},
+        {"\"hang\": true", "\"hang\": 3",
+         "runtime_fault.crash.hang"},
+    };
+    for (const Case &c : cases) {
+        std::string doc = kValidRuntimeFault;
+        const std::size_t pos = doc.find(c.needle);
+        ASSERT_NE(pos, std::string::npos) << c.needle;
+        doc.replace(pos, std::string(c.needle).size(),
+                    c.replacement);
+        const auto r = tryRuntimeFaultSpecFromJsonString(doc);
+        ASSERT_FALSE(r.ok()) << c.expected;
+        EXPECT_NE(r.error().find(c.expected), std::string::npos)
+            << "error was: " << r.error();
+    }
+}
+
+TEST(ParseFuzz, RuntimeFaultSpecMutationsNeverAbort)
+{
+    const std::uint64_t seed = fuzzSeed();
+    SCOPED_TRACE("ADAPIPE_FUZZ_SEED=" + std::to_string(seed));
+    Rng rng(seed ^ 0xFA17);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string doc = kValidRuntimeFault;
+        const int edits = static_cast<int>(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(doc.size()) - 1));
+            if (rng.uniformInt(0, 1) == 0)
+                doc[pos] = static_cast<char>(rng.uniformInt(1, 127));
+            else
+                doc.erase(pos, 1);
+        }
+        const auto r = tryRuntimeFaultSpecFromJsonString(doc);
+        if (!r.ok()) {
+            EXPECT_FALSE(r.error().empty());
+        }
+    }
+}
+
+/** A small but fully populated snapshot byte image. */
+std::string
+validSnapshotBytes()
+{
+    TinyLmConfig cfg;
+    cfg.vocab = 16;
+    cfg.dim = 8;
+    cfg.blocks = 2;
+    cfg.ffnHidden = 16;
+    cfg.maxSeq = 16;
+    cfg.seed = 1;
+    const TinyLM model(cfg);
+    return snapshotToBytes(captureTrainingSnapshot(
+        model, {}, /*step=*/3, /*data_seed=*/7, /*use_adam=*/true));
+}
+
+/** Split a snapshot image into (pre-header, header, blob). */
+void
+splitSnapshot(const std::string &bytes, std::string &pre,
+              std::string &header, std::string &blob)
+{
+    // ADAPIPESNAP1\n<len>\n<header><blob>
+    const std::size_t magic_end = bytes.find('\n') + 1;
+    const std::size_t len_end = bytes.find('\n', magic_end);
+    const std::size_t header_len = static_cast<std::size_t>(
+        std::strtoull(bytes.c_str() + magic_end, nullptr, 10));
+    pre = bytes.substr(0, len_end + 1);
+    header = bytes.substr(len_end + 1, header_len);
+    blob = bytes.substr(len_end + 1 + header_len);
+}
+
+/** Reassemble with a corrected header-length line. */
+std::string
+joinSnapshot(const std::string &header, const std::string &blob)
+{
+    return std::string("ADAPIPESNAP1\n") +
+           std::to_string(header.size()) + "\n" + header + blob;
+}
+
+TEST(SnapshotFuzz, BaseImageIsValid)
+{
+    const std::string bytes = validSnapshotBytes();
+    const auto r = snapshotFromBytes(bytes);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.value().step, 3);
+    EXPECT_EQ(snapshotToBytes(r.value()), bytes);
+}
+
+TEST(SnapshotFuzz, TruncationsNeverAbort)
+{
+    const std::string bytes = validSnapshotBytes();
+    for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+        const auto r = snapshotFromBytes(bytes.substr(0, cut));
+        ASSERT_FALSE(r.ok()) << "cut at " << cut;
+        EXPECT_FALSE(r.error().empty()) << "cut at " << cut;
+    }
+}
+
+TEST(SnapshotFuzz, VersionSkewIsRejectedByName)
+{
+    std::string pre, header, blob;
+    splitSnapshot(validSnapshotBytes(), pre, header, blob);
+    const std::size_t key = header.find("\"version\"");
+    ASSERT_NE(key, std::string::npos);
+    const std::size_t digit = header.find('1', key);
+    ASSERT_NE(digit, std::string::npos);
+    header[digit] = '2';
+    const auto r = snapshotFromBytes(joinSnapshot(header, blob));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("unsupported snapshot version 2"),
+              std::string::npos)
+        << r.error();
+}
+
+TEST(SnapshotFuzz, DuplicateHeaderKeysAreRejected)
+{
+    std::string pre, header, blob;
+    splitSnapshot(validSnapshotBytes(), pre, header, blob);
+    const std::size_t brace = header.rfind('}');
+    ASSERT_NE(brace, std::string::npos);
+    header.insert(brace, ",\"version\":2");
+    const auto r = snapshotFromBytes(joinSnapshot(header, blob));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("duplicate key 'version'"),
+              std::string::npos)
+        << r.error();
+}
+
+TEST(SnapshotFuzz, BlobLengthMismatchIsRejected)
+{
+    std::string pre, header, blob;
+    splitSnapshot(validSnapshotBytes(), pre, header, blob);
+    blob.resize(blob.size() - 4);
+    const auto r = snapshotFromBytes(joinSnapshot(header, blob));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("blob length mismatch"),
+              std::string::npos)
+        << r.error();
+}
+
+TEST(SnapshotFuzz, FlippedBlobByteFailsTheChecksum)
+{
+    std::string pre, header, blob;
+    splitSnapshot(validSnapshotBytes(), pre, header, blob);
+    blob[blob.size() / 2] =
+        static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+    const auto r = snapshotFromBytes(joinSnapshot(header, blob));
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("blob checksum mismatch"),
+              std::string::npos)
+        << r.error();
+}
+
+TEST(SnapshotFuzz, RandomMutationsNeverAbort)
+{
+    const std::uint64_t seed = fuzzSeed();
+    SCOPED_TRACE("ADAPIPE_FUZZ_SEED=" + std::to_string(seed));
+    Rng rng(seed ^ 0x5A4B);
+    const std::string base = validSnapshotBytes();
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string bytes = base;
+        const int edits = static_cast<int>(rng.uniformInt(1, 6));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(bytes.size()) - 1));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                bytes[pos] =
+                    static_cast<char>(rng.uniformInt(0, 255));
+                break;
+              case 1:
+                bytes.erase(pos, 1);
+                break;
+              default:
+                bytes.insert(pos, 1,
+                             static_cast<char>(
+                                 rng.uniformInt(0, 255)));
+                break;
+            }
+        }
+        const auto r = snapshotFromBytes(bytes);
+        if (!r.ok()) {
+            EXPECT_FALSE(r.error().empty());
+        }
+    }
+}
+
+TEST(DegradedPlanFuzz, MutationsNeverAbort)
+{
+    const std::uint64_t seed = fuzzSeed();
+    SCOPED_TRACE("ADAPIPE_FUZZ_SEED=" + std::to_string(seed));
+    Rng rng(seed ^ 0xDE64);
+    // Wrap the valid plan in a degraded-plan document.
+    const std::string base = std::string(R"({
+  "scenario": {"straggler_stage": -1, "straggler_factor": 1.0,
+               "mem_factor": 1.0, "lost_stages": 1},
+  "original_fingerprint": "0123456789abcdef",
+  "degraded_capacity": 1000,
+  "plan": )") + kValidPlan + "\n}";
+    ASSERT_TRUE(tryDegradedPlanFromJsonString(base).ok())
+        << tryDegradedPlanFromJsonString(base).error();
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string doc = base;
+        const int edits = static_cast<int>(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(doc.size()) - 1));
+            if (rng.uniformInt(0, 1) == 0)
+                doc[pos] = static_cast<char>(rng.uniformInt(1, 127));
+            else
+                doc.erase(pos, 1);
+        }
+        const auto r = tryDegradedPlanFromJsonString(doc);
+        if (!r.ok()) {
+            EXPECT_FALSE(r.error().empty());
+        }
+    }
 }
 
 } // namespace

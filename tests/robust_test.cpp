@@ -13,6 +13,7 @@
 #include "model/model_config.h"
 #include "robust/fault_spec.h"
 #include "robust/replan.h"
+#include "robust/replan_io.h"
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
 #include "util/rng.h"
@@ -371,6 +372,106 @@ TEST(ReplanGpt3, ReplannedBeatsOriginalUnderStraggler)
     ASSERT_TRUE(report.rows[0].replanOk);
     EXPECT_LT(report.rows[0].replannedTime,
               report.rows[0].originalTime);
+}
+
+TEST_F(ReplanTest, DegradedPlanRoundTripsWithProvenance)
+{
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    const PlanResult healthy = makePlan(pm, PlanMethod::AdaPipe);
+    ASSERT_TRUE(healthy.ok) << healthy.oomReason;
+    DegradedScenario scenario;
+    scenario.lostStages = 1;
+    const ReplanResult degraded = replanDegraded(pm, scenario);
+    ASSERT_TRUE(degraded.ok) << degraded.reason;
+
+    DegradedPlanDoc doc;
+    doc.plan = degraded.plan;
+    doc.scenario = scenario;
+    doc.originalFingerprint = planFingerprint(healthy.plan);
+    doc.degradedCapacity = degraded.degradedCapacity;
+
+    const std::string text = degradedPlanToJsonString(doc, 2);
+    const auto back = tryDegradedPlanFromJsonString(text);
+    ASSERT_TRUE(back.ok()) << back.error();
+    EXPECT_EQ(back.value().scenario.lostStages, 1);
+    EXPECT_EQ(back.value().scenario.stragglerStage, -1);
+    EXPECT_EQ(back.value().originalFingerprint,
+              doc.originalFingerprint);
+    EXPECT_EQ(back.value().degradedCapacity,
+              degraded.degradedCapacity);
+    // The embedded plan survives byte-for-byte: re-serializing the
+    // parsed document reproduces the original text.
+    EXPECT_EQ(degradedPlanToJsonString(back.value(), 2), text);
+    EXPECT_EQ(back.value().plan.stages.size(),
+              degraded.plan.stages.size());
+
+    // The fingerprint is stable for equal plans and moves when the
+    // plan changes.
+    EXPECT_EQ(planFingerprint(healthy.plan),
+              planFingerprint(healthy.plan));
+    EXPECT_NE(planFingerprint(healthy.plan),
+              planFingerprint(degraded.plan));
+    EXPECT_EQ(doc.originalFingerprint.size(), 16u);
+}
+
+TEST_F(ReplanTest, DegradedPlanErrorsNameTheField)
+{
+    const ProfiledModel pm =
+        buildProfiledModel(model, train, par, cluster);
+    DegradedScenario scenario;
+    scenario.lostStages = 1;
+    const ReplanResult degraded = replanDegraded(pm, scenario);
+    ASSERT_TRUE(degraded.ok) << degraded.reason;
+    DegradedPlanDoc doc;
+    doc.plan = degraded.plan;
+    doc.scenario = scenario;
+    doc.originalFingerprint = "0123456789abcdef";
+    const std::string base = degradedPlanToJsonString(doc, 2);
+
+    struct Case
+    {
+        const char *needle;
+        const char *replacement;
+        const char *expected;
+    };
+    const Case cases[] = {
+        {"\"lost_stages\": 1", "\"lost_stages\": -1",
+         "degraded_plan.scenario.lost_stages"},
+        {"\"straggler_factor\": 1", "\"straggler_factor\": 0.5",
+         "degraded_plan.scenario.straggler_factor"},
+        {"\"mem_factor\": 1", "\"mem_factor\": 0",
+         "degraded_plan.scenario.mem_factor"},
+        {"\"original_fingerprint\": \"0123456789abcdef\"",
+         "\"original_fingerprint\": \"xyz\"",
+         "degraded_plan.original_fingerprint"},
+        {"\"degraded_capacity\":", "\"degraded_capacity_typo\":",
+         "degraded_plan"},
+    };
+    for (const Case &c : cases) {
+        std::string text = base;
+        const std::size_t pos = text.find(c.needle);
+        ASSERT_NE(pos, std::string::npos) << c.needle;
+        text.replace(pos, std::string(c.needle).size(),
+                     c.replacement);
+        const auto r = tryDegradedPlanFromJsonString(text);
+        ASSERT_FALSE(r.ok()) << c.expected;
+        EXPECT_NE(r.error().find(c.expected), std::string::npos)
+            << "error was: " << r.error();
+    }
+
+    // A broken embedded plan is reported under the plan's own
+    // field path, prefixed with the document's.
+    std::string text = base;
+    const std::size_t pos = text.find("\"micro_batches\":");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string("\"micro_batches\":").size(),
+                 "\"micro_batches_typo\":");
+    const auto r = tryDegradedPlanFromJsonString(text);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("degraded_plan.plan"),
+              std::string::npos)
+        << r.error();
 }
 
 TEST(ReplanReport, JsonCarriesEveryRow)
