@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Plan-service load benchmark: start an in-process PlanServer, drive
+ * it with concurrent TCP clients through a cold sweep (every request
+ * distinct), a warm sweep (the same requests repeated) and a
+ * fault-report series, and emit BENCH_planner_service.json with
+ * throughput and p50/p99 latency split cold vs warm, plus the
+ * server's own cache/memo counters from a stats request.
+ *
+ * Usage:
+ *   planner_service                    # full load, BENCH_planner_service.json
+ *   planner_service --smoke            # CI-sized, same schema
+ *   planner_service --out my.json --threads 8 --warm-iters 16
+ */
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.h"
+#include "service/server.h"
+#include "util/cli.h"
+#include "util/file_io.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+using namespace adapipe;
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+planRequestLine(const std::string &model, int nodes, int tensor,
+                int pipeline, int seq, int global_batch)
+{
+    JsonValue root = JsonValue::object();
+    root.set("kind", JsonValue::string("plan"));
+    JsonValue plan = JsonValue::object();
+    plan.set("model", JsonValue::string(model));
+    JsonValue cluster = JsonValue::object();
+    cluster.set("name", JsonValue::string("a"));
+    cluster.set("nodes", JsonValue::integer(nodes));
+    plan.set("cluster", std::move(cluster));
+    JsonValue train = JsonValue::object();
+    train.set("seq_len", JsonValue::integer(seq));
+    train.set("global_batch", JsonValue::integer(global_batch));
+    plan.set("train", std::move(train));
+    JsonValue par = JsonValue::object();
+    par.set("tensor", JsonValue::integer(tensor));
+    par.set("pipeline", JsonValue::integer(pipeline));
+    plan.set("parallel", std::move(par));
+    root.set("plan", std::move(plan));
+    return root.dump(0);
+}
+
+/** Latencies (us) of one sweep, executed by @p threads clients. */
+struct SweepResult
+{
+    std::vector<double> latenciesUs;
+    double wallSeconds = 0;
+    int failures = 0;
+};
+
+SweepResult
+runSweep(int port, const std::vector<std::string> &requests,
+         int threads)
+{
+    SweepResult result;
+    result.latenciesUs.resize(requests.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> failures{0};
+    const double start = nowUs();
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            PlanClient client;
+            if (!client.connect("127.0.0.1", port).ok()) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= requests.size())
+                    return;
+                const double t0 = nowUs();
+                const ParseResult<std::string> response =
+                    client.request(requests[i]);
+                const double t1 = nowUs();
+                if (!response.ok() ||
+                    response.value().rfind("{\"ok\":true", 0) != 0) {
+                    failures.fetch_add(1);
+                }
+                result.latenciesUs[i] = t1 - t0;
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    result.wallSeconds = (nowUs() - start) / 1e6;
+    result.failures = failures.load();
+    return result;
+}
+
+JsonValue
+sweepJson(const SweepResult &sweep)
+{
+    JsonValue out = JsonValue::object();
+    const std::size_t n = sweep.latenciesUs.size();
+    out.set("requests",
+            JsonValue::integer(static_cast<std::int64_t>(n)));
+    out.set("failures", JsonValue::integer(sweep.failures));
+    out.set("seconds", JsonValue::number(sweep.wallSeconds));
+    out.set("throughput_rps",
+            JsonValue::number(sweep.wallSeconds > 0
+                                  ? static_cast<double>(n) /
+                                        sweep.wallSeconds
+                                  : 0));
+    if (!n) {
+        out.set("p50_us", JsonValue::number(0));
+        out.set("p99_us", JsonValue::number(0));
+        return out;
+    }
+    out.set("p50_us",
+            JsonValue::number(quantile(sweep.latenciesUs, 0.5)));
+    out.set("p99_us",
+            JsonValue::number(quantile(sweep.latenciesUs, 0.99)));
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("planner_service");
+    cli.addInt("threads", 4, "concurrent client connections");
+    cli.addInt("warm-iters", 8,
+               "repetitions of the request set in the warm sweep");
+    cli.addString("out", "BENCH_planner_service.json",
+                  "output JSON path");
+    cli.addFlag("smoke", "CI-sized run (tiny model); same schema");
+    cli.parse(argc, argv);
+
+    const bool smoke = cli.getFlag("smoke");
+    const int threads = static_cast<int>(cli.getInt("threads"));
+    const int warm_iters =
+        static_cast<int>(cli.getInt("warm-iters"));
+    if (threads < 1 || warm_iters < 1) {
+        std::cerr << "planner_service: error: threads and "
+                     "warm-iters must be >= 1\n";
+        return 1;
+    }
+
+    // Distinct planning problems for the cold sweep. The smoke set
+    // plans the test model; the full set exercises the mid-size
+    // presets across sequence lengths and pipeline depths.
+    std::vector<std::string> base;
+    if (smoke) {
+        for (const int p : {1, 2})
+            for (const int seq : {64, 128})
+                base.push_back(planRequestLine("tiny-test", 1, 1, p,
+                                               seq, 8));
+    } else {
+        for (const char *model : {"gpt3-13b", "llama2-13b"})
+            for (const int p : {2, 4})
+                for (const int seq : {2048, 4096})
+                    base.push_back(planRequestLine(model, 2, 4, p,
+                                                   seq, 32));
+    }
+
+    PlanServerOptions opts;
+    opts.threads = threads;
+    PlanServer server(opts);
+    const ParseStatus started = server.start();
+    if (!started.ok()) {
+        std::cerr << "planner_service: error: " << started.error()
+                  << "\n";
+        return 1;
+    }
+    const int port = server.port();
+
+    const SweepResult cold = runSweep(port, base, threads);
+
+    std::vector<std::string> warm;
+    warm.reserve(base.size() * static_cast<std::size_t>(warm_iters));
+    for (int i = 0; i < warm_iters; ++i)
+        warm.insert(warm.end(), base.begin(), base.end());
+    const SweepResult warm_sweep = runSweep(port, warm, threads);
+
+    // Fault-report series: the same straggler scenarios against the
+    // first (already cached) base request. Distinct factors dodge
+    // the response cache, so this measures incremental replanning
+    // with a hot knapsack memo.
+    std::vector<std::string> replans;
+    const double factors_smoke[] = {1.5, 2.0, 3.0};
+    const double factors_full[] = {1.2, 1.5, 1.8, 2.0, 2.5,
+                                   3.0, 3.5, 4.0};
+    const double *factors = smoke ? factors_smoke : factors_full;
+    const std::size_t num_factors = smoke ? 3 : 8;
+    for (std::size_t i = 0; i < num_factors; ++i) {
+        ParseResult<JsonValue> root = JsonValue::tryParse(base[0]);
+        JsonValue req = std::move(root).value();
+        req.set("kind", JsonValue::string("replan"));
+        JsonValue fault = JsonValue::object();
+        fault.set("straggler_stage", JsonValue::integer(0));
+        fault.set("straggler_factor",
+                  JsonValue::number(factors[i]));
+        req.set("fault", std::move(fault));
+        replans.push_back(req.dump(0));
+    }
+    const SweepResult replan_sweep = runSweep(port, replans, threads);
+
+    const ParseResult<std::string> stats_line =
+        serviceRequest("127.0.0.1", port, "{\"kind\":\"stats\"}");
+    const ParseResult<std::string> shutdown_line = serviceRequest(
+        "127.0.0.1", port, "{\"kind\":\"shutdown\"}");
+    (void)shutdown_line;
+    server.wait();
+
+    JsonValue doc = JsonValue::object();
+    doc.set("benchmark", JsonValue::string("planner_service"));
+    JsonValue workload = JsonValue::object();
+    workload.set("smoke", JsonValue::boolean(smoke));
+    workload.set("threads", JsonValue::integer(threads));
+    workload.set("distinct_requests",
+                 JsonValue::integer(
+                     static_cast<std::int64_t>(base.size())));
+    workload.set("warm_iters", JsonValue::integer(warm_iters));
+    doc.set("workload", std::move(workload));
+    doc.set("cold", sweepJson(cold));
+    doc.set("warm", sweepJson(warm_sweep));
+    doc.set("replan", sweepJson(replan_sweep));
+
+    double speedup = 0;
+    if (!cold.latenciesUs.empty() &&
+        !warm_sweep.latenciesUs.empty()) {
+        const double warm_p50 =
+            quantile(warm_sweep.latenciesUs, 0.5);
+        if (warm_p50 > 0) {
+            speedup =
+                quantile(cold.latenciesUs, 0.5) / warm_p50;
+        }
+    }
+    doc.set("warm_speedup_p50", JsonValue::number(speedup));
+
+    double hit_rate = 0;
+    if (stats_line.ok()) {
+        const ParseResult<JsonValue> stats =
+            JsonValue::tryParse(stats_line.value());
+        if (stats.ok()) {
+            doc.set("server_stats", stats.value());
+            const JsonValue &cache = stats.value().at("cache");
+            const double hits = cache.at("hits").asNumber();
+            const double misses = cache.at("misses").asNumber();
+            if (hits + misses > 0)
+                hit_rate = hits / (hits + misses);
+        }
+    }
+    doc.set("cache_hit_rate", JsonValue::number(hit_rate));
+
+    const int total_failures = cold.failures +
+                               warm_sweep.failures +
+                               replan_sweep.failures;
+    doc.set("failures", JsonValue::integer(total_failures));
+
+    const std::string out_path = cli.getString("out");
+    const ParseStatus wrote =
+        writeTextFile(out_path, doc.dump(2) + "\n");
+    if (!wrote.ok()) {
+        std::cerr << "planner_service: error: " << wrote.error()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "cold p50 "
+              << (cold.latenciesUs.empty()
+                      ? 0
+                      : quantile(cold.latenciesUs, 0.5))
+              << " us, warm p50 "
+              << (warm_sweep.latenciesUs.empty()
+                      ? 0
+                      : quantile(warm_sweep.latenciesUs, 0.5))
+              << " us (speedup " << speedup << "x), cache hit rate "
+              << hit_rate << ", failures " << total_failures
+              << "\nwrote " << out_path << "\n";
+    return total_failures == 0 ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <iostream>
+#include <string>
 
 #include "core/cost_model.h"
 #include "core/plan_io.h"
@@ -21,8 +22,13 @@ using namespace adapipe;
 int
 main(int argc, char **argv)
 {
+    static const char usage[] = "usage: explain_plan <plan.json>\n";
+    if (argc == 2 && std::string(argv[1]) == "--help") {
+        std::cout << usage;
+        return 0;
+    }
     if (argc != 2) {
-        std::cerr << "usage: explain_plan <plan.json>\n";
+        std::cerr << usage;
         return 1;
     }
     const ParseResult<PipelinePlan> loaded = loadPlanFile(argv[1]);

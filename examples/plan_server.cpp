@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Planner-as-a-service entry point: serve plan/explain/replan/stats
+ * requests over newline-delimited JSON on TCP (see docs/service.md
+ * for the protocol).
+ *
+ * Usage:
+ *   plan_server --port 7421 --threads 4 \
+ *       --cache-mb 64 --persist-dir plans/
+ *
+ * With --port 0 (the default) an ephemeral port is chosen and
+ * printed, which is what the tests and CI use to avoid collisions.
+ * The server runs until a {"kind": "shutdown"} request arrives.
+ */
+
+#include <iostream>
+
+#include "service/server.h"
+#include "util/cli.h"
+
+using namespace adapipe;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("plan_server");
+    cli.addString("host", "127.0.0.1", "bind address");
+    cli.addInt("port", 0, "bind port (0 = ephemeral, printed)");
+    cli.addInt("threads", 4, "worker threads");
+    cli.addInt("cache-mb", 64, "response cache budget in MiB");
+    cli.addString("persist-dir", "",
+                  "directory for persisted plan documents "
+                  "(must exist; empty = memory only)");
+    cli.addFlag("quiet", "suppress the startup banner");
+    cli.parse(argc, argv);
+
+    PlanServerOptions opts;
+    opts.host = cli.getString("host");
+    opts.port = static_cast<int>(cli.getInt("port"));
+    opts.threads = static_cast<int>(cli.getInt("threads"));
+    const long long cache_mb = cli.getInt("cache-mb");
+    if (opts.port < 0 || opts.port > 65535 || opts.threads < 1 ||
+        cache_mb < 1) {
+        std::cerr << "plan_server: error: port must be in "
+                     "[0, 65535], threads and cache-mb >= 1\n";
+        return 1;
+    }
+    opts.service.cacheBytes =
+        static_cast<std::size_t>(cache_mb) << 20;
+    opts.service.persistDir = cli.getString("persist-dir");
+
+    PlanServer server(opts);
+    const ParseStatus started = server.start();
+    if (!started.ok()) {
+        std::cerr << "plan_server: error: " << started.error()
+                  << "\n";
+        return 1;
+    }
+    if (!cli.getFlag("quiet")) {
+        std::cout << "plan_server listening on " << opts.host << ":"
+                  << server.port() << " (" << opts.threads
+                  << " workers, " << cache_mb << " MiB cache)"
+                  << std::endl;
+    }
+    server.wait();
+    if (!cli.getFlag("quiet"))
+        std::cout << "plan_server: shutdown complete\n";
+    return 0;
+}

@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "sim/pipeline_sim.h"
 #include "sim/schedule.h"
@@ -21,13 +22,18 @@ using namespace adapipe;
 int
 main(int argc, char **argv)
 {
+    static const char usage[] =
+        "usage: schedule_explorer [p>=2] [n>=1] [fwd>0] [bwd>0]\n";
+    if (argc == 2 && std::string(argv[1]) == "--help") {
+        std::cout << usage;
+        return 0;
+    }
     const int p = argc > 1 ? std::atoi(argv[1]) : 4;
     const int n = argc > 2 ? std::atoi(argv[2]) : 8;
     const double fwd = argc > 3 ? std::atof(argv[3]) : 1.0;
     const double bwd = argc > 4 ? std::atof(argv[4]) : 2.0;
     if (p < 2 || n < 1 || fwd <= 0 || bwd <= 0) {
-        std::cerr << "usage: schedule_explorer [p>=2] [n>=1] [fwd>0] "
-                     "[bwd>0]\n";
+        std::cerr << usage;
         return 1;
     }
 

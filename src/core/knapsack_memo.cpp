@@ -1,0 +1,93 @@
+#include "core/knapsack_memo.h"
+
+#include <cstring>
+
+namespace adapipe {
+
+namespace {
+
+/** Append @p value's raw bytes to @p key. */
+template <typename T>
+void
+appendBytes(std::string &key, T value)
+{
+    char buf[sizeof(T)];
+    std::memcpy(buf, &value, sizeof(T));
+    key.append(buf, sizeof(T));
+}
+
+/**
+ * Exact solver-input key: budget, knobs, then per unit the fields
+ * the DP actually reads. Doubles go in as bit patterns, so two times
+ * key equal only when they are bit-identical — exactly the condition
+ * for the DP to behave identically.
+ */
+std::string
+memoKey(const std::vector<UnitProfile> &units,
+        std::int64_t budget_per_mb, const RecomputeDpOptions &opts)
+{
+    std::string key;
+    key.reserve(16 + units.size() * 17);
+    appendBytes(key, budget_per_mb);
+    appendBytes(key, static_cast<std::int32_t>(opts.maxBuckets));
+    key.push_back(opts.useGcd ? 1 : 0);
+    for (const UnitProfile &u : units) {
+        appendBytes(key, u.timeFwd);
+        appendBytes(key, static_cast<std::uint64_t>(u.memSaved));
+        key.push_back(u.alwaysSaved ? 1 : 0);
+    }
+    return key;
+}
+
+} // namespace
+
+RecomputePlanResult
+KnapsackMemo::solve(const std::vector<UnitProfile> &units,
+                    std::int64_t budget_per_mb,
+                    const RecomputeDpOptions &opts, bool *hit)
+{
+    const std::string key = memoKey(units, budget_per_mb, opts);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = table_.find(key);
+        if (it != table_.end()) {
+            ++hits_;
+            if (hit)
+                *hit = true;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Solve outside the lock: concurrent first requests for the same
+    // key may race to solve, but the solver is deterministic, so the
+    // losing insert is a harmless duplicate.
+    RecomputePlanResult result =
+        solveRecomputeKnapsack(units, budget_per_mb, opts);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        table_.emplace(key, result);
+    }
+    if (hit)
+        *hit = false;
+    return result;
+}
+
+KnapsackMemoStats
+KnapsackMemo::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    KnapsackMemoStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = static_cast<std::int64_t>(table_.size());
+    return s;
+}
+
+void
+KnapsackMemo::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    table_.clear();
+}
+
+} // namespace adapipe

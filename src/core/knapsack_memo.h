@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cross-request memoization of the recomputation knapsack.
+ *
+ * The knapsack of Sec. 4.3 is a pure function of (unit costs, byte
+ * budget, solver knobs). Within one plan the StageCostCalculator's
+ * isomorphism cache already deduplicates it, but the cache dies with
+ * the calculator — a strategy sweep, the v ∈ {1, 2, 4} interleaved
+ * sweep, and every request hitting a long-running plan server
+ * re-solve identical subproblems from scratch. The KnapsackMemo is
+ * the process-lifetime complement: a thread-safe table keyed by the
+ * exact solver input, shared across calculators (and so across
+ * requests) via StageCostOptions::knapsackMemo.
+ *
+ * Keys are exact, not hashed-and-hoped: the raw bytes of the budget,
+ * the solver knobs and every unit's (timeFwd, memSaved, alwaysSaved)
+ * triple form the map key, so two subproblems collide only when the
+ * solver genuinely cannot tell them apart. Unit names/kinds are
+ * excluded on purpose — the solver never reads them (this is the
+ * isomorphism argument of Sec. 5.3 taken to its limit).
+ */
+
+#ifndef ADAPIPE_CORE_KNAPSACK_MEMO_H
+#define ADAPIPE_CORE_KNAPSACK_MEMO_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/recompute_dp.h"
+#include "hw/profiler.h"
+
+namespace adapipe {
+
+/** Point-in-time counters of a KnapsackMemo. */
+struct KnapsackMemoStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+};
+
+/**
+ * Thread-safe memo table over solveRecomputeKnapsack.
+ *
+ * Lookups and inserts take one mutex; the DP itself runs outside the
+ * lock, so concurrent misses on the same key may both solve (both
+ * arrive at the identical result — the solver is deterministic) and
+ * the second insert is a no-op. That keeps the lock hold time to a
+ * hash probe even when a solve takes milliseconds.
+ */
+class KnapsackMemo
+{
+  public:
+    /**
+     * Memoized solveRecomputeKnapsack.
+     *
+     * @param units stage units in execution order
+     * @param budget_per_mb optional-activation byte budget
+     * @param opts solver knobs (part of the key)
+     * @param hit set to whether the table already held the result
+     */
+    RecomputePlanResult solve(const std::vector<UnitProfile> &units,
+                              std::int64_t budget_per_mb,
+                              const RecomputeDpOptions &opts,
+                              bool *hit = nullptr);
+
+    /** @return hit/miss/entry counters (consistent snapshot). */
+    KnapsackMemoStats stats() const;
+
+    /** Drop all entries (counters survive). */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, RecomputePlanResult> table_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_CORE_KNAPSACK_MEMO_H

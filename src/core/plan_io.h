@@ -4,6 +4,14 @@
  * execution engine (the paper's engines consume exactly this
  * information — per-stage layer ranges and per-unit save/recompute
  * decisions).
+ *
+ * Output is byte-stable: JsonValue preserves insertion order and this
+ * module always emits keys in one fixed order (method, parallel,
+ * train, micro_batches, virtual_stages, timing, stages), so the same
+ * plan always dumps to the same bytes — fixtures diff cleanly and
+ * fingerprints (util/canonical_json.h, which additionally key-sorts)
+ * never move because of serialization. Extend the emitters
+ * append-only; reordering keys invalidates golden fixtures.
  */
 
 #ifndef ADAPIPE_CORE_PLAN_IO_H

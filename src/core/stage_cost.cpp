@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/knapsack_memo.h"
 #include "obs/macros.h"
 #include "util/logging.h"
 
@@ -173,9 +174,21 @@ StageCostCalculator::compute(int s, int i, int j)
                 m -
             static_cast<std::int64_t>(mem.input) -
             static_cast<std::int64_t>(mem.alwaysSaved);
-        ++knapsack_runs_;
-        result.recompute =
-            solveRecomputeKnapsack(units, per_mb, opts_.dp);
+        if (opts_.knapsackMemo) {
+            bool hit = false;
+            result.recompute = opts_.knapsackMemo->solve(
+                units, per_mb, opts_.dp, &hit);
+            if (hit) {
+                ++memo_hits_;
+            } else {
+                ++memo_misses_;
+                ++knapsack_runs_;
+            }
+        } else {
+            ++knapsack_runs_;
+            result.recompute =
+                solveRecomputeKnapsack(units, per_mb, opts_.dp);
+        }
         result.feasible = true;
         result.fwd = fwd_all;
         result.bwd = bwd_all +

@@ -30,6 +30,8 @@
 
 namespace adapipe {
 
+class KnapsackMemo;
+
 /**
  * Cost of running layers [i, j] as stage s.
  */
@@ -118,6 +120,13 @@ struct StageCostOptions
      * isomorphism cache: the cache key includes the in-flight count.
      */
     std::vector<int> inflightOverride;
+    /**
+     * Optional process-lifetime knapsack memo shared across
+     * calculators (and across plan-server requests). Non-owning; the
+     * memo must outlive every calculator built from these options.
+     * Null solves every knapsack directly.
+     */
+    KnapsackMemo *knapsackMemo = nullptr;
 };
 
 /**
@@ -165,6 +174,12 @@ class StageCostCalculator
     /** @return memoised lookups that hit the isomorphism cache. */
     std::size_t cacheHits() const { return cache_hits_; }
 
+    /** @return knapsacks answered by the shared cross-request memo. */
+    std::size_t memoHits() const { return memo_hits_; }
+
+    /** @return knapsacks the shared memo had to solve fresh. */
+    std::size_t memoMisses() const { return memo_misses_; }
+
     /** @return distinct stage costs computed (cache misses). */
     std::size_t evaluations() const { return cache_.size(); }
 
@@ -203,6 +218,8 @@ class StageCostCalculator
     std::map<Key, StageCost> cache_;
     std::size_t knapsack_runs_ = 0;
     std::size_t cache_hits_ = 0;
+    std::size_t memo_hits_ = 0;
+    std::size_t memo_misses_ = 0;
     /** True while every stage-time factor is exactly 1. */
     bool neutral_factors_ = true;
 };

@@ -75,6 +75,34 @@ replanDegraded(const ProfiledModel &pm, const DegradedScenario &scenario,
     return result;
 }
 
+ReplanResult
+replanDegradedIncremental(const ProfiledModel &pm,
+                          const DegradedScenario &scenario,
+                          const PipelinePlan &base,
+                          StageCostOptions opts)
+{
+    const bool neutral =
+        (scenario.stragglerStage < 0 ||
+         scenario.stragglerFactor == 1.0) &&
+        scenario.memFactor == 1.0 && scenario.lostStages == 0;
+    const bool base_matches =
+        base.method == PlanMethod::AdaPipe &&
+        base.virtualStages == 1 &&
+        static_cast<int>(base.stages.size()) == pm.par.pipeline;
+    if (neutral && base_matches) {
+        ADAPIPE_OBS_COUNT("robust.replan_shortcircuit", 1);
+        ReplanResult result;
+        result.ok = true;
+        result.plan = base;
+        result.degradedCapacity = opts.memCapacityOverride > 0
+                                      ? opts.memCapacityOverride
+                                      : pm.memCapacity;
+        result.healthyTimes = planStageTimes(base);
+        return result;
+    }
+    return replanDegraded(pm, scenario, opts);
+}
+
 std::vector<StageTimes>
 planStageTimes(const PipelinePlan &plan)
 {

@@ -83,6 +83,23 @@ ReplanResult replanDegraded(const ProfiledModel &pm,
                             const DegradedScenario &scenario,
                             StageCostOptions opts = {});
 
+/**
+ * Incremental variant for services holding a cached healthy plan.
+ *
+ * A neutral scenario (no straggler slowdown, full memory, no lost
+ * stages) short-circuits: @p base is returned as-is without re-running
+ * either DP, with healthyTimes read off the base plan. Any real
+ * degradation delegates to replanDegraded(), so the result is
+ * identical to a direct call — the speedup for repeated fault reports
+ * comes from the shared knapsack memo in @p opts, not from a weaker
+ * solve. The short-circuit requires @p base to be a plain (v = 1)
+ * AdaPipe plan for @p pm; anything else also delegates.
+ */
+ReplanResult replanDegradedIncremental(const ProfiledModel &pm,
+                                       const DegradedScenario &scenario,
+                                       const PipelinePlan &base,
+                                       StageCostOptions opts = {});
+
 /** @return per-stage F/B times of @p plan, stage 0 first. */
 std::vector<StageTimes> planStageTimes(const PipelinePlan &plan);
 

@@ -1,8 +1,7 @@
 #include "robust/replan_io.h"
 
-#include <cstdio>
-
 #include "core/plan_io.h"
+#include "util/canonical_json.h"
 #include "util/file_io.h"
 #include "util/json_reader.h"
 
@@ -29,16 +28,10 @@ isHex16(const std::string &s)
 std::string
 planFingerprint(const PipelinePlan &plan)
 {
-    const std::string canonical = planToJsonString(plan, 0);
-    std::uint64_t h = 1469598103934665603ULL;
-    for (char c : canonical) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ULL;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(h));
-    return std::string(buf);
+    // Canonical (key-sorted) form, so the fingerprint survives any
+    // future change to plan_io's emission order and matches what the
+    // plan service computes over parsed documents.
+    return jsonFingerprint(planToJson(plan));
 }
 
 JsonValue

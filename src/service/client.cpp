@@ -1,0 +1,112 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace adapipe {
+
+PlanClient::~PlanClient()
+{
+    close();
+}
+
+ParseStatus
+PlanClient::connect(const std::string &host, int port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        return ParseStatus::failure(std::string("socket: ") +
+                                    std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        return ParseStatus::failure("invalid address '" + host +
+                                    "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        close();
+        return ParseStatus::failure("connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    err);
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return parseOk();
+}
+
+ParseResult<std::string>
+PlanClient::request(const std::string &line)
+{
+    if (fd_ < 0)
+        return ParseResult<std::string>::failure("not connected");
+
+    const std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + sent,
+                                 out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return ParseResult<std::string>::failure(
+                std::string("send: ") + std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string response = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!response.empty() && response.back() == '\r')
+                response.pop_back();
+            return ParseResult<std::string>::success(
+                std::move(response));
+        }
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return ParseResult<std::string>::failure(
+                "connection closed before a response arrived");
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+void
+PlanClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+ParseResult<std::string>
+serviceRequest(const std::string &host, int port,
+               const std::string &line)
+{
+    PlanClient client;
+    const ParseStatus connected = client.connect(host, port);
+    if (!connected.ok())
+        return ParseResult<std::string>::failure(connected.error());
+    return client.request(line);
+}
+
+} // namespace adapipe

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal client for the plan service: connect, send request lines,
+ * read response lines. Shared by the plan_client example, the
+ * service bench and the service tests, so the framing logic (exactly
+ * one '\n'-terminated response per request) lives in one place.
+ */
+
+#ifndef ADAPIPE_SERVICE_CLIENT_H
+#define ADAPIPE_SERVICE_CLIENT_H
+
+#include <string>
+
+#include "util/parse_result.h"
+
+namespace adapipe {
+
+/**
+ * A connected plan-service client. Not thread-safe; use one client
+ * per thread (the server handles concurrent connections).
+ */
+class PlanClient
+{
+  public:
+    PlanClient() = default;
+    ~PlanClient();
+
+    PlanClient(const PlanClient &) = delete;
+    PlanClient &operator=(const PlanClient &) = delete;
+
+    /** Connect to @p host:@p port (recoverable). */
+    ParseStatus connect(const std::string &host, int port);
+
+    /**
+     * Send one request line and read the matching response line.
+     * @param line request JSON without the trailing newline
+     * @return the response line (newline stripped)
+     */
+    ParseResult<std::string> request(const std::string &line);
+
+    /** Close the connection (safe to call repeatedly). */
+    void close();
+
+    /** @return whether the client is connected. */
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+/**
+ * One-shot convenience: connect, send @p line, read one response,
+ * disconnect.
+ */
+ParseResult<std::string> serviceRequest(const std::string &host,
+                                        int port,
+                                        const std::string &line);
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SERVICE_CLIENT_H

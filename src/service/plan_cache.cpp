@@ -1,0 +1,109 @@
+#include "service/plan_cache.h"
+
+#include "util/file_io.h"
+
+namespace adapipe {
+
+PlanCache::PlanCache(std::size_t capacity_bytes,
+                     std::string persist_dir)
+    : capacity_(capacity_bytes), persist_dir_(std::move(persist_dir))
+{}
+
+std::size_t
+PlanCache::entryBytes(const Entry &entry) const
+{
+    return entry.key.size() + entry.value.size();
+}
+
+bool
+PlanCache::get(const std::string &key, std::string *value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (value)
+        *value = it->second->value;
+    return true;
+}
+
+void
+PlanCache::put(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        bytes_ -= entryBytes(*it->second);
+        it->second->value = value;
+        bytes_ += entryBytes(*it->second);
+        lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+        lru_.push_front(Entry{key, value});
+        index_[key] = lru_.begin();
+        bytes_ += entryBytes(lru_.front());
+    }
+    evictToFitLocked();
+}
+
+void
+PlanCache::evictToFitLocked()
+{
+    while (bytes_ > capacity_ && !lru_.empty()) {
+        const Entry &victim = lru_.back();
+        bytes_ -= entryBytes(victim);
+        index_.erase(victim.key);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+bool
+PlanCache::putDocument(const std::string &fingerprint,
+                       const std::string &document)
+{
+    if (persist_dir_.empty())
+        return true;
+    return writeTextFile(persist_dir_ + "/" + fingerprint + ".json",
+                         document)
+        .ok();
+}
+
+bool
+PlanCache::getDocument(const std::string &fingerprint,
+                       std::string *document)
+{
+    if (persist_dir_.empty())
+        return false;
+    ParseResult<std::string> text =
+        readTextFile(persist_dir_ + "/" + fingerprint + ".json");
+    if (!text.ok())
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++disk_hits_;
+    }
+    if (document)
+        *document = std::move(text).value();
+    return true;
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PlanCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.diskHits = disk_hits_;
+    s.entries = static_cast<std::int64_t>(lru_.size());
+    s.bytes = static_cast<std::int64_t>(bytes_);
+    s.capacityBytes = static_cast<std::int64_t>(capacity_);
+    return s;
+}
+
+} // namespace adapipe

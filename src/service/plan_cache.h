@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fingerprint-keyed response cache of the plan service.
+ *
+ * Values are fully rendered response lines, so a warm request is one
+ * hash probe plus a write() — no re-planning, no re-serialisation,
+ * and warm responses are byte-identical to the cold ones they were
+ * rendered from (the service_test asserts exactly this).
+ *
+ * Eviction is LRU under a byte budget (keys + values). With a
+ * persistence directory configured, plan documents additionally land
+ * on disk as <fingerprint>.json via plan_io, so a restarted server
+ * answers repeat requests without re-planning even after the
+ * in-memory cache is gone; the handlers check putDocument/getDocument
+ * for that path.
+ */
+
+#ifndef ADAPIPE_SERVICE_PLAN_CACHE_H
+#define ADAPIPE_SERVICE_PLAN_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace adapipe {
+
+/** Point-in-time counters of a PlanCache. */
+struct PlanCacheStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+    std::int64_t diskHits = 0;
+    std::int64_t entries = 0;
+    std::int64_t bytes = 0;
+    std::int64_t capacityBytes = 0;
+};
+
+/**
+ * Thread-safe LRU string cache with a byte budget and optional disk
+ * persistence of plan documents.
+ */
+class PlanCache
+{
+  public:
+    /**
+     * @param capacity_bytes byte budget over keys + values; an entry
+     *        larger than the whole budget is simply not cached
+     * @param persist_dir directory for <fingerprint>.json documents;
+     *        empty disables persistence (must exist when set)
+     */
+    explicit PlanCache(std::size_t capacity_bytes,
+                       std::string persist_dir = "");
+
+    /**
+     * Look up @p key, refreshing its LRU position.
+     * @return whether found; @p value untouched on miss
+     */
+    bool get(const std::string &key, std::string *value);
+
+    /** Insert/overwrite @p key, evicting LRU entries to fit. */
+    void put(const std::string &key, const std::string &value);
+
+    /**
+     * Persist @p document (a pretty-printed plan JSON) for
+     * @p fingerprint. No-op without a persistence directory.
+     * @return whether the write succeeded (or was a no-op)
+     */
+    bool putDocument(const std::string &fingerprint,
+                     const std::string &document);
+
+    /**
+     * Load the persisted document of @p fingerprint, if any.
+     * Counted as a disk hit on success.
+     */
+    bool getDocument(const std::string &fingerprint,
+                     std::string *document);
+
+    /** @return counters (consistent snapshot). */
+    PlanCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+    };
+
+    std::size_t entryBytes(const Entry &entry) const;
+    void evictToFitLocked();
+
+    const std::size_t capacity_;
+    const std::string persist_dir_;
+    mutable std::mutex mutex_;
+    /** Most-recently used at the front. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::size_t bytes_ = 0;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+    std::int64_t evictions_ = 0;
+    std::int64_t disk_hits_ = 0;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SERVICE_PLAN_CACHE_H

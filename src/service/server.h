@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TCP front end of the plan service.
+ *
+ * Plain POSIX sockets, newline-delimited JSON (see protocol.h). One
+ * acceptor thread hands connections to a fixed worker pool over a
+ * queue; each worker owns a connection for its lifetime, answering
+ * request lines in order until the peer disconnects or the service
+ * handles a shutdown request. Workers install per-thread obs
+ * registries and merge them on join, following the repo's
+ * merge-on-join discipline, so service.* counters are exact
+ * regardless of the worker count.
+ */
+
+#ifndef ADAPIPE_SERVICE_SERVER_H
+#define ADAPIPE_SERVICE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "service/handlers.h"
+#include "util/parse_result.h"
+
+namespace adapipe {
+
+/** Server configuration. */
+struct PlanServerOptions
+{
+    /** Bind address. */
+    std::string host = "127.0.0.1";
+    /** Bind port; 0 picks an ephemeral port (see PlanServer::port). */
+    int port = 0;
+    /** Worker threads (each owns one connection at a time). */
+    int threads = 4;
+    /** Handler/cache configuration. */
+    PlanServiceOptions service;
+};
+
+/**
+ * Threaded TCP plan server.
+ *
+ * Lifecycle: construct, start(), then wait() until a shutdown
+ * request arrives (or call stop() from another thread). start() is
+ * recoverable — bind failures come back as a ParseStatus error, not
+ * an abort.
+ */
+class PlanServer
+{
+  public:
+    explicit PlanServer(PlanServerOptions opts = {});
+    ~PlanServer();
+
+    PlanServer(const PlanServer &) = delete;
+    PlanServer &operator=(const PlanServer &) = delete;
+
+    /** Bind, listen and spawn the acceptor + workers. */
+    ParseStatus start();
+
+    /** @return the bound port (resolves port = 0 after start()). */
+    int port() const { return port_; }
+
+    /** Block until the server has stopped. */
+    void wait();
+
+    /** Initiate shutdown and join all threads (idempotent). */
+    void stop();
+
+    /** The underlying service (for tests and stats). */
+    PlanService &service() { return service_; }
+
+    /** Obs registry with all workers' counters merged (post-stop). */
+    const obs::Registry &metrics() const { return metrics_; }
+
+  private:
+    void acceptLoop();
+    void workerLoop(std::size_t index);
+    void handleConnection(int fd);
+    void closeListener();
+
+    PlanServerOptions opts_;
+    PlanService service_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::vector<obs::Registry> worker_metrics_;
+    obs::Registry metrics_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_;
+
+    std::mutex active_mutex_;
+    std::vector<int> active_fds_;
+
+    std::mutex join_mutex_;
+    bool joined_ = false;
+};
+
+} // namespace adapipe
+
+#endif // ADAPIPE_SERVICE_SERVER_H

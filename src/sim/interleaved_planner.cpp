@@ -93,6 +93,10 @@ makeInterleavedPlan(const ProfiledModel &pm, PlanMethod method, int v,
                               calc.cacheHits());
             ADAPIPE_OBS_COUNT("stage_cost.evaluations",
                               calc.evaluations());
+            ADAPIPE_OBS_COUNT("stage_cost.memo_hits",
+                              calc.memoHits());
+            ADAPIPE_OBS_COUNT("stage_cost.memo_misses",
+                              calc.memoMisses());
         }
     } flush_stats{calc};
 #endif

@@ -141,6 +141,13 @@ JsonValue::at(const std::string &key) const
     ADAPIPE_FATAL("missing JSON key '", key, "'");
 }
 
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    ADAPIPE_ASSERT(kind_ == Kind::Object, "not an object");
+    return members_;
+}
+
 bool
 JsonValue::contains(const std::string &key) const
 {

@@ -74,6 +74,9 @@ class JsonValue
     const JsonValue &at(const std::string &key) const;
     /** @return whether the object has @p key. */
     bool contains(const std::string &key) const;
+    /** Object members in insertion order; panics unless object. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
     /** @} */
 
     /**

@@ -11,6 +11,8 @@
 #include <fstream>
 #include <string>
 #include <sys/wait.h>
+#include <utility>
+#include <vector>
 
 #include "util/cli.h"
 
@@ -114,12 +116,12 @@ struct RunResult
     std::string output; // stdout + stderr interleaved
 };
 
-/** Run a shell command, capturing combined output and exit code. */
+/** Run a shell command (redirections pre-applied by the caller). */
 RunResult
-runCommand(const std::string &command)
+runRedirected(const std::string &command)
 {
     RunResult result;
-    FILE *pipe = popen((command + " 2>&1").c_str(), "r");
+    FILE *pipe = popen(command.c_str(), "r");
     if (!pipe)
         return result;
     char buf[4096];
@@ -130,6 +132,27 @@ runCommand(const std::string &command)
     if (WIFEXITED(status))
         result.exitCode = WEXITSTATUS(status);
     return result;
+}
+
+/** Run a shell command, capturing combined output and exit code. */
+RunResult
+runCommand(const std::string &command)
+{
+    return runRedirected(command + " 2>&1");
+}
+
+/** Run a shell command, capturing stdout only. */
+RunResult
+runCommandStdout(const std::string &command)
+{
+    return runRedirected(command + " 2>/dev/null");
+}
+
+/** Run a shell command, capturing stderr only. */
+RunResult
+runCommandStderr(const std::string &command)
+{
+    return runRedirected(command + " 2>&1 1>/dev/null");
 }
 
 /** Write @p content to a file under the test temp dir. */
@@ -202,6 +225,69 @@ TEST(CliProcess, UnknownFlagExitsWithUsage)
     EXPECT_NE(r.output.find("unknown flag"), std::string::npos)
         << r.output;
     EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+/**
+ * The usage contract every binary honours: --help prints usage to
+ * stdout (nothing to stderr) and exits 0; a bad command line prints
+ * to stderr (nothing to stdout) and exits 1.
+ */
+std::vector<std::pair<std::string, std::string>>
+usageBinaries()
+{
+    // (binary, bad command line) pairs. CliParser binaries reject an
+    // unknown flag; positional-argument binaries reject a wrong
+    // argument count.
+    std::vector<std::pair<std::string, std::string>> bins = {
+        {ADAPIPE_QUICKSTART_BIN, "--bogus 1"},
+        {ADAPIPE_EXPORT_PLAN_BIN, "--bogus 1"},
+    };
+#ifdef ADAPIPE_PIPELINE_TRAINING_BIN
+    bins.emplace_back(ADAPIPE_PIPELINE_TRAINING_BIN, "--bogus 1");
+#endif
+#ifdef ADAPIPE_PLAN_SERVER_BIN
+    bins.emplace_back(ADAPIPE_PLAN_SERVER_BIN, "--bogus 1");
+#endif
+#ifdef ADAPIPE_PLAN_CLIENT_BIN
+    bins.emplace_back(ADAPIPE_PLAN_CLIENT_BIN, "--bogus 1");
+#endif
+#ifdef ADAPIPE_EXPLAIN_PLAN_BIN
+    bins.emplace_back(ADAPIPE_EXPLAIN_PLAN_BIN, "");
+#endif
+#ifdef ADAPIPE_SCHEDULE_EXPLORER_BIN
+    bins.emplace_back(ADAPIPE_SCHEDULE_EXPLORER_BIN,
+                      "one two three four five");
+#endif
+    return bins;
+}
+
+TEST(CliUsage, HelpGoesToStdoutAndExitsZero)
+{
+    for (const auto &[bin, unused] : usageBinaries()) {
+        (void)unused;
+        const RunResult out = runCommandStdout(bin + " --help");
+        EXPECT_EQ(out.exitCode, 0) << bin;
+        EXPECT_NE(out.output.find("usage"), std::string::npos)
+            << bin << ": " << out.output;
+        const RunResult err = runCommandStderr(bin + " --help");
+        EXPECT_EQ(err.exitCode, 0) << bin;
+        EXPECT_TRUE(err.output.empty())
+            << bin << " wrote to stderr: " << err.output;
+    }
+}
+
+TEST(CliUsage, BadCommandLinesGoToStderrAndExitOne)
+{
+    for (const auto &[bin, bad] : usageBinaries()) {
+        const RunResult err = runCommandStderr(bin + " " + bad);
+        EXPECT_EQ(err.exitCode, 1) << bin;
+        EXPECT_FALSE(err.output.empty())
+            << bin << " wrote nothing to stderr";
+        const RunResult out = runCommandStdout(bin + " " + bad);
+        EXPECT_EQ(out.exitCode, 1) << bin;
+        EXPECT_TRUE(out.output.empty())
+            << bin << " wrote to stdout: " << out.output;
+    }
 }
 
 #ifdef ADAPIPE_PIPELINE_TRAINING_BIN

@@ -12,6 +12,7 @@
 #include "model/model_config.h"
 #include "sim/baseline_eval.h"
 #include "sim/trace_export.h"
+#include "util/canonical_json.h"
 #include "util/json.h"
 
 namespace adapipe {
@@ -196,6 +197,38 @@ TEST(TraceExport, ForwardDoublingNamesCoverBothMicroBatches)
         sched, std::vector<StageTimes>(2, {1.0, 2.0}), {});
     const std::string trace = toChromeTrace(sched, sim);
     EXPECT_NE(trace.find("F0-1"), std::string::npos);
+}
+
+TEST(CanonicalJson, KeyOrderAndWhitespaceDoNotMatter)
+{
+    const JsonValue a = JsonValue::parse(
+        R"({"b": [1, 2, {"y": 2, "x": 1}], "a": true})");
+    const JsonValue b = JsonValue::parse(
+        "{ \"a\": true,\n  \"b\": [1, 2, {\"x\": 1, \"y\": 2}] }");
+    EXPECT_EQ(canonicalJsonString(a), canonicalJsonString(b));
+    EXPECT_EQ(canonicalJsonString(a),
+              R"({"a":true,"b":[1,2,{"x":1,"y":2}]})");
+    EXPECT_EQ(jsonFingerprint(a), jsonFingerprint(b));
+}
+
+TEST(CanonicalJson, ArrayOrderIsSignificant)
+{
+    const JsonValue a = JsonValue::parse(R"({"k": [1, 2]})");
+    const JsonValue b = JsonValue::parse(R"({"k": [2, 1]})");
+    EXPECT_NE(jsonFingerprint(a), jsonFingerprint(b));
+}
+
+TEST(CanonicalJson, FingerprintIsTheDocumentedFnv1a64)
+{
+    // Reference values of the FNV-1a-64 test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(hex16(0xcbf29ce484222325ull), "cbf29ce484222325");
+    EXPECT_EQ(hex16(0x1ull), "0000000000000001");
+    // The fingerprint is exactly hex16(fnv1a64(canonical text)).
+    const JsonValue doc = JsonValue::parse(R"({"a": 1})");
+    EXPECT_EQ(jsonFingerprint(doc),
+              hex16(fnv1a64(canonicalJsonString(doc))));
 }
 
 } // namespace

@@ -21,6 +21,8 @@
 #include "robust/replan_io.h"
 #include "runtime/fault_injector.h"
 #include "runtime/snapshot.h"
+#include "service/handlers.h"
+#include "service/protocol.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -584,6 +586,186 @@ TEST(SnapshotFuzz, RandomMutationsNeverAbort)
         if (!r.ok()) {
             EXPECT_FALSE(r.error().empty());
         }
+    }
+}
+
+const char *const kValidServiceRequest = R"({
+  "kind": "replan",
+  "plan": {
+    "model": "tiny-test",
+    "cluster": {"name": "a", "nodes": 1},
+    "train": {"micro_batch": 1, "seq_len": 128, "global_batch": 8},
+    "parallel": {"tensor": 1, "pipeline": 2, "data": 1},
+    "method": "adapipe",
+    "schedule": {"family": "1f1b"},
+    "mem_budget_fraction": 0.875
+  },
+  "fault": {"straggler_stage": 0, "straggler_factor": 2.0,
+            "mem_factor": 1.0, "lost_stages": 0}
+})";
+
+TEST(ServiceFuzz, BaseRequestIsValid)
+{
+    const auto r =
+        tryServiceRequestFromJsonString(kValidServiceRequest);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.value().kind, RequestKind::Replan);
+    EXPECT_EQ(r.value().plan.model, "tiny-test");
+    EXPECT_EQ(r.value().fault.stragglerStage, 0);
+}
+
+TEST(ServiceFuzz, TruncationsNeverAbort)
+{
+    const std::string doc = kValidServiceRequest;
+    for (std::size_t cut = 0; cut < doc.size(); cut += 5) {
+        const auto r =
+            tryServiceRequestFromJsonString(doc.substr(0, cut));
+        ASSERT_FALSE(r.ok()) << "cut at " << cut;
+        EXPECT_FALSE(r.error().empty()) << "cut at " << cut;
+    }
+}
+
+TEST(ServiceFuzz, UnknownRequestKindsAreRejectedByName)
+{
+    for (const char *kind :
+         {"", "Plan", "PLAN", "plans", "replan ", "query", "halt"}) {
+        const std::string line =
+            std::string("{\"kind\": \"") + kind + "\"}";
+        const auto r = tryServiceRequestFromJsonString(line);
+        ASSERT_FALSE(r.ok()) << line;
+        EXPECT_NE(r.error().find("service.kind"), std::string::npos)
+            << "kind '" << kind << "': " << r.error();
+        EXPECT_NE(r.error().find("unknown request kind"),
+                  std::string::npos)
+            << "kind '" << kind << "': " << r.error();
+    }
+}
+
+TEST(ServiceFuzz, DuplicateKeysAreRejected)
+{
+    const auto r = tryServiceRequestFromJsonString(
+        R"({"kind": "stats", "kind": "shutdown"})");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("duplicate key 'kind'"),
+              std::string::npos)
+        << r.error();
+}
+
+TEST(ServiceFuzz, FieldCorruptionsNameTheField)
+{
+    struct Case
+    {
+        const char *needle;
+        const char *replacement;
+        const char *expected;
+    };
+    const Case cases[] = {
+        {"\"model\": \"tiny-test\"", "\"model\": \"huge\"",
+         "service.plan.model"},
+        {"\"name\": \"a\"", "\"name\": \"c\"",
+         "service.plan.cluster.name"},
+        {"\"seq_len\": 128", "\"seq_len\": 0",
+         "service.plan.train.seq_len"},
+        {"\"seq_len\": 128",
+         "\"seq_len\": 9999999999999999999999999",
+         "service.plan.train.seq_len"},
+        {"\"tensor\": 1", "\"tensor\": -4",
+         "service.plan.parallel.tensor"},
+        {"\"pipeline\": 2", "\"pipeline\": \"two\"",
+         "service.plan.parallel.pipeline"},
+        {"\"method\": \"adapipe\"", "\"method\": \"magic\"",
+         "service.plan.method"},
+        {"\"family\": \"1f1b\"", "\"family\": \"zigzag\"",
+         "service.plan.schedule.family"},
+        {"\"mem_budget_fraction\": 0.875",
+         "\"mem_budget_fraction\": 1.5",
+         "service.plan.mem_budget_fraction"},
+        {"\"straggler_factor\": 2.0", "\"straggler_factor\": 0.5",
+         "service.fault.straggler_factor"},
+        {"\"mem_factor\": 1.0", "\"mem_factor\": -1",
+         "service.fault.mem_factor"},
+        {"\"lost_stages\": 0", "\"lost_stages\": -2",
+         "service.fault.lost_stages"},
+    };
+    for (const Case &c : cases) {
+        std::string doc = kValidServiceRequest;
+        const std::size_t pos = doc.find(c.needle);
+        ASSERT_NE(pos, std::string::npos) << c.needle;
+        doc.replace(pos, std::string(c.needle).size(),
+                    c.replacement);
+        const auto r = tryServiceRequestFromJsonString(doc);
+        ASSERT_FALSE(r.ok()) << c.expected;
+        EXPECT_NE(r.error().find(c.expected), std::string::npos)
+            << "error was: " << r.error();
+    }
+}
+
+TEST(ServiceFuzz, CrossFieldValidationIsRecoverable)
+{
+    // Each of these would trip a fatal assertion in the profiler or
+    // planner if it reached them; the protocol layer must turn them
+    // into errors anchored at service.plan instead.
+    struct Case
+    {
+        const char *needle;
+        const char *replacement;
+        const char *expected;
+    };
+    const Case cases[] = {
+        // Cluster a has 8 devices per node.
+        {"\"tensor\": 1, \"pipeline\": 2",
+         "\"tensor\": 16, \"pipeline\": 2",
+         "exceeds devices per node"},
+        // 1 node * 8 devices < 1 * 2 * 8.
+        {"\"tensor\": 1, \"pipeline\": 2, \"data\": 1",
+         "\"tensor\": 1, \"pipeline\": 2, \"data\": 8",
+         "devices but the cluster has"},
+        // The tiny test model has 4 blocks -> at most 6 layers
+        // (8 devices keep the cluster check out of the way).
+        {"\"pipeline\": 2", "\"pipeline\": 8",
+         "exceeds the model's"},
+        {"\"micro_batch\": 1", "\"micro_batch\": 3",
+         "not divisible by micro_batch*data"},
+    };
+    for (const Case &c : cases) {
+        std::string doc = kValidServiceRequest;
+        const std::size_t pos = doc.find(c.needle);
+        ASSERT_NE(pos, std::string::npos) << c.needle;
+        doc.replace(pos, std::string(c.needle).size(),
+                    c.replacement);
+        const auto r = tryServiceRequestFromJsonString(doc);
+        ASSERT_FALSE(r.ok()) << c.expected;
+        EXPECT_NE(r.error().find("service.plan"), std::string::npos)
+            << r.error();
+        EXPECT_NE(r.error().find(c.expected), std::string::npos)
+            << "error was: " << r.error();
+    }
+}
+
+TEST(ServiceFuzz, RandomMutationsNeverAbortTheService)
+{
+    const std::uint64_t seed = fuzzSeed();
+    SCOPED_TRACE("ADAPIPE_FUZZ_SEED=" + std::to_string(seed));
+    Rng rng(seed ^ 0x5E21);
+    // Drive the full service, not just the parser: every mutated
+    // line must produce a one-line response (ok or error), never an
+    // abort. The base request plans the tiny model, so the rare
+    // mutant that stays valid is still fast to serve.
+    PlanService service;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string doc = kValidServiceRequest;
+        const int edits = static_cast<int>(rng.uniformInt(1, 4));
+        for (int e = 0; e < edits; ++e) {
+            const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(doc.size()) - 1));
+            if (rng.uniformInt(0, 1) == 0)
+                doc[pos] = static_cast<char>(rng.uniformInt(1, 127));
+            else
+                doc.erase(pos, 1);
+        }
+        const std::string response = service.handleLine(doc);
+        ASSERT_FALSE(response.empty());
+        EXPECT_EQ(response.rfind("{\"ok\":", 0), 0u) << response;
     }
 }
 
