@@ -12,10 +12,13 @@
  * up as numbers, not vibes.
  *
  * Every configuration runs at intra_stage_threads 1 and 4 (the
- * backward-engine worker count per stage). The engine's reduction is
- * bit-deterministic, so the paired runs must report the same
+ * backward-engine worker count per stage) and with overlapped
+ * recomputation off and on. The engine's reduction is
+ * bit-deterministic and eager replay computes the same floats as
+ * lazy replay, so all four sibling runs must report the same
  * final_loss — CI asserts that — while bwd_seconds records the
- * intra-stage speedup.
+ * intra-stage speedup and replay_hidden_us the replay time moved
+ * off the backward critical path into recv/send bubbles.
  *
  * Usage:
  *   runtime_throughput                 # full grid, BENCH_runtime.json
@@ -49,6 +52,7 @@ struct ConfigResult
     int stages = 0;
     int virtualStages = 1;
     int intraStageThreads = 1;
+    bool overlap = false;
     std::string recompute;
     double tokensPerSecond = 0;
     double wallSeconds = 0;
@@ -70,6 +74,12 @@ stageJson(const StageMetrics &sm)
     stage.set("bwd_seconds", JsonValue::number(sm.bwdSeconds));
     stage.set("replay_ops", JsonValue::integer(sm.replayOps));
     stage.set("replay_seconds", JsonValue::number(sm.replaySeconds));
+    stage.set("bwd_compute_seconds",
+              JsonValue::number(sm.bwdComputeSeconds()));
+    stage.set("replay_hidden_seconds",
+              JsonValue::number(sm.replayHiddenSeconds));
+    stage.set("replay_critical_seconds",
+              JsonValue::number(sm.replayCriticalSeconds()));
     stage.set("send_blocked_seconds",
               JsonValue::number(sm.sendBlockedSeconds));
     stage.set("recv_wait_seconds",
@@ -87,11 +97,21 @@ configJson(const ConfigResult &r)
     cfg.set("virtual_stages", JsonValue::integer(r.virtualStages));
     cfg.set("intra_stage_threads",
             JsonValue::integer(r.intraStageThreads));
+    cfg.set("overlap", JsonValue::boolean(r.overlap));
     cfg.set("recompute", JsonValue::string(r.recompute));
     cfg.set("tokens_per_second",
             JsonValue::number(r.tokensPerSecond));
     cfg.set("wall_seconds", JsonValue::number(r.wallSeconds));
     cfg.set("final_loss", JsonValue::number(r.finalLoss));
+    // Aggregates over the stages, in microseconds, for the release
+    // gate: overlap runs on enough stages must report hidden > 0.
+    double hidden = 0, critical = 0;
+    for (const StageMetrics &sm : r.stageMetrics) {
+        hidden += sm.replayHiddenSeconds;
+        critical += sm.replayCriticalSeconds();
+    }
+    cfg.set("replay_hidden_us", JsonValue::number(hidden * 1e6));
+    cfg.set("replay_critical_us", JsonValue::number(critical * 1e6));
 
     JsonValue pool = JsonValue::object();
     pool.set("heap_allocs", JsonValue::integer(r.pool.heapAllocs));
@@ -171,11 +191,13 @@ main(int argc, char **argv)
             }
             for (std::size_t mi = 0; mi < 3; ++mi) {
                 for (const int t : thread_counts) {
+                for (const bool ov : {false, true}) {
                     const std::vector<StageSpec> specs =
                         evenStageSpecs(cfg.blocks, v * p, modes[mi]);
                     RuntimeOptions run_opts = opts;
                     run_opts.virtualStages = v;
                     run_opts.intraStageThreads = t;
+                    run_opts.overlapReplay = ov;
                     TinyLM model(cfg);
 
                     const TensorPool::Stats before = pool.stats();
@@ -188,6 +210,7 @@ main(int argc, char **argv)
                                   << p << " v=" << v
                                   << " recompute=" << mode_names[mi]
                                   << " threads=" << t
+                                  << " overlap=" << ov
                                   << "): " << run.error << "\n";
                         return 1;
                     }
@@ -196,6 +219,7 @@ main(int argc, char **argv)
                     r.stages = p;
                     r.virtualStages = v;
                     r.intraStageThreads = t;
+                    r.overlap = ov;
                     r.recompute = mode_names[mi];
                     r.wallSeconds = run.wallSeconds;
                     const double tokens =
@@ -220,12 +244,14 @@ main(int argc, char **argv)
                     std::cout
                         << "p=" << p << " v=" << v
                         << " recompute=" << mode_names[mi]
-                        << " threads=" << t << ": "
+                        << " threads=" << t
+                        << " overlap=" << (ov ? "on" : "off") << ": "
                         << static_cast<long long>(r.tokensPerSecond)
                         << " tok/s, " << r.pool.heapAllocs
                         << " heap allocs / " << r.pool.reuses
                         << " reuses, final loss " << r.finalLoss
                         << "\n";
+                }
                 }
             }
         }

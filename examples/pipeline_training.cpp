@@ -115,6 +115,11 @@ main(int argc, char **argv)
     cli.addInt("intra-stage-threads", 1,
                "backward-engine workers per stage (bit-identical "
                "losses at any value)");
+    cli.addFlag("overlap",
+                "overlapped recomputation: plan with the "
+                "bubble-discounted knapsack (in-process planning) and "
+                "warm checkpoint replays inside recv/send waits "
+                "(bit-identical losses)");
     cli.addString("plan", "", "exported plan JSON (export_plan)");
     cli.addString("method", "adapipe",
                   "in-process planning method: adapipe|even|"
@@ -247,8 +252,11 @@ main(int argc, char **argv)
         if (cap_mb > 0)
             cost_opts.memCapacityOverride =
                 static_cast<Bytes>(cap_mb) * 1024 * 1024;
-        const PlanResult result = makeInterleavedPlan(
-            pm, method, vs_flag > 0 ? vs_flag : 1, cost_opts);
+        const int v = vs_flag > 0 ? vs_flag : 1;
+        const PlanResult result =
+            cli.getFlag("overlap")
+                ? makeOverlapPlan(pm, method, v, cost_opts)
+                : makeInterleavedPlan(pm, method, v, cost_opts);
         if (!result.ok) {
             std::cerr << "pipeline_training: plan infeasible: "
                       << result.oomReason << "\n";
@@ -267,12 +275,16 @@ main(int argc, char **argv)
     }
     opts.intraStageThreads = intra_threads;
 
+    // Eager replay follows the plan's annotation (a loaded overlap
+    // plan turns it on) or the explicit flag (manual/lazy-plan runs).
+    opts.overlapReplay = cli.getFlag("overlap");
     if (have_plan) {
         StageMapping mapping = stageSpecsFromPlan(plan, cfg);
         mapping.intraStageThreads = intra_threads;
         specs = std::move(mapping.stages);
         opts.virtualStages = mapping.virtualStages;
         opts.intraStageThreads = mapping.intraStageThreads;
+        opts.overlapReplay = opts.overlapReplay || mapping.overlap;
         notes.insert(notes.end(), mapping.notes.begin(),
                      mapping.notes.end());
         if (micro_batches == 0)
@@ -357,6 +369,8 @@ main(int argc, char **argv)
         std::cout << ", " << opts.intraStageThreads
                   << " backward threads per stage";
     }
+    if (opts.overlapReplay)
+        std::cout << ", overlapped recomputation";
     std::cout << "\n";
     for (const std::string &note : notes)
         std::cout << "note: " << note << "\n";
@@ -471,9 +485,14 @@ main(int argc, char **argv)
     }
 
     if (!cli.getFlag("quiet")) {
-        Table table({"Stage", "Blocks", "Recompute", "Fwd", "Bwd",
-                     "Blocked", "Waited", "Peak act (meas)",
-                     "Peak act (pred)"});
+        // Bwd comp and Replay are disjoint: the backward timer's
+        // replay share (lazy replays fire inside the engine) is
+        // metered out via the checkpoint.replay_us counter, and
+        // replay warmed inside recv/send waits (Hidden) never touches
+        // the backward timer at all.
+        Table table({"Stage", "Blocks", "Recompute", "Fwd",
+                     "Bwd comp", "Replay", "Hidden", "Blocked",
+                     "Waited", "Peak act (meas)", "Peak act (pred)"});
         for (int s = 0; s < pf; ++s) {
             const StageMetrics &sm =
                 run.stages[static_cast<std::size_t>(s)];
@@ -495,7 +514,9 @@ main(int argc, char **argv)
             table.addRow(
                 {std::to_string(s), range.str(),
                  recomputeLabel(spec), formatSeconds(sm.fwdSeconds),
-                 formatSeconds(sm.bwdSeconds),
+                 formatSeconds(sm.bwdComputeSeconds()),
+                 formatSeconds(sm.replaySeconds),
+                 formatSeconds(sm.replayHiddenSeconds),
                  formatSeconds(sm.sendBlockedSeconds),
                  formatSeconds(sm.recvWaitSeconds),
                  formatBytes(static_cast<Bytes>(measured_bytes)),
@@ -514,6 +535,18 @@ main(int argc, char **argv)
                          "wall clock)";
         }
         std::cout << "\n";
+        if (have_plan && plan.overlap &&
+            static_cast<int>(plan.stages.size()) == pf) {
+            double hidden = 0, critical = 0;
+            for (const StagePlan &sp : plan.stages) {
+                hidden += sp.timeReplayHidden;
+                critical += sp.timeReplayCritical;
+            }
+            std::cout << "plan budgeted replay (per micro-batch, all "
+                         "stages): hidden "
+                      << formatSeconds(hidden) << ", critical "
+                      << formatSeconds(critical) << "\n";
+        }
     }
 
     // Exact (round-trippable) final loss, printed even with --quiet

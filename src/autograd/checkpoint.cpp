@@ -5,9 +5,112 @@
 
 #include "autograd/engine.h"
 #include "obs/macros.h"
+#include "obs/registry.h"
 #include "util/logging.h"
 
 namespace adapipe {
+
+namespace checkpoint_detail {
+
+/**
+ * Shared replay state of one checkpointed segment: what the lazy
+ * replay needs (segment + saved input) plus, once warmed, the rebuilt
+ * recorded sub-graph the backward differentiates.
+ */
+struct ReplayState
+{
+    Segment segment;
+    Variable input;
+    bool warmed = false;
+    /** Recorded leaf copy of the input (grad routes through it). */
+    Variable warmIn;
+    /** Recorded segment output; root of the rebuilt sub-graph. */
+    Variable warmOut;
+};
+
+namespace {
+
+thread_local ReplayCollector *g_collector = nullptr;
+
+/**
+ * Run the forward replay once. Emits the same "checkpoint.replays"
+ * count whether the replay fires eagerly (warm) or lazily (backward),
+ * so replay totals stay comparable across modes, plus a
+ * "checkpoint.replay_us" counter the runtime uses to meter replay
+ * time out of the backward timer exactly (per-chunk, merge-safe).
+ */
+void
+ensureWarm(ReplayState &st)
+{
+    if (st.warmed)
+        return;
+    st.warmed = true;
+    ADAPIPE_OBS_COUNT("checkpoint.replays", 1);
+    const double start_us = obs::nowUs();
+    {
+        ADAPIPE_OBS_SPAN(replay_span, "checkpoint.replay");
+        st.warmIn = st.input.detach(true);
+        st.warmOut = st.segment(st.warmIn);
+    }
+    ADAPIPE_OBS_COUNT(
+        "checkpoint.replay_us",
+        static_cast<std::int64_t>(obs::nowUs() - start_us));
+    // The saved input stays alive through warmIn / the node's parent
+    // list; drop this extra reference.
+    st.input = Variable();
+}
+
+} // namespace
+
+} // namespace checkpoint_detail
+
+ReplayHandle::ReplayHandle() = default;
+ReplayHandle::~ReplayHandle() = default;
+ReplayHandle::ReplayHandle(const ReplayHandle &) = default;
+ReplayHandle &ReplayHandle::operator=(const ReplayHandle &) = default;
+ReplayHandle::ReplayHandle(ReplayHandle &&) noexcept = default;
+ReplayHandle &
+ReplayHandle::operator=(ReplayHandle &&) noexcept = default;
+
+ReplayHandle::ReplayHandle(
+    std::shared_ptr<checkpoint_detail::ReplayState> state)
+    : state_(std::move(state))
+{
+}
+
+bool
+ReplayHandle::warm() const
+{
+    if (!state_ || state_->warmed)
+        return false;
+    checkpoint_detail::ensureWarm(*state_);
+    return true;
+}
+
+bool
+ReplayHandle::warmed() const
+{
+    return state_ && state_->warmed;
+}
+
+ReplayCollector::ReplayCollector()
+    : previous_(checkpoint_detail::g_collector)
+{
+    checkpoint_detail::g_collector = this;
+}
+
+ReplayCollector::~ReplayCollector()
+{
+    checkpoint_detail::g_collector = previous_;
+}
+
+std::vector<ReplayHandle>
+ReplayCollector::take()
+{
+    std::vector<ReplayHandle> out = std::move(handles_);
+    handles_.clear();
+    return out;
+}
 
 Variable
 checkpoint(const Segment &segment, const Variable &input)
@@ -36,24 +139,31 @@ checkpoint(const Segment &segment, const Variable &input,
     for (const auto &p : params)
         parents.push_back(p);
 
-    return Variable::makeNode(
+    auto state =
+        std::make_shared<checkpoint_detail::ReplayState>();
+    state->segment = segment;
+    state->input = input;
+
+    Variable result = Variable::makeNode(
         std::move(out_value), std::move(parents),
-        [segment, input](Variable::Impl &node) {
-            // Recompute the segment with recording enabled, then
-            // backpropagate the downstream gradient through the
-            // rebuilt sub-graph — entirely on this thread, with leaf
-            // accumulation redirected into a private capture map so
-            // concurrent replays never touch shared parameter grads.
-            // The captured addends come back as ordered lists the
-            // outer engine applies in its deterministic reduction,
-            // reproducing the eager engine's float sequence exactly
-            // (a replayed parameter used twice yields two addends,
-            // added one after the other as before — summing them
-            // here first would reassociate the floats).
-            ADAPIPE_OBS_COUNT("checkpoint.replays", 1);
-            ADAPIPE_OBS_SPAN(replay_span, "checkpoint.replay");
-            Variable in_copy = input.detach(true);
-            Variable out = segment(in_copy);
+        [state](Variable::Impl &node) {
+            // Recompute the segment with recording enabled (unless a
+            // warm() already did), then backpropagate the downstream
+            // gradient through the rebuilt sub-graph — entirely on
+            // this thread, with leaf accumulation redirected into a
+            // private capture map so concurrent replays never touch
+            // shared parameter grads. The captured addends come back
+            // as ordered lists the outer engine applies in its
+            // deterministic reduction, reproducing the eager engine's
+            // float sequence exactly (a replayed parameter used twice
+            // yields two addends, added one after the other as before
+            // — summing them here first would reassociate the
+            // floats).
+            checkpoint_detail::ensureWarm(*state);
+            Variable in_copy = std::move(state->warmIn);
+            Variable out = std::move(state->warmOut);
+            state->warmIn = Variable();
+            state->warmOut = Variable();
             ADAPIPE_ASSERT(out.value().sameShape(node.value),
                            "checkpoint recompute shape mismatch");
 
@@ -92,6 +202,15 @@ checkpoint(const Segment &segment, const Variable &input,
             }
             return result;
         });
+
+    // Only differentiable nodes can ever replay; constant results
+    // (grads disabled, no parent requiring them) need no handle.
+    if (checkpoint_detail::g_collector && result.impl() &&
+        result.impl()->backwardFn) {
+        checkpoint_detail::g_collector->handles_.push_back(
+            ReplayHandle(state));
+    }
+    return result;
 }
 
 } // namespace adapipe

@@ -8,12 +8,25 @@
  * and differentiated. Because the recomputed forward performs
  * bit-identical float operations, gradients are bit-identical to the
  * non-checkpointed run — the invariant behind the paper's Fig. 10.
+ *
+ * Overlapped replay: the forward re-execution is a pure function of
+ * the saved input value and the parameters, neither of which changes
+ * between a micro-batch's forward and its backward (the optimizer
+ * steps only after the whole iteration). It can therefore run *early*
+ * — during a pipeline bubble — and produce the exact floats the lazy
+ * replay would. A ReplayCollector installed on the thread that runs
+ * checkpoint() hands out one ReplayHandle per checkpointed segment;
+ * warming a handle performs the forward replay immediately and leaves
+ * only the cheap differentiation of the rebuilt sub-graph for
+ * backward time (Chen et al., "Optimizing Large Model Training
+ * through Overlapped Activation Recomputation").
  */
 
 #ifndef ADAPIPE_AUTOGRAD_CHECKPOINT_H
 #define ADAPIPE_AUTOGRAD_CHECKPOINT_H
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -22,6 +35,86 @@ namespace adapipe {
 
 /** A differentiable segment: maps one activation to the next. */
 using Segment = std::function<Variable(const Variable &)>;
+
+namespace checkpoint_detail {
+struct ReplayState;
+}
+
+/**
+ * Handle to one pending checkpoint replay.
+ *
+ * warm() runs the segment's forward replay (recording enabled) right
+ * away and stashes the rebuilt sub-graph; the node's backward then
+ * differentiates the stashed graph instead of re-running the
+ * forward. Warming is idempotent — the replay runs exactly once, on
+ * whichever side gets there first — and changes no floats: the warm
+ * graph holds the same values the lazy replay would compute, so
+ * gradients stay bit-identical.
+ *
+ * Threading contract: warm() must run on the thread that owns the
+ * checkpointed graph, and never concurrently with a backward pass
+ * over it. The pipeline runtime honours this by warming only from
+ * the stage worker's own channel-wait loops, which cannot overlap
+ * its BackwardEngine::run calls; the engine's internal job handoff
+ * then orders the warm writes before any helper-thread read.
+ */
+class ReplayHandle
+{
+  public:
+    ReplayHandle();
+    ~ReplayHandle();
+    ReplayHandle(const ReplayHandle &);
+    ReplayHandle &operator=(const ReplayHandle &);
+    ReplayHandle(ReplayHandle &&) noexcept;
+    ReplayHandle &operator=(ReplayHandle &&) noexcept;
+
+    /**
+     * Run the forward replay now (no-op when already warmed).
+     * @return whether this call performed the replay.
+     */
+    bool warm() const;
+
+    /** @return whether the replay has already run. */
+    bool warmed() const;
+
+    /** @return whether the handle points at a live replay. */
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend Variable checkpoint(const Segment &, const Variable &,
+                               const std::vector<Variable> &);
+    explicit ReplayHandle(
+        std::shared_ptr<checkpoint_detail::ReplayState> state);
+
+    std::shared_ptr<checkpoint_detail::ReplayState> state_;
+};
+
+/**
+ * RAII collector of ReplayHandles. While one is installed on a
+ * thread, every checkpoint() call on that thread that produces a
+ * differentiable node registers a handle with the innermost
+ * collector; take() drains them in creation order. Collectors nest
+ * (the previous one is restored on destruction) and are strictly
+ * thread-local.
+ */
+class ReplayCollector
+{
+  public:
+    ReplayCollector();
+    ~ReplayCollector();
+
+    ReplayCollector(const ReplayCollector &) = delete;
+    ReplayCollector &operator=(const ReplayCollector &) = delete;
+
+    /** Handles registered since the last take(), creation order. */
+    std::vector<ReplayHandle> take();
+
+  private:
+    friend Variable checkpoint(const Segment &, const Variable &,
+                               const std::vector<Variable> &);
+    std::vector<ReplayHandle> handles_;
+    ReplayCollector *previous_;
+};
 
 /**
  * Run @p segment with recomputation: only the segment's input and

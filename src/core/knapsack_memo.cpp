@@ -27,10 +27,11 @@ memoKey(const std::vector<UnitProfile> &units,
         std::int64_t budget_per_mb, const RecomputeDpOptions &opts)
 {
     std::string key;
-    key.reserve(16 + units.size() * 17);
+    key.reserve(24 + units.size() * 17);
     appendBytes(key, budget_per_mb);
     appendBytes(key, static_cast<std::int32_t>(opts.maxBuckets));
     key.push_back(opts.useGcd ? 1 : 0);
+    appendBytes(key, opts.overlapBubble);
     for (const UnitProfile &u : units) {
         appendBytes(key, u.timeFwd);
         appendBytes(key, static_cast<std::uint64_t>(u.memSaved));

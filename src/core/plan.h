@@ -77,6 +77,20 @@ struct StagePlan
      * layers in execution order (always-saved units are true).
      */
     std::vector<bool> savedMask;
+    /**
+     * Overlapped-recomputation annotation (PipelinePlan::overlap):
+     * idle seconds per micro-batch the planner budgeted for hiding
+     * this stage's checkpoint replay inside recv/send waits. 0 on
+     * lazy plans.
+     */
+    Seconds overlapBubble = 0;
+    /** Replay seconds per micro-batch expected to hide in the bubble. */
+    Seconds timeReplayHidden = 0;
+    /**
+     * Replay seconds per micro-batch left on the backward critical
+     * path; timeBwd includes exactly this much recomputation.
+     */
+    Seconds timeReplayCritical = 0;
 
     /** @return number of layers assigned to this stage. */
     int numLayers() const { return lastLayer - firstLayer + 1; }
@@ -109,6 +123,13 @@ struct PipelinePlan
      * (the interleaved schedule has no closed form here).
      */
     PipelineTiming timing;
+    /**
+     * True when the plan was produced with the overlapped-replay
+     * discount: the runtime should enable eager replay inside
+     * recv/send waits, and each stage's timeBwd already excludes the
+     * replay share budgeted to hide (StagePlan::timeReplayHidden).
+     */
+    bool overlap = false;
 };
 
 /**

@@ -72,6 +72,11 @@ planFromReader(const JsonReader &root)
             root.key("virtual_stages").fail("must be >= 1");
     }
 
+    // Plans written before overlapped recomputation carry no overlap
+    // field; they are lazy-replay plans.
+    if (root.has("overlap"))
+        plan.overlap = root.key("overlap").asBool();
+
     const JsonReader timing = root.key("timing");
     plan.timing.warmup = timing.key("warmup").asNumber();
     plan.timing.ending = timing.key("ending").asNumber();
@@ -100,6 +105,26 @@ planFromReader(const JsonReader &root)
                       std::to_string(sp.savedMask.size()) +
                       " does not match total_units " +
                       std::to_string(sp.totalUnits));
+        // Overlap annotation: optional (absent on legacy / lazy
+        // plans), each field independently defaulting to 0 but never
+        // negative.
+        if (stage.has("overlap_bubble")) {
+            sp.overlapBubble = stage.key("overlap_bubble").asNumber();
+            if (sp.overlapBubble < 0)
+                stage.key("overlap_bubble").fail("must be >= 0");
+        }
+        if (stage.has("replay_hidden")) {
+            sp.timeReplayHidden =
+                stage.key("replay_hidden").asNumber();
+            if (sp.timeReplayHidden < 0)
+                stage.key("replay_hidden").fail("must be >= 0");
+        }
+        if (stage.has("replay_critical")) {
+            sp.timeReplayCritical =
+                stage.key("replay_critical").asNumber();
+            if (sp.timeReplayCritical < 0)
+                stage.key("replay_critical").fail("must be >= 0");
+        }
         plan.stages.push_back(std::move(sp));
     }
     // One StagePlan per virtual chunk: pipeline * virtual_stages
@@ -143,6 +168,7 @@ planToJson(const PipelinePlan &plan)
 
     root.set("micro_batches", JsonValue::integer(plan.microBatches));
     root.set("virtual_stages", JsonValue::integer(plan.virtualStages));
+    root.set("overlap", JsonValue::boolean(plan.overlap));
 
     JsonValue timing = JsonValue::object();
     timing.set("warmup", JsonValue::number(plan.timing.warmup));
@@ -167,6 +193,11 @@ planToJson(const PipelinePlan &plan)
         for (bool saved : sp.savedMask)
             mask.push(JsonValue::boolean(saved));
         stage.set("saved_mask", std::move(mask));
+        stage.set("overlap_bubble", JsonValue::number(sp.overlapBubble));
+        stage.set("replay_hidden",
+                  JsonValue::number(sp.timeReplayHidden));
+        stage.set("replay_critical",
+                  JsonValue::number(sp.timeReplayCritical));
         stages.push(std::move(stage));
     }
     root.set("stages", std::move(stages));

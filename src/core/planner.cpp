@@ -41,6 +41,9 @@ assemblePlan(const ProfiledModel &pm, PlanMethod method,
         sp.savedUnits = c.recompute.savedUnits;
         sp.totalUnits = c.totalUnits;
         sp.savedMask = c.recompute.saved;
+        sp.overlapBubble = calc.overlapBubble(s);
+        sp.timeReplayHidden = c.replayHidden;
+        sp.timeReplayCritical = c.replayCritical;
         plan.stages.push_back(std::move(sp));
         times.push_back({c.fwd, c.bwd});
     }

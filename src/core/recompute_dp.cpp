@@ -24,12 +24,16 @@ optionalUnits(const std::vector<UnitProfile> &units)
 
 /** Fill the result's bookkeeping fields from the decision vector. */
 void
-finalize(const std::vector<UnitProfile> &units, RecomputePlanResult &r)
+finalize(const std::vector<UnitProfile> &units, RecomputePlanResult &r,
+         Seconds bubble = 0)
 {
     r.savedFwdTime = 0;
     r.savedBytes = 0;
     r.savedUnits = 0;
+    Seconds opt_total = 0; // every optional unit's forward time
     for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!units[i].alwaysSaved)
+            opt_total += units[i].timeFwd;
         if (!r.saved[i])
             continue;
         ++r.savedUnits;
@@ -38,6 +42,14 @@ finalize(const std::vector<UnitProfile> &units, RecomputePlanResult &r)
             r.savedBytes += units[i].memSaved;
         }
     }
+    // Unsaved replay as (total - saved), not a direct sum over the
+    // unsaved units: this reproduces the float sequence the stage
+    // cost calculator historically used for B_s, keeping plan bytes
+    // bit-identical across the refactor.
+    const Seconds replay =
+        std::max<Seconds>(opt_total - r.savedFwdTime, 0);
+    r.hiddenReplayTime = std::min(std::max<Seconds>(bubble, 0), replay);
+    r.criticalReplayTime = replay - r.hiddenReplayTime;
 }
 
 } // namespace
@@ -58,8 +70,9 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
 
     const std::vector<std::size_t> opt_idx = optionalUnits(units);
     const std::int64_t budget = std::max<std::int64_t>(budget_per_mb, 0);
+    const Seconds bubble = std::max<Seconds>(opts.overlapBubble, 0);
     if (opt_idx.empty() || budget == 0) {
-        finalize(units, result);
+        finalize(units, result, bubble);
         return result;
     }
 
@@ -68,18 +81,42 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
     // up and the budget down keeps every DP solution feasible.
     std::int64_t gcd = 0;
     std::int64_t total_cost = 0;
+    Seconds total_value = 0;
     for (std::size_t i : opt_idx) {
         const auto cost = static_cast<std::int64_t>(units[i].memSaved);
         gcd = std::gcd(gcd, cost);
         total_cost += cost;
+        total_value += units[i].timeFwd;
     }
-    if (total_cost <= budget) {
-        // Everything fits; skip the DP entirely.
+    if (bubble <= 0 && total_cost <= budget) {
+        // Everything fits; skip the DP entirely. (With a bubble
+        // budget this shortcut is wrong: saving everything can waste
+        // memory on replay that would have hidden for free.)
         ADAPIPE_OBS_COUNT("recompute_dp.fastpath", 1);
         for (std::size_t i : opt_idx)
             result.saved[i] = true;
-        finalize(units, result);
+        finalize(units, result, bubble);
         return result;
+    }
+    // Discounted objective: only enough forward time needs to be
+    // *saved* that the leftover replay fits the bubble. Replay of
+    // zero-cost units (memSaved == 0, outside the knapsack) eats
+    // into the bubble first.
+    Seconds t_need = 0; // meaningful only when bubble > 0
+    if (bubble > 0) {
+        Seconds fixed_replay = 0;
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            if (!units[i].alwaysSaved && units[i].memSaved == 0)
+                fixed_replay += units[i].timeFwd;
+        }
+        t_need = fixed_replay + total_value - bubble;
+        if (t_need <= 0) {
+            // The bubble swallows every optional replay: save nothing
+            // optional and spend no memory at all.
+            ADAPIPE_OBS_COUNT("recompute_dp.bubble_free", 1);
+            finalize(units, result, bubble);
+            return result;
+        }
     }
     if (!opts.useGcd)
         gcd = 1;
@@ -89,7 +126,7 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
 
     const auto cap = static_cast<std::size_t>(budget / gran);
     if (cap == 0) {
-        finalize(units, result);
+        finalize(units, result, bubble);
         return result;
     }
 
@@ -118,8 +155,21 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
     }
     ADAPIPE_OBS_COUNT("recompute_dp.cells", cells);
 
-    // Backtrack the decision path.
-    std::size_t m = cap;
+    // Backtrack the decision path. Without a bubble, the best value
+    // sits at the full budget. With one, take the *smallest* budget
+    // whose value already covers t_need — same critical replay
+    // (zero), minimal saved bytes; if no budget covers it, the full
+    // budget's maximal value minimises the leftover critical replay.
+    std::size_t pick = cap;
+    if (bubble > 0) {
+        for (std::size_t m2 = 0; m2 <= cap; ++m2) {
+            if (dp[m2] >= t_need) {
+                pick = m2;
+                break;
+            }
+        }
+    }
+    std::size_t m = pick;
     for (std::size_t k = opt_idx.size(); k-- > 0;) {
         if (choice[k][m]) {
             result.saved[opt_idx[k]] = true;
@@ -131,24 +181,35 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
         }
     }
 
-    finalize(units, result);
+    finalize(units, result, bubble);
     return result;
 }
 
 RecomputePlanResult
 bruteForceRecompute(const std::vector<UnitProfile> &units,
-                    std::int64_t budget_per_mb)
+                    std::int64_t budget_per_mb, Seconds overlap_bubble)
 {
     const std::vector<std::size_t> opt_idx = optionalUnits(units);
     ADAPIPE_ASSERT(opt_idx.size() <= 24,
                    "brute force limited to 24 optional units, got ",
                    opt_idx.size());
 
+    const Seconds bubble = std::max<Seconds>(overlap_bubble, 0);
+    Seconds fixed_replay = 0; // recomputed regardless of the mask
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!units[i].alwaysSaved && units[i].memSaved == 0)
+            fixed_replay += units[i].timeFwd;
+    }
+
     RecomputePlanResult best;
     best.saved.assign(units.size(), false);
     for (std::size_t i = 0; i < units.size(); ++i)
         best.saved[i] = units[i].alwaysSaved;
-    finalize(units, best);
+    finalize(units, best, bubble);
+
+    Seconds opt_total = 0;
+    for (std::size_t i : opt_idx)
+        opt_total += units[i].timeFwd;
 
     const std::int64_t budget = std::max<std::int64_t>(budget_per_mb, 0);
     const std::size_t combos = std::size_t{1} << opt_idx.size();
@@ -162,7 +223,25 @@ bruteForceRecompute(const std::vector<UnitProfile> &units,
                 value += units[opt_idx[k]].timeFwd;
             }
         }
-        if (cost <= budget && value > best.savedFwdTime) {
+        if (cost > budget)
+            continue;
+        bool improves;
+        if (bubble > 0) {
+            // Lexicographic: minimal critical replay, then minimal
+            // saved bytes, then maximal saved forward time.
+            const Seconds critical = std::max<Seconds>(
+                fixed_replay + opt_total - value - bubble, 0);
+            const Seconds best_critical = best.criticalReplayTime;
+            improves =
+                critical < best_critical ||
+                (critical == best_critical &&
+                 (cost < static_cast<std::int64_t>(best.savedBytes) ||
+                  (cost == static_cast<std::int64_t>(best.savedBytes) &&
+                   value > best.savedFwdTime)));
+        } else {
+            improves = value > best.savedFwdTime;
+        }
+        if (improves) {
             RecomputePlanResult cand;
             cand.saved.assign(units.size(), false);
             for (std::size_t i = 0; i < units.size(); ++i)
@@ -171,7 +250,7 @@ bruteForceRecompute(const std::vector<UnitProfile> &units,
                 if (mask & (std::size_t{1} << k))
                     cand.saved[opt_idx[k]] = true;
             }
-            finalize(units, cand);
+            finalize(units, cand, bubble);
             best = std::move(cand);
         }
     }

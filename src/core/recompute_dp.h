@@ -39,6 +39,18 @@ struct RecomputePlanResult
     Bytes savedBytes = 0;
     /** Count of saved units (incl. always-saved), Table 4's metric. */
     int savedUnits = 0;
+    /**
+     * Replay time per micro-batch expected to hide inside the
+     * stage's bubble budget (RecomputeDpOptions::overlapBubble);
+     * 0 without a budget.
+     */
+    Seconds hiddenReplayTime = 0;
+    /**
+     * Replay time per micro-batch left on the backward critical path
+     * after the bubble discount: max(0, unsaved replay - bubble).
+     * Without a budget this is simply the unsaved replay time.
+     */
+    Seconds criticalReplayTime = 0;
 };
 
 /**
@@ -57,6 +69,18 @@ struct RecomputeDpOptions
      * maxBuckets anyway to stay finite.
      */
     bool useGcd = true;
+    /**
+     * Overlapped-recomputation discount: idle (bubble) seconds per
+     * micro-batch available to this stage for hiding checkpoint
+     * replay off the backward critical path (Chen et al.). With a
+     * budget > 0 the objective changes from maximising saved forward
+     * time to lexicographically minimising (critical replay time,
+     * saved bytes): once the unsaved replay fits the bubble, saving
+     * more units only wastes memory, so the solver picks the
+     * *cheapest* save set whose leftover replay hides — a genuinely
+     * different plan regime from the undiscounted knapsack.
+     */
+    Seconds overlapBubble = 0;
 };
 
 /**
@@ -78,11 +102,16 @@ solveRecomputeKnapsack(const std::vector<UnitProfile> &units,
 
 /**
  * Brute-force oracle (exponential) for testing the DP on small unit
- * sets; panics if more than ~24 optional units are present.
+ * sets; panics if more than ~24 optional units are present. With
+ * @p overlap_bubble > 0 it optimises the discounted objective
+ * (lexicographically minimal critical replay, then saved bytes,
+ * then maximal saved forward time), matching the DP's bucket
+ * solution up to the DP's weight granularity.
  */
 RecomputePlanResult
 bruteForceRecompute(const std::vector<UnitProfile> &units,
-                    std::int64_t budget_per_mb);
+                    std::int64_t budget_per_mb,
+                    Seconds overlap_bubble = 0);
 
 } // namespace adapipe
 

@@ -23,6 +23,11 @@ StageCostCalculator::StageCostCalculator(const ProfiledModel &pm, int p,
         if (f != 1.0)
             neutral_factors_ = false;
     }
+    for (Seconds b : opts_.overlapBubblePerMb) {
+        ADAPIPE_ASSERT(b >= 0, "overlap bubble must be >= 0, got ", b);
+        if (b != 0)
+            neutral_bubbles_ = false;
+    }
     for (int m : opts_.inflightOverride)
         ADAPIPE_ASSERT(m >= 1, "in-flight override must be >= 1, got ",
                        m);
@@ -44,6 +49,15 @@ StageCostCalculator::timeFactor(int s) const
     return opts_.stageTimeFactor[s];
 }
 
+Seconds
+StageCostCalculator::overlapBubble(int s) const
+{
+    if (s < 0 ||
+        s >= static_cast<int>(opts_.overlapBubblePerMb.size()))
+        return 0;
+    return opts_.overlapBubblePerMb[s];
+}
+
 int
 StageCostCalculator::inflight(int s) const
 {
@@ -63,9 +77,10 @@ StageCostCalculator::cacheKey(int s, int i, int j) const
     const int first_kind =
         static_cast<int>(pm_.layers[std::min(i, pm_.numLayers() - 1)]
                              .kind);
-    // Heterogeneous stage-time factors break the isomorphism: the
-    // same range costs differently on a straggling stage.
-    if (opts_.useIsomorphism && neutral_factors_)
+    // Heterogeneous stage-time factors or per-stage bubble budgets
+    // break the isomorphism: the same range costs differently on a
+    // straggling stage / a stage with a different replay bubble.
+    if (opts_.useIsomorphism && neutral_factors_ && neutral_bubbles_)
         return {inflight(s), has_embed, has_head, j - i, first_kind};
     // Degenerate key: every (s, i, j) is distinct.
     return {s * (pm_.numLayers() + 1) + i, has_embed, has_head, j - i,
@@ -145,11 +160,18 @@ StageCostCalculator::compute(int s, int i, int j)
     StageCost result;
     result.totalUnits = static_cast<int>(units.size());
 
+    RecomputeDpOptions dp_opts = opts_.dp;
+    dp_opts.overlapBubble = overlapBubble(s);
+
     // Fast path: everything saved fits the budget without a buffer.
+    // Disabled under a bubble budget — there the solver's discounted
+    // objective may prefer saving *less* (replay hides for free), so
+    // "everything fits" no longer implies "save everything".
     const Bytes no_recompute_total =
         mem.staticMem +
         static_cast<Bytes>(m) * (mem.input + saved_all);
-    if (static_cast<std::int64_t>(no_recompute_total) <= budget) {
+    if (dp_opts.overlapBubble <= 0 &&
+        static_cast<std::int64_t>(no_recompute_total) <= budget) {
         result.feasible = true;
         result.recompute.saved.assign(units.size(), true);
         result.recompute.savedFwdTime = fwd_recomputable;
@@ -177,7 +199,7 @@ StageCostCalculator::compute(int s, int i, int j)
         if (opts_.knapsackMemo) {
             bool hit = false;
             result.recompute = opts_.knapsackMemo->solve(
-                units, per_mb, opts_.dp, &hit);
+                units, per_mb, dp_opts, &hit);
             if (hit) {
                 ++memo_hits_;
             } else {
@@ -187,12 +209,16 @@ StageCostCalculator::compute(int s, int i, int j)
         } else {
             ++knapsack_runs_;
             result.recompute =
-                solveRecomputeKnapsack(units, per_mb, opts_.dp);
+                solveRecomputeKnapsack(units, per_mb, dp_opts);
         }
         result.feasible = true;
         result.fwd = fwd_all;
-        result.bwd = bwd_all +
-                     (fwd_recomputable - result.recompute.savedFwdTime);
+        // criticalReplayTime equals (fwd_recomputable - savedFwdTime)
+        // without a bubble; with one, the hidden share is discounted
+        // off the backward critical path.
+        result.bwd = bwd_all + result.recompute.criticalReplayTime;
+        result.replayHidden = result.recompute.hiddenReplayTime;
+        result.replayCritical = result.recompute.criticalReplayTime;
         result.memPeak =
             mem.staticMem + mem.buffer +
             static_cast<Bytes>(m) *
@@ -208,6 +234,8 @@ StageCostCalculator::compute(int s, int i, int j)
     if (factor != 1.0) {
         result.fwd *= factor;
         result.bwd *= factor;
+        result.replayHidden *= factor;
+        result.replayCritical *= factor;
     }
     return result;
 }
@@ -295,6 +323,9 @@ StageCostCalculator::baselineCost(int s, int i, int j,
         break;
     }
     result.fwd = fwd_all;
+    // Uniform policies never overlap: all replay is critical.
+    result.replayCritical = result.bwd - bwd_all;
+    result.recompute.criticalReplayTime = result.replayCritical;
     result.recompute.savedUnits = saved_units;
     result.recompute.savedBytes = saved_per_mb;
     result.feasible = result.memPeak <= capacity();
@@ -307,6 +338,7 @@ StageCostCalculator::baselineCost(int s, int i, int j,
     if (factor != 1.0) {
         result.fwd *= factor;
         result.bwd *= factor;
+        result.replayCritical *= factor;
     }
     return result;
 }

@@ -49,6 +49,18 @@ struct StageCost
     RecomputePlanResult recompute;
     /** Total computation units in the range. */
     int totalUnits = 0;
+    /**
+     * Replay time per micro-batch expected to hide inside the
+     * stage's bubble budget (StageCostOptions::overlapBubblePerMb);
+     * 0 without a budget. Scaled by the stage-time factor like bwd.
+     */
+    Seconds replayHidden = 0;
+    /**
+     * Replay time per micro-batch left on the backward critical path
+     * after the bubble discount; bwd includes exactly this much
+     * recomputation (not the hidden part).
+     */
+    Seconds replayCritical = 0;
 };
 
 /**
@@ -127,6 +139,17 @@ struct StageCostOptions
      * Null solves every knapsack directly.
      */
     KnapsackMemo *knapsackMemo = nullptr;
+    /**
+     * Overlapped-recomputation bubble budget per stage, in idle
+     * seconds available *per micro-batch* for hiding checkpoint
+     * replay inside recv/send waits (derived from the event
+     * simulator's per-device bubble time). Empty disables the
+     * discount; stages beyond the vector get 0. Any entry != 0
+     * disables the isomorphism cache — the same layer range then
+     * costs differently on stages with different bubbles (see
+     * RecomputeDpOptions::overlapBubble for the objective change).
+     */
+    std::vector<Seconds> overlapBubblePerMb;
 };
 
 /**
@@ -194,6 +217,9 @@ class StageCostCalculator
     /** @return the execution-time multiplier of stage s. */
     double timeFactor(int s) const;
 
+    /** @return stage s's per-micro-batch replay bubble budget. */
+    Seconds overlapBubble(int s) const;
+
   private:
     StageCost compute(int s, int i, int j);
 
@@ -222,6 +248,8 @@ class StageCostCalculator
     std::size_t memo_misses_ = 0;
     /** True while every stage-time factor is exactly 1. */
     bool neutral_factors_ = true;
+    /** True while every per-stage bubble budget is exactly 0. */
+    bool neutral_bubbles_ = true;
 };
 
 } // namespace adapipe

@@ -11,7 +11,9 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <optional>
 
+#include "autograd/checkpoint.h"
 #include "autograd/engine.h"
 #include "autograd/optim.h"
 #include "autograd/trainer.h"
@@ -134,6 +136,25 @@ class SnapshotCoordinator
     bool aborted_ = false;
 };
 
+/**
+ * Replays registered by one forward op that its backward has not yet
+ * consumed: the overlap executor's unit of work. Handles are warmed
+ * in creation order (block order within the micro-batch); entries
+ * are keyed by the backward op's rank in the worker's device order,
+ * so the nearest backward warms first.
+ */
+struct PendingReplays
+{
+    /** Local chunk index (metrics attribution). */
+    int local = 0;
+    /** Chain position / micro-batch (firing-log coordinates). */
+    int pos = 0;
+    int microBatch = 0;
+    /** Next handle to warm. */
+    std::size_t next = 0;
+    std::vector<ReplayHandle> handles;
+};
+
 /** Activation state of one in-flight micro-batch on one chunk. */
 struct Inflight
 {
@@ -219,6 +240,8 @@ class StageWorker
     void runBackward(int step, const PipeOp &op);
     Tensor recvFrom(BoundedChannel<Tensor> *ch, double *waited_us);
     double sendTo(BoundedChannel<Tensor> *ch, Tensor value);
+    double warmOnePending();
+    double drainAllPending();
     void recordSpan(const char *name, double start_us);
     void flushGauges();
 
@@ -235,6 +258,14 @@ class StageWorker
 
     /** Keyed by (local chunk, micro-batch). */
     std::map<std::pair<int, int>, Inflight> inflight_;
+    /** Overlap executor state: pending replays keyed by the rank of
+     *  their backward op in this worker's device order, so
+     *  pending_.begin() is always the next backward's work. */
+    std::map<std::size_t, PendingReplays> pending_;
+    /** (pos, microBatch) -> backward-op rank in the device order. */
+    std::map<std::pair<int, int>, std::size_t> bwdRank_;
+    /** Warm firing log (encoded; see StageMetrics::overlapFirings). */
+    std::vector<std::int64_t> firings_;
     std::vector<int> tokens_;
     std::vector<int> targets_;
     /** Per-stage backward engine (opts.intraStageThreads workers);
@@ -272,42 +303,148 @@ StageWorker::ownParams() const
 }
 
 /**
- * Channel receive that keeps beating the heartbeat while blocked.
- * Without a watchdog this is the plain blocking recv (no extra
- * branches inside the wait).
+ * Warm the next pending replay: the lowest-backward-rank entry's
+ * next unwarmed handle (nearest backward first, block order within a
+ * micro-batch). Exhausted entries are dropped on the way.
+ *
+ * @return microseconds spent warming (0 when nothing was pending);
+ *         metrics are attributed to the owning chunk.
+ */
+double
+StageWorker::warmOnePending()
+{
+    while (!pending_.empty()) {
+        auto it = pending_.begin();
+        PendingReplays &entry = it->second;
+        while (entry.next < entry.handles.size()) {
+            const std::size_t unit = entry.next++;
+            const double t0 = obs::nowUs();
+            if (!entry.handles[unit].warm())
+                continue; // already fired (lazy backward got there)
+            const double us = obs::nowUs() - t0;
+            StageMetrics &m =
+                chunks_[static_cast<std::size_t>(entry.local)]
+                    .metrics;
+            m.replayHiddenSeconds += us * 1e-6;
+            m.replaySeconds += us * 1e-6;
+            ++m.replayHiddenOps;
+            ++m.replayOps;
+            registry_.add("runtime.overlap.warms", 1);
+            firings_.push_back(
+                static_cast<std::int64_t>(entry.pos) * 1000000 +
+                static_cast<std::int64_t>(entry.microBatch) * 1000 +
+                static_cast<std::int64_t>(unit));
+            return us;
+        }
+        pending_.erase(it);
+    }
+    return 0;
+}
+
+/** Test hook (overlapDrainAll): warm everything pending right now,
+ *  making the firing log a pure function of the schedule. */
+double
+StageWorker::drainAllPending()
+{
+    double us = 0;
+    for (;;) {
+        const double step = warmOnePending();
+        if (step == 0 && pending_.empty())
+            return us;
+        us += step;
+        if (watchdog_)
+            watchdog_->beat(workerIdx_);
+    }
+}
+
+/**
+ * Channel receive that beats the heartbeat and/or warms pending
+ * checkpoint replays while blocked. Without a watchdog and with
+ * nothing to warm this is the plain blocking recv (no extra branches
+ * inside the wait).
+ *
+ * Wait accounting: the timed-wait paths report the loop's wall clock
+ * minus the time spent warming (which is compute, not waiting), so
+ * the reported wait matches the plain blocking path no matter how
+ * many 2ms beat iterations the wait spanned — the heartbeat overhead
+ * between re-armed waits stays inside the measurement instead of
+ * leaking out of it.
  */
 Tensor
 StageWorker::recvFrom(BoundedChannel<Tensor> *ch, double *waited_us)
 {
-    if (!watchdog_)
+    const bool overlap = opts_.overlapReplay;
+    if (!watchdog_ && !overlap)
         return ch->recv(waited_us);
     Tensor out;
+    const double wait_start = obs::nowUs();
+    double warm_us = 0;
+    if (overlap && opts_.overlapDrainAll)
+        warm_us += drainAllPending();
     for (;;) {
+        const bool have_pending = overlap && !pending_.empty();
+        if (!watchdog_ && !have_pending) {
+            out = ch->recv(nullptr);
+            break;
+        }
+        // With work to warm, poll instead of parking: an empty
+        // channel immediately yields the bubble to a warm.
+        const auto tick = have_pending
+                              ? std::chrono::microseconds(0)
+                              : std::chrono::microseconds(
+                                    kHeartbeatTick);
         const ChannelStatus status =
-            ch->tryRecvFor(out, kHeartbeatTick, waited_us);
+            ch->tryRecvFor(out, tick, nullptr);
         if (status == ChannelStatus::Ok)
-            return out;
+            break;
         if (status == ChannelStatus::Closed)
             throw ChannelClosedError{};
-        watchdog_->beat(workerIdx_);
+        if (watchdog_)
+            watchdog_->beat(workerIdx_);
+        if (have_pending)
+            warm_us += warmOnePending();
     }
+    if (waited_us) {
+        *waited_us = std::max(
+            0.0, obs::nowUs() - wait_start - warm_us);
+    }
+    return out;
 }
 
-/** Heartbeat-capable counterpart of BoundedChannel::send(). */
+/** Heartbeat/overlap-capable counterpart of BoundedChannel::send();
+ *  wait accounting as in recvFrom(). */
 double
 StageWorker::sendTo(BoundedChannel<Tensor> *ch, Tensor value)
 {
-    if (!watchdog_)
+    const bool overlap = opts_.overlapReplay;
+    if (!watchdog_ && !overlap)
         return ch->send(std::move(value));
-    double waited_us = 0;
+    const double wait_start = obs::nowUs();
+    double warm_us = 0;
+    if (overlap && opts_.overlapDrainAll)
+        warm_us += drainAllPending();
     for (;;) {
+        const bool have_pending = overlap && !pending_.empty();
+        if (!watchdog_ && !have_pending) {
+            ch->send(std::move(value));
+            return std::max(
+                0.0, obs::nowUs() - wait_start - warm_us);
+        }
+        const auto tick = have_pending
+                              ? std::chrono::microseconds(0)
+                              : std::chrono::microseconds(
+                                    kHeartbeatTick);
         const ChannelStatus status =
-            ch->trySendFor(value, kHeartbeatTick, &waited_us);
+            ch->trySendFor(value, tick, nullptr);
         if (status == ChannelStatus::Ok)
-            return waited_us;
+            return std::max(
+                0.0, obs::nowUs() - wait_start - warm_us);
         if (status == ChannelStatus::Closed)
             throw ChannelClosedError{};
-        watchdog_->beat(workerIdx_);
+        if (watchdog_)
+            watchdog_->beat(workerIdx_);
+        if (have_pending)
+            warm_us += warmOnePending();
     }
 }
 
@@ -342,6 +479,12 @@ StageWorker::runForward(int step, const PipeOp &op)
     }
 
     const double start_us = obs::nowUs();
+    // With overlapped replay, scoop up the ReplayHandles the blocks'
+    // checkpoint() calls register so the channel-wait loops can warm
+    // them before this micro-batch's backward.
+    std::optional<ReplayCollector> collector;
+    if (opts_.overlapReplay)
+        collector.emplace();
     if (spec.embedding) {
         makeBigramBatch(model_.config().vocab, opts_.seqLen,
                         step * n + op.microBatch, opts_.dataSeed,
@@ -351,6 +494,24 @@ StageWorker::runForward(int step, const PipeOp &op)
     for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
         h = model_.blockForward(b,
                                 h, spec.recompute[b - spec.firstBlock]);
+    }
+    if (collector) {
+        std::vector<ReplayHandle> handles = collector->take();
+        collector.reset();
+        if (!handles.empty()) {
+            const auto rank =
+                bwdRank_.find({op.pos, op.microBatch});
+            ADAPIPE_ASSERT(rank != bwdRank_.end(),
+                           "no backward op for position ", op.pos,
+                           " micro-batch ", op.microBatch,
+                           " in the device order");
+            PendingReplays entry;
+            entry.local = local;
+            entry.pos = op.pos;
+            entry.microBatch = op.microBatch;
+            entry.handles = std::move(handles);
+            pending_.emplace(rank->second, std::move(entry));
+        }
     }
     Inflight &fl = inflight_[{local, op.microBatch}];
     if (spec.head) {
@@ -407,9 +568,25 @@ StageWorker::runBackward(int step, const PipeOp &op)
         registry_.add("runtime.recvs", 1);
     }
 
+    // This micro-batch's replays are about to fire (lazily, inside
+    // the engine) if they have not been warmed; stop offering them
+    // to the overlap executor.
+    if (opts_.overlapReplay) {
+        const auto rank = bwdRank_.find({op.pos, op.microBatch});
+        if (rank != bwdRank_.end())
+            pending_.erase(rank->second);
+    }
+
+    // Counter deltas around the engine run meter the lazy replays
+    // exactly per chunk, even with intraStageThreads > 1: helper
+    // threads merge their scratch registries into this worker's
+    // before run() returns. Warm replays fire outside this window
+    // and are accounted directly in warmOnePending().
     const double start_us = obs::nowUs();
     const std::int64_t replays_before =
         registry_.counter("checkpoint.replays");
+    const std::int64_t replay_us_before =
+        registry_.counter("checkpoint.replay_us");
     engine_->run(fl.output, seed);
     Tensor input_grad;
     if (ctx.fwdIn)
@@ -422,6 +599,11 @@ StageWorker::runBackward(int step, const PipeOp &op)
     ++ctx.metrics.bwdOps;
     ctx.metrics.replayOps +=
         registry_.counter("checkpoint.replays") - replays_before;
+    ctx.metrics.replaySeconds +=
+        static_cast<double>(
+            registry_.counter("checkpoint.replay_us") -
+            replay_us_before) *
+        1e-6;
     recordSpan("runtime.backward", start_us);
     registry_.add("runtime.bwd_ops", 1);
 
@@ -450,6 +632,11 @@ StageWorker::flushGauges()
             prefix += "chunk." + std::to_string(c) + ".";
         registry_.set(prefix + "fwd_us", m.fwdSeconds * 1e6);
         registry_.set(prefix + "bwd_us", m.bwdSeconds * 1e6);
+        // Backward compute and replay, disjointly: bwd_us contains
+        // the lazy (critical-path) replay time, so the corrected
+        // compute figure subtracts it back out.
+        registry_.set(prefix + "bwd_compute_us",
+                      m.bwdComputeSeconds() * 1e6);
         registry_.set(prefix + "send_blocked_us",
                       m.sendBlockedSeconds * 1e6);
         registry_.set(prefix + "recv_wait_us",
@@ -457,6 +644,10 @@ StageWorker::flushGauges()
         registry_.set(prefix + "peak_activation_floats",
                       static_cast<double>(m.peakActivationFloats));
         registry_.set(prefix + "replay_us", m.replaySeconds * 1e6);
+        registry_.set(prefix + "replay_hidden_us",
+                      m.replayHiddenSeconds * 1e6);
+        registry_.set(prefix + "replay_critical_us",
+                      m.replayCriticalSeconds() * 1e6);
         registry_.set(prefix + "num_blocks",
                       static_cast<double>(chunks_[c].spec->numBlocks()));
     }
@@ -502,6 +693,16 @@ StageWorker::run()
 
     const std::vector<std::size_t> &order =
         sched_.deviceOrder[static_cast<std::size_t>(workerIdx_)];
+    if (opts_.overlapReplay) {
+        // Rank each backward op within this worker's device order:
+        // the overlap executor warms pending replays in ascending
+        // rank, i.e. the next backward this worker will run first.
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            const PipeOp &op = sched_.ops[order[k]];
+            if (op.kind == OpKind::Backward)
+                bwdRank_[{op.pos, op.microBatch}] = k;
+        }
+    }
     for (int step = 0; step < opts_.steps; ++step) {
         const int gstep = opts_.firstStep + step;
         if (adam)
@@ -542,6 +743,8 @@ StageWorker::run()
         }
         ADAPIPE_ASSERT(inflight_.empty(),
                        "in-flight micro-batches left after step");
+        ADAPIPE_ASSERT(pending_.empty(),
+                       "pending replays left after step");
 
         if (hasHead_)
             losses_.push_back(lossSum_ / opts_.microBatches);
@@ -556,18 +759,16 @@ StageWorker::run()
         watchdog_->markDone(workerIdx_);
 
     // Thread-level measurements land on the worker's first chunk
-    // (the only chunk when virtualStages == 1); replay *counts* are
-    // attributed exactly in runBackward.
+    // (the only chunk when virtualStages == 1); replay counts and
+    // times are attributed exactly per chunk in runBackward /
+    // warmOnePending.
     // Tear the engine down on this thread: helpers drain their
     // tensor-pool caches and exit before the worker joins.
     engine_.reset();
 
     chunks_.front().metrics.peakActivationFloats =
         threadPeakActivationFloats() - act_base;
-    for (const obs::SpanRecord &span : registry_.spans()) {
-        if (span.name == "checkpoint.replay")
-            chunks_.front().metrics.replaySeconds += span.durUs * 1e-6;
-    }
+    chunks_.front().metrics.overlapFirings = std::move(firings_);
     flushGauges();
 }
 
@@ -933,6 +1134,8 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
     if (metrics) {
         metrics->set("runtime.stages", p);
         metrics->set("runtime.virtual_stages", v);
+        metrics->set("runtime.overlap.enabled",
+                     opts.overlapReplay ? 1 : 0);
         metrics->set("runtime.intra_stage_threads",
                      opts.intraStageThreads);
         metrics->set("runtime.micro_batches", opts.microBatches);

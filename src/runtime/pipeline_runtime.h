@@ -36,6 +36,7 @@
 #ifndef ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H
 #define ADAPIPE_RUNTIME_PIPELINE_RUNTIME_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -118,6 +119,27 @@ struct RuntimeOptions
      */
     int intraStageThreads = 1;
     /**
+     * Overlapped checkpoint replay: while a worker is blocked in a
+     * channel wait (recv starvation or send backpressure), it issues
+     * the forward replay of recomputed units whose forward already
+     * ran but whose backward has not, ordered by the 1F1B device
+     * order (nearest backward first), so the recomputed activations
+     * are warm by backward time. Replay is a pure function of the
+     * saved boundary input and the parameters — both constant within
+     * a step — so losses stay bit-identical to lazy replay at any
+     * virtualStages / intraStageThreads setting; the knob trades
+     * activation-memory residency for critical-path replay time.
+     */
+    bool overlapReplay = false;
+    /**
+     * Test hook (requires overlapReplay): warm *all* pending replays
+     * at the start of every channel wait instead of one per idle
+     * tick. This makes the warm firing order a pure function of the
+     * schedule (no timing dependence), which is what the overlap
+     * determinism test pins down via StageMetrics::overlapFirings.
+     */
+    bool overlapDrainAll = false;
+    /**
      * Test hook: worker index to kill (-1 = disabled). The worker
      * throws after executing injectFailAfterOps forward/backward
      * ops, exercising the shutdown path peers observe as
@@ -176,23 +198,63 @@ struct StageMetrics
     std::int64_t bwdOps = 0;
     /** Summed compute time inside forward / backward ops. */
     double fwdSeconds = 0;
+    /**
+     * Summed wall time inside backward ops (the engine run). Lazy
+     * checkpoint replays fire inside the engine, so this still
+     * *contains* their time; use bwdComputeSeconds() for the
+     * replay-free backward compute — reporting the raw timer as
+     * "backward" double-counts replayCriticalSeconds().
+     */
     double bwdSeconds = 0;
-    /** Checkpoint replays executed during backward (recompute). */
+    /** Checkpoint replays executed for this chunk (warm + lazy). */
     std::int64_t replayOps = 0;
-    /** Summed time inside those replays (zero with obs off). */
+    /**
+     * Summed forward-replay time, warm + lazy. The lazy share is
+     * metered by the "checkpoint.replay_us" counter (zero with obs
+     * off); the warm share is wall-clocked directly.
+     */
     double replaySeconds = 0;
-    /** Time blocked sending into a full channel (backpressure). */
+    /** Replays issued early inside channel-wait bubbles (overlap). */
+    std::int64_t replayHiddenOps = 0;
+    /** Replay time hidden inside channel-wait bubbles. */
+    double replayHiddenSeconds = 0;
+    /** Time blocked sending into a full channel (backpressure).
+     *  Replay warmed during the wait counts as compute, not wait. */
     double sendBlockedSeconds = 0;
-    /** Time blocked waiting for inputs (starvation / bubbles). */
+    /** Time blocked waiting for inputs (starvation / bubbles).
+     *  Replay warmed during the wait counts as compute, not wait. */
     double recvWaitSeconds = 0;
     /**
      * Peak activation floats of the owning worker's thread;
      * thread-level, so with virtualStages > 1 it is attributed to
      * the worker's first chunk (chainPos < workers) and 0 elsewhere.
-     * replaySeconds is attributed the same way; replayOps counts are
-     * exact per chunk.
+     * replayOps / replaySeconds are exact per chunk.
      */
     std::int64_t peakActivationFloats = 0;
+    /**
+     * Warm firing log of the owning worker (attributed to its first
+     * chunk like peakActivationFloats): one entry per warmed unit,
+     * encoded pos * 1000000 + microBatch * 1000 + unitIndex, in
+     * firing order. With RuntimeOptions::overlapDrainAll the log is
+     * a pure function of the schedule; without it, the count per
+     * bubble is timing-dependent (the order still follows the device
+     * order's next-backward-first rule).
+     */
+    std::vector<std::int64_t> overlapFirings;
+
+    /** @return replay time left on the backward critical path. */
+    double
+    replayCriticalSeconds() const
+    {
+        return std::max(0.0, replaySeconds - replayHiddenSeconds);
+    }
+
+    /** @return backward compute with critical replay metered out. */
+    double
+    bwdComputeSeconds() const
+    {
+        return std::max(0.0, bwdSeconds - replayCriticalSeconds());
+    }
 };
 
 /** Result of one pipeline training run. */

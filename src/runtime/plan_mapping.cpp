@@ -99,6 +99,7 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
 
     StageMapping mapping;
     mapping.virtualStages = plan.virtualStages;
+    mapping.overlap = plan.overlap;
 
     // Decode the per-unit masks against the tiny LM's own layer
     // sequence; fall back to the method's uniform policy when the

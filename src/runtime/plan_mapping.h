@@ -44,6 +44,12 @@ struct StageMapping
     /** Copied from the plan; pass to RuntimeOptions::virtualStages. */
     int virtualStages = 1;
     /**
+     * Copied from PipelinePlan::overlap; pass to
+     * RuntimeOptions::overlapReplay so the runtime hides checkpoint
+     * replay the way the plan budgeted it.
+     */
+    bool overlap = false;
+    /**
      * Backward-engine workers per stage; pass to
      * RuntimeOptions::intraStageThreads. Plans do not encode the
      * knob (it never changes losses — the engine's reduction is

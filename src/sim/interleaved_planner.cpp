@@ -160,6 +160,9 @@ makeInterleavedPlan(const ProfiledModel &pm, PlanMethod method, int v,
         sp.savedUnits = c.recompute.savedUnits;
         sp.totalUnits = c.totalUnits;
         sp.savedMask = c.recompute.saved;
+        sp.overlapBubble = calc.overlapBubble(g);
+        sp.timeReplayHidden = c.replayHidden;
+        sp.timeReplayCritical = c.replayCritical;
         plan.stages.push_back(std::move(sp));
         times[g] = {c.fwd, c.bwd};
     }
@@ -202,6 +205,62 @@ makeInterleavedPlan(const ProfiledModel &pm, PlanMethod method, int v,
     result.ok = true;
     result.plan = std::move(plan);
     return result;
+}
+
+PlanResult
+makeOverlapPlan(const ProfiledModel &pm, PlanMethod method, int v,
+                StageCostOptions opts)
+{
+    ADAPIPE_OBS_SPAN(obs_span, "planner.make_overlap_plan");
+
+    // Pass 1: the lazy plan fixes the stage times the bubble budget
+    // is derived from.
+    PlanResult lazy = makeInterleavedPlan(pm, method, v, opts);
+    if (!lazy.ok)
+        return lazy;
+
+    const int p = pm.par.pipeline;
+    const int n = lazy.plan.microBatches;
+    const int chunks = v * p;
+
+    ParseResult<Schedule> built = tryBuildInterleaved1F1B(p, n, v);
+    if (!built.ok()) {
+        PlanResult result;
+        result.oomReason = built.error();
+        return result;
+    }
+    const Schedule schedule = std::move(built).value();
+
+    std::vector<StageTimes> times(chunks);
+    for (int g = 0; g < chunks; ++g)
+        times[g] = {lazy.plan.stages[g].timeFwd,
+                    lazy.plan.stages[g].timeBwd};
+    const SimResult sim = simulate(schedule, times, {});
+
+    // Each device's idle time, spread over its v chunks and the n
+    // micro-batches each chunk replays, is the per-micro-batch budget
+    // a chunk may hide replay in. The division is conservative — the
+    // runtime warms at most one micro-batch per bubble visit anyway.
+    StageCostOptions overlap_opts = opts;
+    overlap_opts.overlapBubblePerMb.assign(chunks, 0);
+    for (int g = 0; g < chunks; ++g) {
+        const Seconds idle =
+            std::max<Seconds>(0, sim.bubbleTime(g % p));
+        overlap_opts.overlapBubblePerMb[g] =
+            idle / (static_cast<double>(n) * v);
+    }
+
+    // Pass 2: re-plan under the discounted objective. Memory only
+    // ever shrinks under the discount (the solver saves a subset of
+    // what it would otherwise), so pass 2 cannot become infeasible
+    // when pass 1 was feasible — but report honestly if it somehow
+    // does.
+    PlanResult overlapped =
+        makeInterleavedPlan(pm, method, v, overlap_opts);
+    if (!overlapped.ok)
+        return overlapped;
+    overlapped.plan.overlap = true;
+    return overlapped;
 }
 
 PlanResult

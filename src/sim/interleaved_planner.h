@@ -56,6 +56,28 @@ PlanResult makeBestSchedulePlan(const ProfiledModel &pm,
                                 StageCostOptions opts = {});
 
 /**
+ * Two-pass overlapped-recomputation planner.
+ *
+ * Pass 1 builds the ordinary (lazy-replay) plan via
+ * makeInterleavedPlan. Its stage times are then run through the
+ * event simulator to read off each device's idle (bubble) time; each
+ * chunk gets a per-micro-batch share of its device's bubble as a
+ * replay budget (StageCostOptions::overlapBubblePerMb), and pass 2
+ * re-plans under the discounted knapsack objective: replay that the
+ * runtime can hide inside recv/send waits no longer counts against
+ * B_s, so the solver may *save less* (freeing memory) or shift the
+ * partition. The returned plan has PipelinePlan::overlap = true and
+ * carries the per-stage bubble / hidden / critical annotations the
+ * runtime and the predicted-vs-measured tables consume.
+ *
+ * Only meaningful for PlanMethod::AdaPipe / EvenPartition (the
+ * baselines' uniform policies ignore the budget); infeasible
+ * configurations report !ok exactly like makeInterleavedPlan.
+ */
+PlanResult makeOverlapPlan(const ProfiledModel &pm, PlanMethod method,
+                           int v, StageCostOptions opts = {});
+
+/**
  * Exact peak in-flight micro-batches per chain position, read off a
  * static schedule's per-device order (+1 at each forward, -1 at each
  * backward of the position). Valid because every position executes

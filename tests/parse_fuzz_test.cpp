@@ -35,12 +35,15 @@ const char *const kValidPlan = R"({
                "sequence_parallel": true, "flash_attention": true},
   "train": {"micro_batch": 1, "seq_len": 128, "global_batch": 4},
   "micro_batches": 4,
+  "overlap": true,
   "timing": {"warmup": 1.0, "ending": 1.0, "steady_per_mb": 0.5,
              "total": 4.0},
   "stages": [
     {"first_layer": 0, "last_layer": 1, "time_fwd": 0.1,
      "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 2,
-     "total_units": 2, "saved_mask": [true, true]},
+     "total_units": 2, "saved_mask": [true, true],
+     "overlap_bubble": 0.25, "replay_hidden": 0.05,
+     "replay_critical": 0.0},
     {"first_layer": 2, "last_layer": 3, "time_fwd": 0.1,
      "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
      "total_units": 2, "saved_mask": [true, false]}
@@ -186,6 +189,14 @@ TEST(ParseFuzz, WrongTypesNameTheField)
          "plan.parallel.pipeline"},
         {kValidPlan, "\"saved_mask\": [true, false]",
          "\"saved_mask\": [true]", "saved_mask"},
+        {kValidPlan, "\"overlap\": true", "\"overlap\": 42",
+         "overlap"},
+        {kValidPlan, "\"overlap_bubble\": 0.25",
+         "\"overlap_bubble\": -1", "overlap_bubble"},
+        {kValidPlan, "\"replay_hidden\": 0.05",
+         "\"replay_hidden\": \"lots\"", "replay_hidden"},
+        {kValidPlan, "\"replay_critical\": 0.0",
+         "\"replay_critical\": -0.1", "replay_critical"},
         {kValidProfile, "\"kind\": \"gemm\"", "\"kind\": \"magic\"",
          "profile.layers[1][0].kind"},
         {kValidProfile, "\"time_fwd\": 0.3", "\"time_fwd\": -0.3",

@@ -190,6 +190,124 @@ TEST(RecomputeOracle, ZeroCostUnitsSitOutsideTheKnapsack)
     }
 }
 
+TEST(RecomputeOracle, ZeroBubbleMatchesTheLegacyObjective)
+{
+    // overlapBubble = 0 must be a perfect no-op: identical saved
+    // vectors and bookkeeping for both solvers, with the new
+    // hidden/critical fields reporting the whole replay as critical.
+    Rng rng(7);
+    std::vector<UnitProfile> units;
+    for (int i = 0; i < 9; ++i)
+        units.push_back(unit(rng.uniform(0.1, 3.0),
+                             256 * rng.uniformInt(1, 16),
+                             rng.uniform() < 0.15));
+    const std::int64_t budget = 256 * 20;
+
+    RecomputeDpOptions with_bubble;
+    with_bubble.overlapBubble = 0;
+    const auto legacy = solveRecomputeKnapsack(units, budget);
+    const auto dp = solveRecomputeKnapsack(units, budget, with_bubble);
+    EXPECT_EQ(dp.saved, legacy.saved);
+    EXPECT_EQ(dp.savedBytes, legacy.savedBytes);
+    EXPECT_DOUBLE_EQ(dp.hiddenReplayTime, 0.0);
+    EXPECT_DOUBLE_EQ(dp.criticalReplayTime, legacy.criticalReplayTime);
+
+    const auto bf2 = bruteForceRecompute(units, budget);
+    const auto bf3 = bruteForceRecompute(units, budget, 0);
+    EXPECT_EQ(bf3.saved, bf2.saved);
+    EXPECT_DOUBLE_EQ(bf3.hiddenReplayTime, 0.0);
+}
+
+TEST(RecomputeOracle, BubbleCoveringAllReplaySavesNothing)
+{
+    // A bubble at least as large as every optional unit's replay
+    // makes saving pointless: the solver must spend zero memory and
+    // report the whole replay as hidden.
+    std::vector<UnitProfile> units{unit(1.0, 1024), unit(2.0, 2048),
+                                   unit(0.5, 512, true)};
+    RecomputeDpOptions opts;
+    opts.overlapBubble = 10.0; // >> 1.0 + 2.0 of optional replay
+    const auto dp =
+        solveRecomputeKnapsack(units, 1 << 20, opts);
+    EXPECT_FALSE(dp.saved[0]);
+    EXPECT_FALSE(dp.saved[1]);
+    EXPECT_TRUE(dp.saved[2]);
+    EXPECT_EQ(dp.savedBytes, 0u);
+    EXPECT_DOUBLE_EQ(dp.criticalReplayTime, 0.0);
+    EXPECT_DOUBLE_EQ(dp.hiddenReplayTime, 3.0);
+
+    const auto bf = bruteForceRecompute(units, 1 << 20, 10.0);
+    EXPECT_EQ(bf.saved, dp.saved);
+    EXPECT_DOUBLE_EQ(bf.criticalReplayTime, 0.0);
+}
+
+TEST(RecomputeOracle, DiscountedDpMatchesBruteForce)
+{
+    // Random instances with exactly-representable quarter-integer
+    // times and 256-multiple sizes (GCD quantisation lossless, float
+    // sums exact), bubbles offset by 1/8 so no comparison ever lands
+    // on a tie: the DP's discounted solution must match the
+    // lexicographic brute force bit for bit.
+    for (int seed = 1; seed <= 24; ++seed) {
+        Rng rng(seed);
+        const int n = 4 + seed % 7;
+        std::vector<UnitProfile> units;
+        std::int64_t total = 0;
+        Seconds total_fwd = 0;
+        for (int i = 0; i < n; ++i) {
+            const bool always = rng.uniform() < 0.15;
+            // memSaved == 0 keeps the unit outside the knapsack but
+            // inside the fixed replay the bubble absorbs first.
+            const Bytes mem =
+                rng.uniform() < 0.2
+                    ? 0
+                    : static_cast<Bytes>(256 * rng.uniformInt(1, 8));
+            const Seconds t = 0.25 * rng.uniformInt(1, 16);
+            units.push_back(unit(t, mem, always));
+            if (!always) {
+                total += static_cast<std::int64_t>(mem);
+                total_fwd += t;
+            }
+        }
+        const std::int64_t budget =
+            256 * rng.uniformInt(0, static_cast<int>(total / 256));
+        const Seconds bubble =
+            0.25 * rng.uniformInt(0, static_cast<int>(
+                                         total_fwd * 4 + 4)) +
+            0.125;
+
+        RecomputeDpOptions opts;
+        opts.overlapBubble = bubble;
+        const auto dp = solveRecomputeKnapsack(units, budget, opts);
+        const auto bf = bruteForceRecompute(units, budget, bubble);
+        checkSelfConsistent(units, dp);
+
+        EXPECT_DOUBLE_EQ(dp.criticalReplayTime, bf.criticalReplayTime)
+            << "seed " << seed << " bubble " << bubble << " budget "
+            << budget;
+        EXPECT_DOUBLE_EQ(dp.hiddenReplayTime, bf.hiddenReplayTime)
+            << "seed " << seed;
+        EXPECT_LE(dp.savedBytes,
+                  static_cast<Bytes>(std::max<std::int64_t>(budget, 0)));
+        if (bf.criticalReplayTime == 0.0) {
+            // Zero critical replay is achievable: both solvers must
+            // then spend the *minimal* memory that achieves it.
+            EXPECT_EQ(dp.savedBytes, bf.savedBytes)
+                << "seed " << seed << " bubble " << bubble;
+        }
+        // hidden + critical always reconstructs the full replay of
+        // the unsaved units.
+        Seconds unsaved = 0;
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            if (!units[i].alwaysSaved && !dp.saved[i])
+                unsaved += units[i].timeFwd;
+        }
+        EXPECT_NEAR(dp.hiddenReplayTime + dp.criticalReplayTime,
+                    unsaved, 1e-9)
+            << "seed " << seed;
+    }
+}
+
 TEST(RecomputeOracle, MatchesLibraryBruteForce)
 {
     // Cross-check the two oracles against each other on a mixed
