@@ -12,13 +12,17 @@
  * up as numbers, not vibes.
  *
  * Every configuration runs at intra_stage_threads 1 and 4 (the
- * backward-engine worker count per stage) and with overlapped
- * recomputation off and on. The engine's reduction is
- * bit-deterministic and eager replay computes the same floats as
- * lazy replay, so all four sibling runs must report the same
- * final_loss — CI asserts that — while bwd_seconds records the
- * intra-stage speedup and replay_hidden_us the replay time moved
- * off the backward critical path into recv/send bubbles.
+ * backward-engine worker count per stage), with overlapped
+ * recomputation off and on, and with host activation offload off
+ * and on (every other block staged to host by the worker's
+ * HostStager and prefetched back before its backward). The
+ * engine's reduction is bit-deterministic, eager replay computes
+ * the same floats as lazy replay, and a fetched-back activation is
+ * the same bytes that were evicted, so all sibling runs must
+ * report the same final_loss — CI asserts that — while bwd_seconds
+ * records the intra-stage speedup, replay_hidden_us the replay
+ * time moved off the backward critical path into recv/send
+ * bubbles, and offload_bytes_evicted the host-staging traffic.
  *
  * Usage:
  *   runtime_throughput                 # full grid, BENCH_runtime.json
@@ -53,6 +57,7 @@ struct ConfigResult
     int virtualStages = 1;
     int intraStageThreads = 1;
     bool overlap = false;
+    bool offload = false;
     std::string recompute;
     double tokensPerSecond = 0;
     double wallSeconds = 0;
@@ -86,7 +91,37 @@ stageJson(const StageMetrics &sm)
               JsonValue::number(sm.recvWaitSeconds));
     stage.set("peak_activation_floats",
               JsonValue::integer(sm.peakActivationFloats));
+    stage.set("offload_evictions",
+              JsonValue::integer(sm.offloadEvictions));
+    stage.set("offload_fetches",
+              JsonValue::integer(sm.offloadFetches));
+    stage.set("offload_fetch_misses",
+              JsonValue::integer(sm.offloadFetchMisses));
+    stage.set("offload_bytes_evicted",
+              JsonValue::integer(static_cast<std::int64_t>(
+                  sm.offloadBytesEvicted)));
+    stage.set("offload_bytes_fetched",
+              JsonValue::integer(static_cast<std::int64_t>(
+                  sm.offloadBytesFetched)));
     return stage;
+}
+
+/**
+ * Flags every other block (globally even positions) for host
+ * offload — the tight-memory configuration: half the pipeline's
+ * activations live on the host between forward and backward.
+ */
+std::vector<StageSpec>
+withAlternatingOffload(std::vector<StageSpec> specs)
+{
+    int b = 0;
+    for (StageSpec &spec : specs) {
+        spec.offload.assign(spec.numBlocks(), false);
+        for (int i = 0; i < spec.numBlocks(); ++i, ++b)
+            if (b % 2 == 0)
+                spec.offload[i] = true;
+    }
+    return specs;
 }
 
 JsonValue
@@ -98,6 +133,7 @@ configJson(const ConfigResult &r)
     cfg.set("intra_stage_threads",
             JsonValue::integer(r.intraStageThreads));
     cfg.set("overlap", JsonValue::boolean(r.overlap));
+    cfg.set("offload", JsonValue::boolean(r.offload));
     cfg.set("recompute", JsonValue::string(r.recompute));
     cfg.set("tokens_per_second",
             JsonValue::number(r.tokensPerSecond));
@@ -112,6 +148,25 @@ configJson(const ConfigResult &r)
     }
     cfg.set("replay_hidden_us", JsonValue::number(hidden * 1e6));
     cfg.set("replay_critical_us", JsonValue::number(critical * 1e6));
+    // Host-staging aggregates for the release gate: offload runs
+    // must actually move bytes, non-offload runs must move none.
+    std::int64_t evictions = 0, fetch_misses = 0;
+    std::uint64_t bytes_evicted = 0, bytes_fetched = 0;
+    for (const StageMetrics &sm : r.stageMetrics) {
+        evictions += sm.offloadEvictions;
+        fetch_misses += sm.offloadFetchMisses;
+        bytes_evicted += sm.offloadBytesEvicted;
+        bytes_fetched += sm.offloadBytesFetched;
+    }
+    cfg.set("offload_evictions", JsonValue::integer(evictions));
+    cfg.set("offload_fetch_misses",
+            JsonValue::integer(fetch_misses));
+    cfg.set("offload_bytes_evicted",
+            JsonValue::integer(
+                static_cast<std::int64_t>(bytes_evicted)));
+    cfg.set("offload_bytes_fetched",
+            JsonValue::integer(
+                static_cast<std::int64_t>(bytes_fetched)));
 
     JsonValue pool = JsonValue::object();
     pool.set("heap_allocs", JsonValue::integer(r.pool.heapAllocs));
@@ -192,8 +247,12 @@ main(int argc, char **argv)
             for (std::size_t mi = 0; mi < 3; ++mi) {
                 for (const int t : thread_counts) {
                 for (const bool ov : {false, true}) {
-                    const std::vector<StageSpec> specs =
+                for (const bool off : {false, true}) {
+                    std::vector<StageSpec> specs =
                         evenStageSpecs(cfg.blocks, v * p, modes[mi]);
+                    if (off)
+                        specs = withAlternatingOffload(
+                            std::move(specs));
                     RuntimeOptions run_opts = opts;
                     run_opts.virtualStages = v;
                     run_opts.intraStageThreads = t;
@@ -211,6 +270,7 @@ main(int argc, char **argv)
                                   << " recompute=" << mode_names[mi]
                                   << " threads=" << t
                                   << " overlap=" << ov
+                                  << " offload=" << off
                                   << "): " << run.error << "\n";
                         return 1;
                     }
@@ -220,6 +280,7 @@ main(int argc, char **argv)
                     r.virtualStages = v;
                     r.intraStageThreads = t;
                     r.overlap = ov;
+                    r.offload = off;
                     r.recompute = mode_names[mi];
                     r.wallSeconds = run.wallSeconds;
                     const double tokens =
@@ -245,12 +306,15 @@ main(int argc, char **argv)
                         << "p=" << p << " v=" << v
                         << " recompute=" << mode_names[mi]
                         << " threads=" << t
-                        << " overlap=" << (ov ? "on" : "off") << ": "
+                        << " overlap=" << (ov ? "on" : "off")
+                        << " offload=" << (off ? "on" : "off")
+                        << ": "
                         << static_cast<long long>(r.tokensPerSecond)
                         << " tok/s, " << r.pool.heapAllocs
                         << " heap allocs / " << r.pool.reuses
                         << " reuses, final loss " << r.finalLoss
                         << "\n";
+                }
                 }
                 }
             }

@@ -1,5 +1,7 @@
 #include "autograd/checkpoint.h"
 
+#include <algorithm>
+#include <mutex>
 #include <unordered_set>
 #include <utility>
 
@@ -26,11 +28,68 @@ struct ReplayState
     Variable warmIn;
     /** Recorded segment output; root of the rebuilt sub-graph. */
     Variable warmOut;
+
+    /** @name Host-offload tier (checkpointResident() only)
+     *  @{ */
+    /** Marks a resident checkpoint eligible for evict()/fetch(). Set
+     *  before the state is published, immutable afterwards, so the
+     *  plain checkpoint() path never takes the mutex below. */
+    bool offloadable = false;
+    /** Guards everything below. Held across a *whole* evict or
+     *  fetch, so the backward closure (which locks it first) either
+     *  sees a fully resident graph or a fully evicted one. */
+    std::mutex mu;
+    /** Backward consumed (or dropped) the graph; transfers no-op. */
+    bool consumed = false;
+    /** Interior activations currently live in hostStage, not on
+     *  the graph nodes. */
+    bool evicted = false;
+    /** One staged interior tensor: owning node, shape, host copy. */
+    struct HostTensor
+    {
+        std::shared_ptr<Variable::Impl> node;
+        std::vector<int> shape;
+        std::vector<float> data;
+    };
+    std::vector<HostTensor> hostStage;
+    /** @} */
 };
 
 namespace {
 
 thread_local ReplayCollector *g_collector = nullptr;
+thread_local OffloadCollector *g_offload_collector = nullptr;
+
+/**
+ * Interior nodes of the warm graph: every non-leaf reachable from
+ * warmOut via parent edges, excluding warmOut itself (its value is
+ * also the checkpoint node's output and must stay on device). Leaves
+ * (the recorded input copy, parameters) are excluded too — the 1F1B
+ * schedule keeps boundary activations and weights resident.
+ */
+std::vector<std::shared_ptr<Variable::Impl>>
+interiorNodes(const ReplayState &st)
+{
+    std::vector<std::shared_ptr<Variable::Impl>> out;
+    if (!st.warmOut.defined())
+        return out;
+    std::unordered_set<const Variable::Impl *> seen;
+    std::vector<std::shared_ptr<Variable::Impl>> stack;
+    stack.push_back(st.warmOut.impl());
+    seen.insert(st.warmOut.impl().get());
+    while (!stack.empty()) {
+        std::shared_ptr<Variable::Impl> node =
+            std::move(stack.back());
+        stack.pop_back();
+        if (!node->isLeaf && node.get() != st.warmOut.impl().get())
+            out.push_back(node);
+        for (const auto &parent : node->parents) {
+            if (parent && seen.insert(parent.get()).second)
+                stack.push_back(parent);
+        }
+    }
+    return out;
+}
 
 /**
  * Run the forward replay once. Emits the same "checkpoint.replays"
@@ -58,6 +117,101 @@ ensureWarm(ReplayState &st)
     // The saved input stays alive through warmIn / the node's parent
     // list; drop this extra reference.
     st.input = Variable();
+}
+
+/**
+ * Build the checkpoint output node over @p state. Shared by
+ * checkpoint() and checkpointResident(): the backward closure is the
+ * same graph-consuming differentiation either way; resident states
+ * additionally gate it on residency (consume the warm graph, or drop
+ * it and fall back to a replay when the activations are still on
+ * host).
+ */
+Variable
+makeCheckpointNode(std::shared_ptr<ReplayState> state,
+                   Tensor out_value, std::vector<Variable> parents)
+{
+    return Variable::makeNode(
+        std::move(out_value), std::move(parents),
+        [state](Variable::Impl &node) {
+            // Recompute the segment with recording enabled (unless a
+            // warm() already did), then backpropagate the downstream
+            // gradient through the rebuilt sub-graph — entirely on
+            // this thread, with leaf accumulation redirected into a
+            // private capture map so concurrent replays never touch
+            // shared parameter grads. The captured addends come back
+            // as ordered lists the outer engine applies in its
+            // deterministic reduction, reproducing the eager engine's
+            // float sequence exactly (a replayed parameter used twice
+            // yields two addends, added one after the other as before
+            // — summing them here first would reassociate the
+            // floats).
+            if (state->offloadable) {
+                // Consume-or-fallback gate. The lock orders this
+                // against any in-flight transfer: a fetch holding
+                // the mutex finishes first and we consume the
+                // restored graph; an unfinished (or never issued)
+                // fetch leaves the segment evicted and we drop the
+                // cold graph, falling back to a recompute replay
+                // from the kept input. Both paths perform
+                // bit-identical float operations.
+                std::lock_guard<std::mutex> lock(state->mu);
+                state->consumed = true;
+                if (state->evicted) {
+                    state->hostStage.clear();
+                    state->warmIn = Variable();
+                    state->warmOut = Variable();
+                    state->warmed = false;
+                    ADAPIPE_OBS_COUNT("offload.fetch_miss", 1);
+                }
+            }
+            ensureWarm(*state);
+            // Resident states keep the input for the fallback
+            // replay; it is no longer needed once the graph is
+            // consumed (ensureWarm already cleared it on replay).
+            state->input = Variable();
+            Variable in_copy = std::move(state->warmIn);
+            Variable out = std::move(state->warmOut);
+            state->warmIn = Variable();
+            state->warmOut = Variable();
+            ADAPIPE_ASSERT(out.value().sameShape(node.value),
+                           "checkpoint recompute shape mismatch");
+
+            engine_detail::GradCapture capture;
+            capture[in_copy.impl().get()];
+            for (std::size_t i = 1; i < node.parents.size(); ++i) {
+                if (node.parents[i])
+                    capture[node.parents[i].get()];
+            }
+            engine_detail::backwardInline(out.impl(), node.grad,
+                                          &capture);
+
+            autograd_detail::BackwardResult result(
+                node.parents.size());
+            // Input slot: the eager engine accumulated the replay's
+            // input gradient into one zero-initialised buffer and
+            // added it to the real parent once; fold the captured
+            // list the same way.
+            if (node.parents[0]) {
+                Tensor folded(in_copy.value().shape());
+                for (const Tensor &part :
+                     capture[in_copy.impl().get()])
+                    folded.add_(part);
+                result[0].push_back(std::move(folded));
+            }
+            // Parameter slots receive their captured lists verbatim;
+            // a parameter listed in several slots routes everything
+            // through its first slot (the map holds one list per
+            // leaf).
+            std::unordered_set<Variable::Impl *> routed;
+            for (std::size_t i = 1; i < node.parents.size(); ++i) {
+                Variable::Impl *param = node.parents[i].get();
+                if (!param || !routed.insert(param).second)
+                    continue;
+                result[i] = std::move(capture[param]);
+            }
+            return result;
+        });
 }
 
 } // namespace
@@ -144,64 +298,8 @@ checkpoint(const Segment &segment, const Variable &input,
     state->segment = segment;
     state->input = input;
 
-    Variable result = Variable::makeNode(
-        std::move(out_value), std::move(parents),
-        [state](Variable::Impl &node) {
-            // Recompute the segment with recording enabled (unless a
-            // warm() already did), then backpropagate the downstream
-            // gradient through the rebuilt sub-graph — entirely on
-            // this thread, with leaf accumulation redirected into a
-            // private capture map so concurrent replays never touch
-            // shared parameter grads. The captured addends come back
-            // as ordered lists the outer engine applies in its
-            // deterministic reduction, reproducing the eager engine's
-            // float sequence exactly (a replayed parameter used twice
-            // yields two addends, added one after the other as before
-            // — summing them here first would reassociate the
-            // floats).
-            checkpoint_detail::ensureWarm(*state);
-            Variable in_copy = std::move(state->warmIn);
-            Variable out = std::move(state->warmOut);
-            state->warmIn = Variable();
-            state->warmOut = Variable();
-            ADAPIPE_ASSERT(out.value().sameShape(node.value),
-                           "checkpoint recompute shape mismatch");
-
-            engine_detail::GradCapture capture;
-            capture[in_copy.impl().get()];
-            for (std::size_t i = 1; i < node.parents.size(); ++i) {
-                if (node.parents[i])
-                    capture[node.parents[i].get()];
-            }
-            engine_detail::backwardInline(out.impl(), node.grad,
-                                          &capture);
-
-            autograd_detail::BackwardResult result(
-                node.parents.size());
-            // Input slot: the eager engine accumulated the replay's
-            // input gradient into one zero-initialised buffer and
-            // added it to the real parent once; fold the captured
-            // list the same way.
-            if (node.parents[0]) {
-                Tensor folded(in_copy.value().shape());
-                for (const Tensor &part :
-                     capture[in_copy.impl().get()])
-                    folded.add_(part);
-                result[0].push_back(std::move(folded));
-            }
-            // Parameter slots receive their captured lists verbatim;
-            // a parameter listed in several slots routes everything
-            // through its first slot (the map holds one list per
-            // leaf).
-            std::unordered_set<Variable::Impl *> routed;
-            for (std::size_t i = 1; i < node.parents.size(); ++i) {
-                Variable::Impl *param = node.parents[i].get();
-                if (!param || !routed.insert(param).second)
-                    continue;
-                result[i] = std::move(capture[param]);
-            }
-            return result;
-        });
+    Variable result = checkpoint_detail::makeCheckpointNode(
+        state, std::move(out_value), std::move(parents));
 
     // Only differentiable nodes can ever replay; constant results
     // (grads disabled, no parent requiring them) need no handle.
@@ -209,6 +307,142 @@ checkpoint(const Segment &segment, const Variable &input,
         result.impl()->backwardFn) {
         checkpoint_detail::g_collector->handles_.push_back(
             ReplayHandle(state));
+    }
+    return result;
+}
+
+OffloadHandle::OffloadHandle() = default;
+OffloadHandle::~OffloadHandle() = default;
+OffloadHandle::OffloadHandle(const OffloadHandle &) = default;
+OffloadHandle &
+OffloadHandle::operator=(const OffloadHandle &) = default;
+OffloadHandle::OffloadHandle(OffloadHandle &&) noexcept = default;
+OffloadHandle &
+OffloadHandle::operator=(OffloadHandle &&) noexcept = default;
+
+OffloadHandle::OffloadHandle(
+    std::shared_ptr<checkpoint_detail::ReplayState> state)
+    : state_(std::move(state))
+{
+}
+
+std::size_t
+OffloadHandle::evict() const
+{
+    if (!state_ || !state_->offloadable)
+        return 0;
+    checkpoint_detail::ReplayState &st = *state_;
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.consumed || st.evicted || !st.warmed)
+        return 0;
+    std::size_t bytes = 0;
+    for (auto &node : checkpoint_detail::interiorNodes(st)) {
+        Tensor &value = node->value;
+        if (value.numel() == 0)
+            continue;
+        checkpoint_detail::ReplayState::HostTensor ht;
+        ht.shape = value.shape();
+        ht.data.assign(value.data().begin(), value.data().end());
+        bytes += ht.data.size() * sizeof(float);
+        // The device buffer goes back to the pool; the meter must
+        // follow (VarImpl's destructor subtracts whatever the node
+        // holds at death, which is nothing until fetch()).
+        autograd_detail::meterAdjust(-value.numel());
+        value = Tensor();
+        ht.node = std::move(node);
+        st.hostStage.push_back(std::move(ht));
+    }
+    st.evicted = true;
+    return bytes;
+}
+
+std::size_t
+OffloadHandle::fetch() const
+{
+    if (!state_)
+        return 0;
+    checkpoint_detail::ReplayState &st = *state_;
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.consumed || !st.evicted)
+        return 0;
+    std::size_t bytes = 0;
+    for (auto &ht : st.hostStage) {
+        Tensor value = Tensor::uninitialized(ht.shape);
+        std::copy(ht.data.begin(), ht.data.end(),
+                  value.data().begin());
+        bytes += ht.data.size() * sizeof(float);
+        autograd_detail::meterAdjust(value.numel());
+        ht.node->value = std::move(value);
+    }
+    st.hostStage.clear();
+    st.evicted = false;
+    return bytes;
+}
+
+bool
+OffloadHandle::resident() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return !state_->evicted;
+}
+
+OffloadCollector::OffloadCollector()
+    : previous_(checkpoint_detail::g_offload_collector)
+{
+    checkpoint_detail::g_offload_collector = this;
+}
+
+OffloadCollector::~OffloadCollector()
+{
+    checkpoint_detail::g_offload_collector = previous_;
+}
+
+std::vector<OffloadHandle>
+OffloadCollector::take()
+{
+    std::vector<OffloadHandle> out = std::move(handles_);
+    handles_.clear();
+    return out;
+}
+
+Variable
+checkpointResident(const Segment &segment, const Variable &input,
+                   const std::vector<Variable> &params)
+{
+    ADAPIPE_ASSERT(input.defined(),
+                   "checkpointResident needs a defined input");
+
+    auto state =
+        std::make_shared<checkpoint_detail::ReplayState>();
+    state->segment = segment;
+    // Kept until backward (unlike checkpoint(), which drops it on
+    // replay): the fetch-miss fallback replays from it.
+    state->input = input;
+    state->offloadable = true;
+
+    // Record the segment *with* gradients: the graph built here is
+    // float-identical to the one a warm() replay would rebuild, so
+    // backward can consume it directly — or drop it and replay when
+    // the staged activations miss their fetch deadline.
+    state->warmed = true;
+    state->warmIn = input.detach(true);
+    state->warmOut = segment(state->warmIn);
+    Tensor out_value = state->warmOut.value();
+
+    std::vector<Variable> parents;
+    parents.push_back(input);
+    for (const auto &p : params)
+        parents.push_back(p);
+
+    Variable result = checkpoint_detail::makeCheckpointNode(
+        state, std::move(out_value), std::move(parents));
+
+    if (checkpoint_detail::g_offload_collector && result.impl() &&
+        result.impl()->backwardFn) {
+        checkpoint_detail::g_offload_collector->handles_.push_back(
+            OffloadHandle(state));
     }
     return result;
 }

@@ -20,6 +20,16 @@
  * only the cheap differentiation of the rebuilt sub-graph for
  * backward time (Chen et al., "Optimizing Large Model Training
  * through Overlapped Activation Recomputation").
+ *
+ * Host offload: checkpointResident() is the third per-unit choice.
+ * It records the segment's graph at forward time (warm from birth)
+ * and hands out an OffloadHandle whose evict() stages every interior
+ * activation to host memory — releasing the device buffers to the
+ * tensor pool — and whose fetch() copies them back bit-exactly. A
+ * backward that arrives while the activations are still on host
+ * (the prefetch missed its deadline) drops the cold graph and falls
+ * back to a plain recompute replay from the kept input, so losses
+ * never depend on transfer timing.
  */
 
 #ifndef ADAPIPE_AUTOGRAD_CHECKPOINT_H
@@ -117,6 +127,85 @@ class ReplayCollector
 };
 
 /**
+ * Handle to one resident (host-offloadable) checkpoint segment,
+ * produced by checkpointResident() via an OffloadCollector.
+ *
+ * Threading contract: evict() and fetch() may run on any thread
+ * (the runtime's host-stager thread); each holds the segment's
+ * state mutex across the whole transfer, and the backward closure
+ * takes the same mutex before touching the graph, so a backward
+ * racing a transfer either sees the fully restored graph or takes
+ * the recompute fallback — never a half-staged graph.
+ */
+class OffloadHandle
+{
+  public:
+    OffloadHandle();
+    ~OffloadHandle();
+    OffloadHandle(const OffloadHandle &);
+    OffloadHandle &operator=(const OffloadHandle &);
+    OffloadHandle(OffloadHandle &&) noexcept;
+    OffloadHandle &operator=(OffloadHandle &&) noexcept;
+
+    /**
+     * Stage the segment's interior activations to host memory,
+     * releasing their device buffers to the tensor pool.
+     * @return bytes moved (0 when already evicted, already consumed
+     *         by backward, or the handle is empty)
+     */
+    std::size_t evict() const;
+
+    /**
+     * Copy staged activations back into their graph nodes
+     * (bit-exact float round-trip).
+     * @return bytes moved (0 unless the segment is currently evicted)
+     */
+    std::size_t fetch() const;
+
+    /** @return whether the activations currently live on device. */
+    bool resident() const;
+
+    /** @return whether the handle points at a live segment. */
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend Variable checkpointResident(const Segment &,
+                                       const Variable &,
+                                       const std::vector<Variable> &);
+    explicit OffloadHandle(
+        std::shared_ptr<checkpoint_detail::ReplayState> state);
+
+    std::shared_ptr<checkpoint_detail::ReplayState> state_;
+};
+
+/**
+ * RAII collector of OffloadHandles, mirroring ReplayCollector:
+ * while one is installed on a thread, every checkpointResident()
+ * call on that thread that produces a differentiable node registers
+ * a handle with the innermost collector. Nests; strictly
+ * thread-local.
+ */
+class OffloadCollector
+{
+  public:
+    OffloadCollector();
+    ~OffloadCollector();
+
+    OffloadCollector(const OffloadCollector &) = delete;
+    OffloadCollector &operator=(const OffloadCollector &) = delete;
+
+    /** Handles registered since the last take(), creation order. */
+    std::vector<OffloadHandle> take();
+
+  private:
+    friend Variable checkpointResident(const Segment &,
+                                       const Variable &,
+                                       const std::vector<Variable> &);
+    std::vector<OffloadHandle> handles_;
+    OffloadCollector *previous_;
+};
+
+/**
  * Run @p segment with recomputation: only the segment's input and
  * output survive the forward pass.
  *
@@ -134,6 +223,24 @@ Variable checkpoint(const Segment &segment, const Variable &input);
  */
 Variable checkpoint(const Segment &segment, const Variable &input,
                     const std::vector<Variable> &params);
+
+/**
+ * Run @p segment as a *resident* checkpoint: the segment's graph is
+ * recorded during the forward pass (warm from birth) so its interior
+ * activations stay on device — until an OffloadHandle evicts them to
+ * host. Backward differentiates the recorded graph when it is
+ * resident and falls back to a recompute replay from the kept input
+ * when it is not; both paths perform bit-identical float operations,
+ * so gradients match checkpoint() and the plain forward exactly.
+ *
+ * @param segment the function to record; may capture parameters
+ * @param input segment input (retained for the fallback replay)
+ * @param params parameters the segment touches (gradient routing)
+ * @return the segment output, wired into the surrounding graph
+ */
+Variable checkpointResident(const Segment &segment,
+                            const Variable &input,
+                            const std::vector<Variable> &params);
 
 } // namespace adapipe
 

@@ -212,6 +212,14 @@ TransformerBlock::forward(const Variable &x,
     ADAPIPE_PANIC("unreachable recompute mode");
 }
 
+Variable
+TransformerBlock::forwardOffload(const Variable &x) const
+{
+    return checkpointResident(
+        [this](const Variable &in) { return ffnPart(attnPart(in)); },
+        x, params());
+}
+
 std::vector<Variable>
 TransformerBlock::params() const
 {
@@ -285,6 +293,14 @@ TinyLM::blockForward(int b, const Variable &h,
     ADAPIPE_ASSERT(b >= 0 && b < static_cast<int>(blocks_.size()),
                    "block index ", b, " out of range");
     return blocks_[static_cast<std::size_t>(b)].forward(h, recompute);
+}
+
+Variable
+TinyLM::blockForwardOffload(int b, const Variable &h) const
+{
+    ADAPIPE_ASSERT(b >= 0 && b < static_cast<int>(blocks_.size()),
+                   "block index ", b, " out of range");
+    return blocks_[static_cast<std::size_t>(b)].forwardOffload(h);
 }
 
 Variable

@@ -144,6 +144,14 @@ class TransformerBlock
      */
     Variable forward(const Variable &x, BlockRecompute recompute) const;
 
+    /**
+     * Forward with the whole block recorded as one resident
+     * checkpoint whose interior activations can be staged to host
+     * (checkpointResident / OffloadHandle). Bit-identical floats to
+     * forward(x, BlockRecompute::None).
+     */
+    Variable forwardOffload(const Variable &x) const;
+
     std::vector<Variable> params() const;
 
   private:
@@ -203,6 +211,10 @@ class TinyLM
     /** Forward of block @p b on activation @p h. */
     Variable blockForward(int b, const Variable &h,
                           BlockRecompute recompute) const;
+
+    /** Forward of block @p b as a host-offloadable resident
+     *  checkpoint (see TransformerBlock::forwardOffload). */
+    Variable blockForwardOffload(int b, const Variable &h) const;
 
     /** Final norm + vocabulary head + mean cross-entropy. */
     Variable headLoss(const Variable &h,

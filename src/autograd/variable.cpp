@@ -54,6 +54,12 @@ ensureGradBuffer(VarImpl &node)
     }
 }
 
+void
+meterAdjust(std::int64_t n)
+{
+    meterAdd(n);
+}
+
 } // namespace autograd_detail
 
 NoGradGuard::NoGradGuard() : previous_(grad_enabled)

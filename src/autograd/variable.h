@@ -85,6 +85,15 @@ struct VarImpl
  */
 void ensureGradBuffer(VarImpl &node);
 
+/**
+ * Adjust the activation meters by @p n floats (negative to release).
+ * Host-offload eviction moves a live node's value storage off the
+ * "device" and fetch moves it back; VarImpl's destructor subtracts
+ * whatever the node holds at death, so those moves must re-meter
+ * explicitly to keep live/peak counts exact.
+ */
+void meterAdjust(std::int64_t n);
+
 } // namespace autograd_detail
 
 /**

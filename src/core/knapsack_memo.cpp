@@ -32,6 +32,18 @@ memoKey(const std::vector<UnitProfile> &units,
     appendBytes(key, static_cast<std::int32_t>(opts.maxBuckets));
     key.push_back(opts.useGcd ? 1 : 0);
     appendBytes(key, opts.overlapBubble);
+    key.push_back(opts.offload.enabled ? 1 : 0);
+    if (opts.offload.enabled) {
+        appendBytes(key, opts.offload.bandwidth);
+        appendBytes(key, opts.offload.overlapFraction);
+        appendBytes(key, opts.offload.linkBudgetPerMb);
+        appendBytes(key,
+                    static_cast<std::int32_t>(opts.offload.maxLinkBuckets));
+        appendBytes(key, static_cast<std::int32_t>(
+                             opts.offload.maxOffloadMemBuckets));
+        appendBytes(key, static_cast<std::int32_t>(
+                             opts.offload.maxHiddenBuckets));
+    }
     for (const UnitProfile &u : units) {
         appendBytes(key, u.timeFwd);
         appendBytes(key, static_cast<std::uint64_t>(u.memSaved));

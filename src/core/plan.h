@@ -91,6 +91,23 @@ struct StagePlan
      * path; timeBwd includes exactly this much recomputation.
      */
     Seconds timeReplayCritical = 0;
+    /**
+     * Host-offload decision per unit, same flattening as
+     * @ref savedMask and disjoint from it: an offloaded unit is
+     * staged to host after forward and fetched back before backward
+     * (neither kept on device nor recomputed). Empty when the plan
+     * was produced without offload.
+     */
+    std::vector<bool> offloadMask;
+    /** Bytes per micro-batch staged to host by this stage. */
+    Bytes offloadBytes = 0;
+    /**
+     * Non-overlapped offload transfer micro-seconds per micro-batch
+     * on the backward critical path; timeBwd includes exactly this
+     * much (on top of timeReplayCritical). Micro-seconds, not
+     * seconds, to keep the JSON field human-readable.
+     */
+    double offloadFetchUs = 0;
 
     /** @return number of layers assigned to this stage. */
     int numLayers() const { return lastLayer - firstLayer + 1; }
@@ -130,6 +147,13 @@ struct PipelinePlan
      * replay share budgeted to hide (StagePlan::timeReplayHidden).
      */
     bool overlap = false;
+    /**
+     * True when the plan was produced with the tri-choice
+     * keep/recompute/offload solver: the runtime should start the
+     * host-staging tier and honour each stage's
+     * StagePlan::offloadMask.
+     */
+    bool offload = false;
 };
 
 /**

@@ -77,6 +77,11 @@ planFromReader(const JsonReader &root)
     if (root.has("overlap"))
         plan.overlap = root.key("overlap").asBool();
 
+    // Plans written before host-offload support carry no offload
+    // field; they are keep/recompute-only plans.
+    if (root.has("offload"))
+        plan.offload = root.key("offload").asBool();
+
     const JsonReader timing = root.key("timing");
     plan.timing.warmup = timing.key("warmup").asNumber();
     plan.timing.ending = timing.key("ending").asNumber();
@@ -125,6 +130,38 @@ planFromReader(const JsonReader &root)
             if (sp.timeReplayCritical < 0)
                 stage.key("replay_critical").fail("must be >= 0");
         }
+        // Host-offload annotation: optional (absent on legacy
+        // plans), validated like the saved mask / overlap fields.
+        if (stage.has("offload_mask")) {
+            const JsonReader omask = stage.key("offload_mask");
+            for (std::size_t b = 0; b < omask.size(); ++b)
+                sp.offloadMask.push_back(omask.at(b).asBool());
+            if (static_cast<int>(sp.offloadMask.size()) !=
+                sp.totalUnits)
+                omask.fail("length " +
+                           std::to_string(sp.offloadMask.size()) +
+                           " does not match total_units " +
+                           std::to_string(sp.totalUnits));
+            for (std::size_t b = 0; b < sp.offloadMask.size(); ++b) {
+                if (sp.offloadMask[b] && b < sp.savedMask.size() &&
+                    sp.savedMask[b])
+                    omask.fail("unit " + std::to_string(b) +
+                               " is both saved and offloaded");
+            }
+        }
+        if (stage.has("offload_bytes")) {
+            const std::int64_t ob =
+                stage.key("offload_bytes").asInteger();
+            if (ob < 0)
+                stage.key("offload_bytes").fail("must be >= 0");
+            sp.offloadBytes = static_cast<Bytes>(ob);
+        }
+        if (stage.has("offload_fetch_us")) {
+            sp.offloadFetchUs =
+                stage.key("offload_fetch_us").asNumber();
+            if (sp.offloadFetchUs < 0)
+                stage.key("offload_fetch_us").fail("must be >= 0");
+        }
         plan.stages.push_back(std::move(sp));
     }
     // One StagePlan per virtual chunk: pipeline * virtual_stages
@@ -169,6 +206,7 @@ planToJson(const PipelinePlan &plan)
     root.set("micro_batches", JsonValue::integer(plan.microBatches));
     root.set("virtual_stages", JsonValue::integer(plan.virtualStages));
     root.set("overlap", JsonValue::boolean(plan.overlap));
+    root.set("offload", JsonValue::boolean(plan.offload));
 
     JsonValue timing = JsonValue::object();
     timing.set("warmup", JsonValue::number(plan.timing.warmup));
@@ -198,6 +236,19 @@ planToJson(const PipelinePlan &plan)
                   JsonValue::number(sp.timeReplayHidden));
         stage.set("replay_critical",
                   JsonValue::number(sp.timeReplayCritical));
+        // Always emitted; an empty in-memory mask writes as all
+        // false so the round-trip length check holds.
+        JsonValue omask = JsonValue::array();
+        for (int b = 0; b < sp.totalUnits; ++b)
+            omask.push(JsonValue::boolean(
+                b < static_cast<int>(sp.offloadMask.size()) &&
+                sp.offloadMask[b]));
+        stage.set("offload_mask", std::move(omask));
+        stage.set("offload_bytes",
+                  JsonValue::integer(
+                      static_cast<std::int64_t>(sp.offloadBytes)));
+        stage.set("offload_fetch_us",
+                  JsonValue::number(sp.offloadFetchUs));
         stages.push(std::move(stage));
     }
     root.set("stages", std::move(stages));

@@ -44,6 +44,11 @@ assemblePlan(const ProfiledModel &pm, PlanMethod method,
         sp.overlapBubble = calc.overlapBubble(s);
         sp.timeReplayHidden = c.replayHidden;
         sp.timeReplayCritical = c.replayCritical;
+        sp.offloadMask = c.recompute.offloaded;
+        sp.offloadBytes = c.offloadBytes;
+        sp.offloadFetchUs = c.offloadExposed * 1e6;
+        if (c.offloadedUnits > 0)
+            plan.offload = true;
         plan.stages.push_back(std::move(sp));
         times.push_back({c.fwd, c.bwd});
     }

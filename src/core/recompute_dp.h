@@ -19,6 +19,8 @@
 #ifndef ADAPIPE_CORE_RECOMPUTE_DP_H
 #define ADAPIPE_CORE_RECOMPUTE_DP_H
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "hw/profiler.h"
@@ -27,12 +29,100 @@
 namespace adapipe {
 
 /**
+ * Activation offloading (SuperNeurons / MPress / PipeOffload, Sec. 8
+ * related work): a unit that is not saved can be *offloaded* to host
+ * memory instead of recomputed, paying two host-link transfers per
+ * micro-batch instead of the forward recompute. Offload turns the
+ * knapsack into a tri-choice DP (keep / recompute / offload): each
+ * offloaded unit occupies the shared host link for linkTime()
+ * seconds, and concurrent evictions on the same stage are charged
+ * against @ref linkBudgetPerMb — the PCIe contention model — while
+ * only the non-overlapped share (evictCost()) lands on the backward
+ * critical path.
+ */
+struct OffloadOptions
+{
+    bool enabled = false;
+    /** Effective host-link bandwidth, bytes/s (PCIe 4.0 x16 ~25e9). */
+    double bandwidth = 25.0e9;
+    /**
+     * Fraction of the transfer hidden under compute. Values outside
+     * [0, 1] are clamped (see clampedOverlapFraction()); parse paths
+     * reject them with a named diagnostic before they get here.
+     */
+    double overlapFraction = 0.5;
+    /**
+     * Host-link seconds available per micro-batch for this stage's
+     * evict+fetch traffic (the shared-link contention budget). 0 lets
+     * the stage cost calculator derive it from the stage's own
+     * per-micro-batch compute time (the link can stream while the
+     * stage computes, no longer).
+     */
+    Seconds linkBudgetPerMb = 0;
+    /** DP bucket cap of the link-budget dimension. */
+    int maxLinkBuckets = 96;
+    /**
+     * DP bucket cap of the memory dimension in tri-choice mode (a
+     * second, tighter cap under RecomputeDpOptions::maxBuckets: the
+     * tri-choice table is 2-3 dimensional, so the 1D cap would blow
+     * it up).
+     */
+    int maxOffloadMemBuckets = 384;
+    /**
+     * DP bucket cap of the hidden-replay dimension (used only when
+     * an overlap bubble and offload are both active); at most 63.
+     */
+    int maxHiddenBuckets = 24;
+
+    /** @return overlapFraction clamped into [0, 1]. */
+    double
+    clampedOverlapFraction() const
+    {
+        return std::min(1.0, std::max(0.0, overlapFraction));
+    }
+
+    /** @return link occupancy of evict + fetch of @p bytes. */
+    Seconds
+    linkTime(Bytes bytes) const
+    {
+        return 2.0 * static_cast<double>(bytes) / bandwidth;
+    }
+
+    /**
+     * @return per-micro-batch time to evict + fetch @p bytes that is
+     * NOT hidden under compute — the share charged to the backward
+     * critical path. The overlap fraction is clamped to [0, 1] so a
+     * degenerate configuration can never produce a negative penalty.
+     */
+    Seconds
+    evictCost(Bytes bytes) const
+    {
+        return linkTime(bytes) * (1.0 - clampedOverlapFraction());
+    }
+
+    /**
+     * Degenerate-parameter check used by every option-parse path.
+     * @return empty when usable; otherwise a diagnostic naming the
+     * offending knob (bandwidth <= 0 divides the cost model by zero,
+     * overlapFraction outside [0, 1] would turn penalties negative).
+     */
+    std::string validate() const;
+};
+
+/**
  * Result of the recomputation knapsack for one stage.
  */
 struct RecomputePlanResult
 {
     /** Per-unit decision; always-saved units are reported true. */
     std::vector<bool> saved;
+    /**
+     * Per-unit offload decision, disjoint from @ref saved: an
+     * offloaded unit is neither saved on device nor recomputed — its
+     * activation is staged to host after forward and fetched back
+     * before backward. Empty when offload is disabled.
+     */
+    std::vector<bool> offloaded;
     /** Sum of Time_f over optionally saved units (knapsack value). */
     Seconds savedFwdTime = 0;
     /** Bytes of optionally saved activations per micro-batch. */
@@ -49,8 +139,23 @@ struct RecomputePlanResult
      * Replay time per micro-batch left on the backward critical path
      * after the bubble discount: max(0, unsaved replay - bubble).
      * Without a budget this is simply the unsaved replay time.
+     * Offloaded units have no replay: they contribute to
+     * @ref offloadExposedTime instead, never here.
      */
     Seconds criticalReplayTime = 0;
+    /** Bytes per micro-batch staged to host (offloaded units). */
+    Bytes offloadBytes = 0;
+    /** Count of offloaded units. */
+    int offloadedUnits = 0;
+    /** Host-link occupancy per micro-batch (evict + fetch). */
+    Seconds offloadLinkTime = 0;
+    /**
+     * Non-overlapped offload transfer time per micro-batch on the
+     * backward critical path (reported disjointly from the replay
+     * fields: an offloaded unit hides no replay and consumes no
+     * bubble budget).
+     */
+    Seconds offloadExposedTime = 0;
 };
 
 /**
@@ -81,6 +186,13 @@ struct RecomputeDpOptions
      * different plan regime from the undiscounted knapsack.
      */
     Seconds overlapBubble = 0;
+    /**
+     * Optional third per-unit choice: offload to host instead of
+     * recomputing (tri-choice DP with a shared link budget). Lives
+     * here, not only in StageCostOptions, so the cross-request
+     * KnapsackMemo key covers every knob the solver reads.
+     */
+    OffloadOptions offload;
 };
 
 /**
@@ -112,6 +224,21 @@ RecomputePlanResult
 bruteForceRecompute(const std::vector<UnitProfile> &units,
                     std::int64_t budget_per_mb,
                     Seconds overlap_bubble = 0);
+
+/**
+ * Brute-force tri-choice oracle (exponential, 3^k) for testing the
+ * offload-extended DP on small unit sets; panics above ~14 optional
+ * units. Enumerates every keep/recompute/offload assignment under
+ * the memory and link budgets and minimises the exposed penalty
+ * C = criticalReplay + offloadExposed, tie-broken lexicographically
+ * by (saved bytes, link occupancy, -saved forward time). Matches the
+ * DP exactly on instances whose memory costs and link times are
+ * exact multiples of the DP's bucket granularities.
+ */
+RecomputePlanResult
+bruteForceTriChoice(const std::vector<UnitProfile> &units,
+                    std::int64_t budget_per_mb,
+                    const RecomputeDpOptions &opts);
 
 } // namespace adapipe
 

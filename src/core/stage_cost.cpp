@@ -31,6 +31,14 @@ StageCostCalculator::StageCostCalculator(const ProfiledModel &pm, int p,
     for (int m : opts_.inflightOverride)
         ADAPIPE_ASSERT(m >= 1, "in-flight override must be >= 1, got ",
                        m);
+    if (opts_.offload.enabled) {
+        // Parse paths reject these with a ParseResult diagnostic;
+        // this is the last line of defence for programmatic callers
+        // (bandwidth <= 0 would propagate inf through the DP,
+        // overlapFraction > 1 a negative penalty).
+        const std::string err = opts_.offload.validate();
+        ADAPIPE_ASSERT(err.empty(), "offload options: ", err);
+    }
 }
 
 Bytes
@@ -130,30 +138,25 @@ StageCostCalculator::compute(int s, int i, int j)
     const auto budget = static_cast<std::int64_t>(
         opts_.memBudgetFraction * static_cast<double>(cap));
 
-    // Gather the range's units and split fixed vs optional times.
-    // With offloading enabled, an unsaved unit pays the cheaper of
-    // recomputing or two host transfers, so the knapsack value of
-    // saving it is that minimum (the unit's timeFwd is rewritten
-    // accordingly before solving; result.fwd uses the original sum).
+    // Gather the range's units. With offloading enabled, the solver
+    // itself weighs recompute vs host-staging per unit (tri-choice
+    // DP); unit times are passed through unmodified so fwd/bwd
+    // accounting always matches what the event simulator replays —
+    // the offload share is reported disjointly in offloadExposed.
     std::vector<UnitProfile> units;
     Seconds fwd_all = 0;
     Seconds bwd_all = 0;
-    Seconds fwd_recomputable = 0; // Σ unsaved penalties
+    Seconds fwd_recomputable = 0; // Σ optional replay times
     Bytes saved_all = 0;
     for (int l = i; l <= j; ++l) {
         const ProfiledLayer &layer = pm_.layers[l];
         for (const auto &u : layer.units) {
             fwd_all += u.timeFwd;
             bwd_all += u.timeBwd;
-            UnitProfile entry = u;
-            if (opts_.offload.enabled && !u.alwaysSaved) {
-                entry.timeFwd = std::min(
-                    u.timeFwd, opts_.offload.evictCost(u.memSaved));
-            }
             if (!u.alwaysSaved)
-                fwd_recomputable += entry.timeFwd;
+                fwd_recomputable += u.timeFwd;
             saved_all += u.memSaved;
-            units.push_back(std::move(entry));
+            units.push_back(u);
         }
     }
 
@@ -162,6 +165,14 @@ StageCostCalculator::compute(int s, int i, int j)
 
     RecomputeDpOptions dp_opts = opts_.dp;
     dp_opts.overlapBubble = overlapBubble(s);
+    dp_opts.offload = opts_.offload;
+    if (dp_opts.offload.enabled && dp_opts.offload.linkBudgetPerMb <= 0) {
+        // Default shared-link budget: the host link can stream while
+        // this stage computes one micro-batch's forward + backward,
+        // no longer (evictions of micro-batch t overlap with compute
+        // of t+1). Range-local, so the isomorphism cache stays valid.
+        dp_opts.offload.linkBudgetPerMb = fwd_all + bwd_all;
+    }
 
     // Fast path: everything saved fits the budget without a buffer.
     // Disabled under a bubble budget — there the solver's discounted
@@ -215,10 +226,22 @@ StageCostCalculator::compute(int s, int i, int j)
         result.fwd = fwd_all;
         // criticalReplayTime equals (fwd_recomputable - savedFwdTime)
         // without a bubble; with one, the hidden share is discounted
-        // off the backward critical path.
-        result.bwd = bwd_all + result.recompute.criticalReplayTime;
+        // off the backward critical path. Offloaded units add their
+        // exposed (non-overlapped) transfer share instead of replay;
+        // adding exact 0.0 with offload disabled keeps bwd
+        // bit-identical to the pre-offload calculator.
+        result.bwd = bwd_all + result.recompute.criticalReplayTime +
+                     result.recompute.offloadExposedTime;
         result.replayHidden = result.recompute.hiddenReplayTime;
         result.replayCritical = result.recompute.criticalReplayTime;
+        result.offloadExposed = result.recompute.offloadExposedTime;
+        result.offloadLinkTime = result.recompute.offloadLinkTime;
+        result.offloadBytes = result.recompute.offloadBytes;
+        result.offloadedUnits = result.recompute.offloadedUnits;
+        // Offloaded activations live in host memory between forward
+        // and backward: they occupy no device bytes per micro-batch
+        // (savedBytes already excludes them), so the peak formula is
+        // unchanged.
         result.memPeak =
             mem.staticMem + mem.buffer +
             static_cast<Bytes>(m) *
@@ -236,6 +259,8 @@ StageCostCalculator::compute(int s, int i, int j)
         result.bwd *= factor;
         result.replayHidden *= factor;
         result.replayCritical *= factor;
+        result.offloadExposed *= factor;
+        result.offloadLinkTime *= factor;
     }
     return result;
 }

@@ -61,31 +61,21 @@ struct StageCost
      * recomputation (not the hidden part).
      */
     Seconds replayCritical = 0;
-};
-
-/**
- * Activation offloading extension (SuperNeurons / MPress, Sec. 8
- * related work): a unit that is not saved can be *offloaded* to host
- * memory instead of recomputed, paying two PCIe transfers per
- * micro-batch instead of the forward recompute. The knapsack stays
- * unchanged — each unsaved unit's penalty simply becomes
- * min(Time_f(U), evictCost(U)).
- */
-struct OffloadOptions
-{
-    bool enabled = false;
-    /** Effective host-link bandwidth, bytes/s (PCIe 4.0 x16 ~25e9). */
-    double bandwidth = 25.0e9;
-    /** Fraction of the transfer hidden under compute. */
-    double overlapFraction = 0.5;
-
-    /** @return per-micro-batch time to evict + fetch @p bytes. */
-    Seconds
-    evictCost(Bytes bytes) const
-    {
-        return 2.0 * static_cast<double>(bytes) / bandwidth *
-               (1.0 - overlapFraction);
-    }
+    /**
+     * Non-overlapped offload transfer time per micro-batch on the
+     * backward critical path; bwd includes exactly this much on top
+     * of replayCritical. Reported disjointly from fwd (the offload
+     * share is never folded into the forward time: the event
+     * simulator replays fwd as real compute). Scaled by the
+     * stage-time factor like bwd.
+     */
+    Seconds offloadExposed = 0;
+    /** Host-link occupancy per micro-batch (evict + fetch). */
+    Seconds offloadLinkTime = 0;
+    /** Bytes per micro-batch staged to host. */
+    Bytes offloadBytes = 0;
+    /** Count of offloaded units in the range. */
+    int offloadedUnits = 0;
 };
 
 /**
@@ -104,7 +94,14 @@ struct StageCostOptions
     bool useIsomorphism = true;
     /** Knapsack solver knobs. */
     RecomputeDpOptions dp;
-    /** Optional hybrid recompute-or-offload mode. */
+    /**
+     * Optional tri-choice keep/recompute/offload mode (see
+     * OffloadOptions in recompute_dp.h). Copied into the solver's
+     * RecomputeDpOptions per range; a linkBudgetPerMb of 0 is
+     * derived from the range's own per-micro-batch compute time.
+     * The calculator constructor rejects degenerate parameters
+     * (bandwidth <= 0, overlapFraction outside [0, 1]).
+     */
     OffloadOptions offload;
     /**
      * Per-stage execution-time multiplier for degraded-mode planning

@@ -36,6 +36,10 @@ replanDegraded(const ProfiledModel &pm, const DegradedScenario &scenario,
         result.reason = "memory factor must be in (0, 1]";
         return result;
     }
+    if (scenario.hostLinkFactor <= 0 || scenario.hostLinkFactor > 1.0) {
+        result.reason = "host link factor must be in (0, 1]";
+        return result;
+    }
 
     ProfiledModel degraded = pm;
     degraded.par.pipeline = surviving;
@@ -53,6 +57,13 @@ replanDegraded(const ProfiledModel &pm, const DegradedScenario &scenario,
         degraded_opts.stageTimeFactor.assign(surviving, 1.0);
         degraded_opts.stageTimeFactor[scenario.stragglerStage] =
             scenario.stragglerFactor;
+    }
+    if (degraded_opts.offload.enabled &&
+        scenario.hostLinkFactor < 1.0) {
+        // A slower PCIe link raises every unit's evict+fetch cost;
+        // the tri-choice knapsack reacts by moving marginal units
+        // back to recomputation.
+        degraded_opts.offload.bandwidth *= scenario.hostLinkFactor;
     }
 
     PlanResult planned =
@@ -84,7 +95,8 @@ replanDegradedIncremental(const ProfiledModel &pm,
     const bool neutral =
         (scenario.stragglerStage < 0 ||
          scenario.stragglerFactor == 1.0) &&
-        scenario.memFactor == 1.0 && scenario.lostStages == 0;
+        scenario.memFactor == 1.0 && scenario.lostStages == 0 &&
+        scenario.hostLinkFactor == 1.0;
     const bool base_matches =
         base.method == PlanMethod::AdaPipe &&
         base.virtualStages == 1 &&

@@ -46,6 +46,14 @@ struct DegradedScenario
     double memFactor = 1.0;
     /** Pipeline stages lost to node failure (shrinks the pipeline). */
     int lostStages = 0;
+    /**
+     * Host-link (PCIe) bandwidth multiplier in (0, 1]: a degraded
+     * offload path. Replanning scales OffloadOptions::bandwidth by
+     * this factor, so the tri-choice knapsack shifts units from
+     * host offload back to recomputation when the link slows down.
+     * Ignored when the baseline options do not enable offload.
+     */
+    double hostLinkFactor = 1.0;
 };
 
 /**

@@ -47,6 +47,8 @@ degradedPlanToJson(const DegradedPlanDoc &doc)
                  JsonValue::number(doc.scenario.memFactor));
     scenario.set("lost_stages",
                  JsonValue::integer(doc.scenario.lostStages));
+    scenario.set("host_link_factor",
+                 JsonValue::number(doc.scenario.hostLinkFactor));
     root.set("scenario", std::move(scenario));
     root.set("original_fingerprint",
              JsonValue::string(doc.originalFingerprint));
@@ -94,6 +96,17 @@ tryDegradedPlanFromJson(const JsonValue &json)
             if (doc.scenario.lostStages < 0) {
                 scenario.key("lost_stages")
                     .fail("lost_stages must be >= 0");
+            }
+            // Optional for documents written before the offload path
+            // existed; those all assume a healthy host link.
+            if (scenario.has("host_link_factor")) {
+                doc.scenario.hostLinkFactor =
+                    scenario.key("host_link_factor").asNumber();
+                if (doc.scenario.hostLinkFactor <= 0 ||
+                    doc.scenario.hostLinkFactor > 1.0) {
+                    scenario.key("host_link_factor")
+                        .fail("host_link_factor must be in (0, 1]");
+                }
             }
             doc.originalFingerprint =
                 root.key("original_fingerprint").asString();

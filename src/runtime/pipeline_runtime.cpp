@@ -19,6 +19,7 @@
 #include "autograd/trainer.h"
 #include "obs/macros.h"
 #include "runtime/channel.h"
+#include "runtime/host_stager.h"
 #include "sim/schedule.h"
 #include "util/logging.h"
 
@@ -271,6 +272,9 @@ class StageWorker
     /** Per-stage backward engine (opts.intraStageThreads workers);
      *  created on the worker thread so helpers are its children. */
     std::unique_ptr<BackwardEngine> engine_;
+    /** Host-staging tier; created only when a hosted chunk offloads
+     *  at least one block. */
+    std::unique_ptr<HostStager> stager_;
     double lossSum_ = 0;
     std::int64_t opsExecuted_ = 0;
     /** Ops completed within the current step (the fault injector's
@@ -485,6 +489,14 @@ StageWorker::runForward(int step, const PipeOp &op)
     std::optional<ReplayCollector> collector;
     if (opts_.overlapReplay)
         collector.emplace();
+    // With offloaded blocks, scoop up their OffloadHandles the same
+    // way and hand them to the stager keyed by the backward's rank.
+    const bool chunk_offloads =
+        stager_ && std::find(spec.offload.begin(), spec.offload.end(),
+                             true) != spec.offload.end();
+    std::optional<OffloadCollector> offload_collector;
+    if (chunk_offloads)
+        offload_collector.emplace();
     if (spec.embedding) {
         makeBigramBatch(model_.config().vocab, opts_.seqLen,
                         step * n + op.microBatch, opts_.dataSeed,
@@ -492,8 +504,25 @@ StageWorker::runForward(int step, const PipeOp &op)
         h = model_.embed(tokens_);
     }
     for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
-        h = model_.blockForward(b,
-                                h, spec.recompute[b - spec.firstBlock]);
+        const std::size_t bi =
+            static_cast<std::size_t>(b - spec.firstBlock);
+        if (chunk_offloads && spec.offload[bi])
+            h = model_.blockForwardOffload(b, h);
+        else
+            h = model_.blockForward(b, h, spec.recompute[bi]);
+    }
+    if (offload_collector) {
+        std::vector<OffloadHandle> handles = offload_collector->take();
+        offload_collector.reset();
+        if (!handles.empty()) {
+            const auto rank =
+                bwdRank_.find({op.pos, op.microBatch});
+            ADAPIPE_ASSERT(rank != bwdRank_.end(),
+                           "no backward op for offloaded forward at "
+                           "position ", op.pos, " micro-batch ",
+                           op.microBatch);
+            stager_->submitEvict(rank->second, std::move(handles));
+        }
     }
     if (collector) {
         std::vector<ReplayHandle> handles = collector->take();
@@ -587,6 +616,8 @@ StageWorker::runBackward(int step, const PipeOp &op)
         registry_.counter("checkpoint.replays");
     const std::int64_t replay_us_before =
         registry_.counter("checkpoint.replay_us");
+    const std::int64_t miss_before =
+        stager_ ? registry_.counter("offload.fetch_miss") : 0;
     engine_->run(fl.output, seed);
     Tensor input_grad;
     if (ctx.fwdIn)
@@ -604,6 +635,16 @@ StageWorker::runBackward(int step, const PipeOp &op)
             registry_.counter("checkpoint.replay_us") -
             replay_us_before) *
         1e-6;
+    if (stager_) {
+        // The closure's fetch-miss count lands in this registry via
+        // the engine's merge-on-return, exactly like the replay
+        // counters above.
+        ctx.metrics.offloadFetchMisses +=
+            registry_.counter("offload.fetch_miss") - miss_before;
+        const auto rank = bwdRank_.find({op.pos, op.microBatch});
+        if (rank != bwdRank_.end())
+            stager_->release(rank->second);
+    }
     recordSpan("runtime.backward", start_us);
     registry_.add("runtime.bwd_ops", 1);
 
@@ -648,6 +689,14 @@ StageWorker::flushGauges()
                       m.replayHiddenSeconds * 1e6);
         registry_.set(prefix + "replay_critical_us",
                       m.replayCriticalSeconds() * 1e6);
+        registry_.set(prefix + "offload_evictions",
+                      static_cast<double>(m.offloadEvictions));
+        registry_.set(prefix + "offload_fetches",
+                      static_cast<double>(m.offloadFetches));
+        registry_.set(prefix + "offload_fetch_misses",
+                      static_cast<double>(m.offloadFetchMisses));
+        registry_.set(prefix + "offload_bytes_evicted",
+                      static_cast<double>(m.offloadBytesEvicted));
         registry_.set(prefix + "num_blocks",
                       static_cast<double>(chunks_[c].spec->numBlocks()));
     }
@@ -691,12 +740,26 @@ StageWorker::run()
     if (snapshots_)
         snapshots_->registerAdam(workerIdx_, adam.get());
 
+    bool offload_active = false;
+    for (const ChunkCtx &ctx : chunks_) {
+        for (const bool off : ctx.spec->offload)
+            offload_active = offload_active || off;
+    }
+    if (offload_active) {
+        HostStager::Options so;
+        so.sync = opts_.offloadSync;
+        so.forceMiss = opts_.offloadForceMiss;
+        so.lookahead = opts_.offloadLookahead;
+        stager_ = std::make_unique<HostStager>(so);
+    }
+
     const std::vector<std::size_t> &order =
         sched_.deviceOrder[static_cast<std::size_t>(workerIdx_)];
-    if (opts_.overlapReplay) {
+    if (opts_.overlapReplay || stager_) {
         // Rank each backward op within this worker's device order:
         // the overlap executor warms pending replays in ascending
-        // rank, i.e. the next backward this worker will run first.
+        // rank (the next backward this worker will run first), and
+        // the host stager keys parked offload segments the same way.
         for (std::size_t k = 0; k < order.size(); ++k) {
             const PipeOp &op = sched_.ops[order[k]];
             if (op.kind == OpKind::Backward)
@@ -712,7 +775,13 @@ StageWorker::run()
         lossSum_ = 0;
         opsThisStep_ = 0;
 
-        for (const std::size_t idx : order) {
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            const std::size_t idx = order[k];
+            // Move the stager's prefetch cursor before the op runs:
+            // parked micro-batches whose backward falls inside the
+            // lookahead window get their fetches queued now.
+            if (stager_)
+                stager_->advance(k);
             if (workerIdx_ == opts_.injectFailStage &&
                 opsExecuted_ == opts_.injectFailAfterOps) {
                 throw std::runtime_error(
@@ -745,6 +814,11 @@ StageWorker::run()
                        "in-flight micro-batches left after step");
         ADAPIPE_ASSERT(pending_.empty(),
                        "pending replays left after step");
+        // Let queued transfers finish before the optimizer step so
+        // byte counters stay attributable to the step that caused
+        // them (every graph was consumed above either way).
+        if (stager_)
+            stager_->drain();
 
         if (hasHead_)
             losses_.push_back(lossSum_ / opts_.microBatches);
@@ -757,6 +831,27 @@ StageWorker::run()
     }
     if (watchdog_)
         watchdog_->markDone(workerIdx_);
+
+    // Stop the stager before tearing the engine down; its totals
+    // land on the first chunk (worker-level, like the activation
+    // peak) and on the registry's offload.* counters.
+    if (stager_) {
+        stager_->stop();
+        StageMetrics &m0 = chunks_.front().metrics;
+        m0.offloadEvictions = stager_->evictions();
+        m0.offloadFetches = stager_->fetches();
+        m0.offloadBytesEvicted = stager_->bytesEvicted();
+        m0.offloadBytesFetched = stager_->bytesFetched();
+        registry_.add("offload.evictions", stager_->evictions());
+        registry_.add("offload.fetches", stager_->fetches());
+        registry_.add("offload.bytes_evicted",
+                      static_cast<std::int64_t>(
+                          stager_->bytesEvicted()));
+        registry_.add("offload.bytes_fetched",
+                      static_cast<std::int64_t>(
+                          stager_->bytesFetched()));
+        stager_.reset();
+    }
 
     // Thread-level measurements land on the worker's first chunk
     // (the only chunk when virtualStages == 1); replay counts and
@@ -887,6 +982,11 @@ validateSpecs(const TinyLM &model, const std::vector<StageSpec> &specs)
                                spec.numBlocks(),
                        "position ", s,
                        " recompute size does not match its blocks");
+        ADAPIPE_ASSERT(spec.offload.empty() ||
+                           static_cast<int>(spec.offload.size()) ==
+                               spec.numBlocks(),
+                       "position ", s,
+                       " offload size does not match its blocks");
         next_block = spec.lastBlock + 1;
     }
     ADAPIPE_ASSERT(next_block == num_blocks,
@@ -983,8 +1083,8 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
     }
     const Schedule sched = std::move(built).value();
 
-    // Normalised copy: fill empty recompute vectors so workers can
-    // index them unconditionally.
+    // Normalised copy: fill empty recompute/offload vectors so
+    // workers can index them unconditionally.
     std::vector<StageSpec> specs = stages;
     for (StageSpec &spec : specs) {
         if (spec.recompute.empty() && spec.numBlocks() > 0) {
@@ -992,6 +1092,9 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
                 static_cast<std::size_t>(spec.numBlocks()),
                 BlockRecompute::None);
         }
+        if (spec.offload.empty() && spec.numBlocks() > 0)
+            spec.offload.assign(
+                static_cast<std::size_t>(spec.numBlocks()), false);
     }
 
     // One channel pair per chain boundary. The interleaved op order
@@ -1136,6 +1239,11 @@ runPipeline(TinyLM &model, const std::vector<StageSpec> &stages,
         metrics->set("runtime.virtual_stages", v);
         metrics->set("runtime.overlap.enabled",
                      opts.overlapReplay ? 1 : 0);
+        bool any_offload = false;
+        for (const StageSpec &spec : specs)
+            for (const bool off : spec.offload)
+                any_offload = any_offload || off;
+        metrics->set("runtime.offload.enabled", any_offload ? 1 : 0);
         metrics->set("runtime.intra_stage_threads",
                      opts.intraStageThreads);
         metrics->set("runtime.micro_batches", opts.microBatches);

@@ -64,6 +64,15 @@ struct StageSpec
     bool head = false;
     /** Per-owned-block recompute mode (empty = None for all). */
     std::vector<BlockRecompute> recompute;
+    /**
+     * Per-owned-block host-offload flag (empty = none), parallel to
+     * @ref recompute. An offloaded block runs as a resident
+     * checkpoint whose interior activations the worker's host stager
+     * evicts after forward and prefetches before backward; the flag
+     * overrides the block's recompute mode (an offloaded block is
+     * neither kept on device nor eagerly recomputed).
+     */
+    std::vector<bool> offload;
 
     /** @return number of owned blocks. */
     int
@@ -139,6 +148,23 @@ struct RuntimeOptions
      * determinism test pins down via StageMetrics::overlapFirings.
      */
     bool overlapDrainAll = false;
+    /**
+     * Host staging (activation offload): any block flagged in
+     * StageSpec::offload starts a per-worker HostStager that evicts
+     * the block's activations to host after forward and prefetches
+     * them back before backward, nearest backward first in the
+     * device order. A fetch that misses its deadline falls back to a
+     * recompute replay, so losses stay bit-identical to every other
+     * configuration. offloadSync runs transfers inline on the stage
+     * thread (deterministic byte counters; test/bench hook).
+     */
+    bool offloadSync = false;
+    /** Test hook: never prefetch, so every offloaded backward takes
+     *  the fetch-miss recompute fallback (combine with offloadSync
+     *  for an exact miss count). */
+    bool offloadForceMiss = false;
+    /** Device-order ops of prefetch lookahead for the host stager. */
+    int offloadLookahead = 2;
     /**
      * Test hook: worker index to kill (-1 = disabled). The worker
      * throws after executing injectFailAfterOps forward/backward
@@ -231,6 +257,20 @@ struct StageMetrics
      * replayOps / replaySeconds are exact per chunk.
      */
     std::int64_t peakActivationFloats = 0;
+    /** Offloaded segments staged to host by the owning worker's
+     *  stager (worker-level; attributed to the worker's first chunk
+     *  like peakActivationFloats). */
+    std::int64_t offloadEvictions = 0;
+    /** Offloaded segments fetched back before their backward
+     *  (worker-level, first chunk). */
+    std::int64_t offloadFetches = 0;
+    /** Backwards that found their activations still on host and fell
+     *  back to a recompute replay (exact per chunk). */
+    std::int64_t offloadFetchMisses = 0;
+    /** Bytes staged to host by the owning worker (first chunk). */
+    std::uint64_t offloadBytesEvicted = 0;
+    /** Bytes fetched back from host (first chunk). */
+    std::uint64_t offloadBytesFetched = 0;
     /**
      * Warm firing log of the owning worker (attributed to its first
      * chunk like peakActivationFloats): one entry per warmed unit,

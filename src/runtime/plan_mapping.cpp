@@ -28,16 +28,20 @@ fallbackMode(PlanMethod method)
 }
 
 /**
- * Per-layer recompute flags decoded from the plan's saved masks:
- * layer index -> "at least one knapsack-eligible unit is recomputed".
+ * Per-layer recompute/offload flags decoded from the plan's saved and
+ * offload masks: layer index -> "at least one knapsack-eligible unit
+ * is recomputed" (resp. "is offloaded to host"). An offloaded unit is
+ * neither saved nor recomputed, so it never sets the recompute flag.
  * @return false when any stage's mask does not match its unit count.
  */
 bool
 decodeLayerRecompute(const PipelinePlan &plan,
                      const std::vector<Layer> &layers,
-                     std::vector<bool> &recomp)
+                     std::vector<bool> &recomp,
+                     std::vector<bool> &offload)
 {
     recomp.assign(layers.size(), false);
+    offload.assign(layers.size(), false);
     for (const StagePlan &stage : plan.stages) {
         if (stage.firstLayer < 0 ||
             stage.lastLayer >= static_cast<int>(layers.size()))
@@ -47,13 +51,21 @@ decodeLayerRecompute(const PipelinePlan &plan,
             units += layers[static_cast<std::size_t>(l)].units.size();
         if (stage.savedMask.size() != units)
             return false;
+        if (!stage.offloadMask.empty() &&
+            stage.offloadMask.size() != units)
+            return false;
 
         std::size_t pos = 0;
         for (int l = stage.firstLayer; l <= stage.lastLayer; ++l) {
             const Layer &layer = layers[static_cast<std::size_t>(l)];
             for (const ComputationUnit &unit : layer.units) {
-                const bool saved = stage.savedMask[pos++];
-                if (!unit.alwaysSaved && !saved)
+                const bool saved = stage.savedMask[pos];
+                const bool off = !stage.offloadMask.empty() &&
+                                 stage.offloadMask[pos];
+                ++pos;
+                if (off)
+                    offload[static_cast<std::size_t>(l)] = true;
+                else if (!unit.alwaysSaved && !saved)
                     recomp[static_cast<std::size_t>(l)] = true;
             }
         }
@@ -107,8 +119,9 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
     const std::vector<Layer> layers = buildLayerSequence(
         tinyLmModelConfig(config), plan.train, plan.par);
     std::vector<bool> layer_recomp;
+    std::vector<bool> layer_offload;
     const bool mask_ok =
-        decodeLayerRecompute(plan, layers, layer_recomp);
+        decodeLayerRecompute(plan, layers, layer_recomp, layer_offload);
     const BlockRecompute fallback = fallbackMode(plan.method);
     if (!mask_ok) {
         std::ostringstream note;
@@ -168,6 +181,7 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
 
         for (int b = spec.firstBlock; b <= spec.lastBlock; ++b) {
             BlockRecompute mode = fallback;
+            bool off = false;
             if (mask_ok) {
                 const std::size_t attn =
                     static_cast<std::size_t>(1 + 2 * b);
@@ -176,13 +190,29 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
                 const bool attn_r = layer_recomp[attn];
                 const bool ffn_r =
                     ffn < layer_recomp.size() && layer_recomp[ffn];
+                const bool attn_o = layer_offload[attn];
+                const bool ffn_o =
+                    ffn < layer_offload.size() && layer_offload[ffn];
+                // The runtime host-stages whole blocks; any offloaded
+                // unit in the block promotes it to block offload (the
+                // recompute mode is then moot — offload supersedes).
+                off = attn_o || ffn_o;
                 // FFN recompute needs the whole block replayed (the
                 // runtime checkpoints blocks or attention
                 // sub-layers, not FFNs alone).
-                mode = ffn_r ? BlockRecompute::Full
+                mode = off       ? BlockRecompute::None
+                       : ffn_r   ? BlockRecompute::Full
                        : attn_r ? BlockRecompute::AttentionOnly
                                 : BlockRecompute::None;
-                if (ffn_r && !attn_r) {
+                if (off && !(attn_o && ffn_o)) {
+                    std::ostringstream note;
+                    note << "block " << b << ": plan offloads "
+                         << (attn_o ? "Attention" : "FeedForward")
+                         << " units only; runtime rounds up to "
+                            "whole-block host offload";
+                    mapping.notes.push_back(note.str());
+                }
+                if (ffn_r && !attn_r && !off) {
                     std::ostringstream note;
                     note << "block " << b
                          << ": plan recomputes FeedForward units "
@@ -192,6 +222,7 @@ stageSpecsFromPlan(const PipelinePlan &plan, const TinyLmConfig &config)
                 }
             }
             spec.recompute.push_back(mode);
+            spec.offload.push_back(off);
         }
 
         next_block = spec.lastBlock + 1;

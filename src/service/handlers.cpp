@@ -178,6 +178,9 @@ PlanService::solve(const PlanRequest &request)
     StageCostOptions opts;
     opts.memBudgetFraction = request.memBudgetFraction;
     opts.knapsackMemo = &memo_;
+    opts.offload.enabled = request.offload;
+    opts.offload.bandwidth = request.offloadBandwidth;
+    opts.offload.overlapFraction = request.offloadOverlapFraction;
     if (request.scheduleFamily == "interleaved") {
         return makeInterleavedPlan(pm, request.method,
                                    request.virtualStages, opts);
@@ -295,6 +298,9 @@ PlanService::handleReplan(const PlanRequest &request,
     StageCostOptions opts;
     opts.memBudgetFraction = request.memBudgetFraction;
     opts.knapsackMemo = &memo_;
+    opts.offload.enabled = request.offload;
+    opts.offload.bandwidth = request.offloadBandwidth;
+    opts.offload.overlapFraction = request.offloadOverlapFraction;
     const ReplanResult replanned =
         replanDegradedIncremental(pm, fault, base.plan, opts);
     if (!replanned.ok) {

@@ -147,6 +147,28 @@ readPlanRequest(const JsonReader &plan)
                 positiveInt(schedule.key("virtual_stages"));
         }
     }
+    if (plan.has("offload")) {
+        const JsonReader offload = plan.key("offload");
+        if (offload.has("enabled"))
+            req.offload = offload.key("enabled").asBool();
+        if (offload.has("bandwidth")) {
+            req.offloadBandwidth =
+                offload.key("bandwidth").asNumber();
+            if (!(req.offloadBandwidth > 0)) {
+                offload.key("bandwidth")
+                    .fail("bandwidth must be > 0 bytes/s");
+            }
+        }
+        if (offload.has("overlap_fraction")) {
+            req.offloadOverlapFraction =
+                offload.key("overlap_fraction").asNumber();
+            if (req.offloadOverlapFraction < 0 ||
+                req.offloadOverlapFraction > 1.0) {
+                offload.key("overlap_fraction")
+                    .fail("overlap_fraction must be in [0, 1]");
+            }
+        }
+    }
     if (plan.has("mem_budget_fraction")) {
         req.memBudgetFraction =
             plan.key("mem_budget_fraction").asNumber();
@@ -230,6 +252,15 @@ readFault(const JsonReader &fault)
             fault.key("lost_stages")
                 .fail("lost_stages must be >= 0");
         scenario.lostStages = static_cast<int>(lost);
+    }
+    if (fault.has("host_link_factor")) {
+        scenario.hostLinkFactor =
+            fault.key("host_link_factor").asNumber();
+        if (scenario.hostLinkFactor <= 0 ||
+            scenario.hostLinkFactor > 1.0) {
+            fault.key("host_link_factor")
+                .fail("host_link_factor must be in (0, 1]");
+        }
     }
     return scenario;
 }
@@ -358,6 +389,13 @@ planRequestToJson(const PlanRequest &request)
     root.set("schedule", std::move(schedule));
     root.set("mem_budget_fraction",
              JsonValue::number(request.memBudgetFraction));
+    JsonValue offload = JsonValue::object();
+    offload.set("enabled", JsonValue::boolean(request.offload));
+    offload.set("bandwidth",
+                JsonValue::number(request.offloadBandwidth));
+    offload.set("overlap_fraction",
+                JsonValue::number(request.offloadOverlapFraction));
+    root.set("offload", std::move(offload));
     return root;
 }
 
@@ -377,6 +415,8 @@ faultToJson(const DegradedScenario &fault)
              JsonValue::number(fault.stragglerFactor));
     root.set("mem_factor", JsonValue::number(fault.memFactor));
     root.set("lost_stages", JsonValue::integer(fault.lostStages));
+    root.set("host_link_factor",
+             JsonValue::number(fault.hostLinkFactor));
     return root;
 }
 

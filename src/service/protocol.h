@@ -71,6 +71,12 @@ struct PlanRequest
     int virtualStages = 2;
     /** Device-memory fraction the planner may commit. */
     double memBudgetFraction = 0.875;
+    /** Allow the tri-choice knapsack to host-offload activations. */
+    bool offload = false;
+    /** Host-link bandwidth, bytes/s (wire: offload.bandwidth). */
+    double offloadBandwidth = 25.0e9;
+    /** Transfer fraction hidden under compute, in [0, 1]. */
+    double offloadOverlapFraction = 0.5;
 
     /** @return the named model preset; model must be valid. */
     ModelConfig modelConfig() const;

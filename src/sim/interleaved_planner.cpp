@@ -163,6 +163,11 @@ makeInterleavedPlan(const ProfiledModel &pm, PlanMethod method, int v,
         sp.overlapBubble = calc.overlapBubble(g);
         sp.timeReplayHidden = c.replayHidden;
         sp.timeReplayCritical = c.replayCritical;
+        sp.offloadMask = c.recompute.offloaded;
+        sp.offloadBytes = c.offloadBytes;
+        sp.offloadFetchUs = c.offloadExposed * 1e6;
+        if (c.offloadedUnits > 0)
+            plan.offload = true;
         plan.stages.push_back(std::move(sp));
         times[g] = {c.fwd, c.bwd};
     }
@@ -271,17 +276,28 @@ makeBestSchedulePlan(const ProfiledModel &pm, PlanMethod method,
     PlanResult best;
     PlanResult first_failure;
     bool have_failure = false;
+    // With offload requested, sweep it {off, on} alongside v: a
+    // degenerate host link can make the recompute-only plan faster,
+    // and a healthy one can unlock deeper interleaving.
+    std::vector<bool> offload_axis = {false};
+    if (opts.offload.enabled)
+        offload_axis.push_back(true);
     for (int v : {1, 2, 4}) {
-        PlanResult r = makeInterleavedPlan(pm, method, v, opts);
-        if (!r.ok) {
-            if (!have_failure) {
-                first_failure = std::move(r);
-                have_failure = true;
+        for (bool use_offload : offload_axis) {
+            StageCostOptions sweep = opts;
+            sweep.offload.enabled = use_offload;
+            PlanResult r = makeInterleavedPlan(pm, method, v, sweep);
+            if (!r.ok) {
+                if (!have_failure) {
+                    first_failure = std::move(r);
+                    have_failure = true;
+                }
+                continue;
             }
-            continue;
+            if (!best.ok ||
+                r.plan.timing.total < best.plan.timing.total)
+                best = std::move(r);
         }
-        if (!best.ok || r.plan.timing.total < best.plan.timing.total)
-            best = std::move(r);
     }
     if (best.ok)
         return best;

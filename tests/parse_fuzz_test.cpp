@@ -36,14 +36,17 @@ const char *const kValidPlan = R"({
   "train": {"micro_batch": 1, "seq_len": 128, "global_batch": 4},
   "micro_batches": 4,
   "overlap": true,
+  "offload": true,
   "timing": {"warmup": 1.0, "ending": 1.0, "steady_per_mb": 0.5,
              "total": 4.0},
   "stages": [
     {"first_layer": 0, "last_layer": 1, "time_fwd": 0.1,
-     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 2,
-     "total_units": 2, "saved_mask": [true, true],
+     "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
+     "total_units": 2, "saved_mask": [true, false],
      "overlap_bubble": 0.25, "replay_hidden": 0.05,
-     "replay_critical": 0.0},
+     "replay_critical": 0.0,
+     "offload_mask": [false, true], "offload_bytes": 4096,
+     "offload_fetch_us": 12.5},
     {"first_layer": 2, "last_layer": 3, "time_fwd": 0.1,
      "time_bwd": 0.2, "mem_peak": 1000, "saved_units": 1,
      "total_units": 2, "saved_mask": [true, false]}
@@ -197,6 +200,23 @@ TEST(ParseFuzz, WrongTypesNameTheField)
          "\"replay_hidden\": \"lots\"", "replay_hidden"},
         {kValidPlan, "\"replay_critical\": 0.0",
          "\"replay_critical\": -0.1", "replay_critical"},
+        {kValidPlan, "\"offload\": true", "\"offload\": 42",
+         "offload"},
+        {kValidPlan, "\"offload_mask\": [false, true]",
+         "\"offload_mask\": [false]", "offload_mask"},
+        {kValidPlan, "\"offload_mask\": [false, true]",
+         "\"offload_mask\": [false, 7]", "offload_mask"},
+        {kValidPlan, "\"offload_bytes\": 4096",
+         "\"offload_bytes\": -1", "offload_bytes"},
+        {kValidPlan, "\"offload_bytes\": 4096",
+         "\"offload_bytes\": \"many\"", "offload_bytes"},
+        {kValidPlan, "\"offload_bytes\": 4096",
+         "\"offload_bytes\": 9999999999999999999999999",
+         "offload_bytes"},
+        {kValidPlan, "\"offload_fetch_us\": 12.5",
+         "\"offload_fetch_us\": -2", "offload_fetch_us"},
+        {kValidPlan, "\"offload_fetch_us\": 12.5",
+         "\"offload_fetch_us\": [1]", "offload_fetch_us"},
         {kValidProfile, "\"kind\": \"gemm\"", "\"kind\": \"magic\"",
          "profile.layers[1][0].kind"},
         {kValidProfile, "\"time_fwd\": 0.3", "\"time_fwd\": -0.3",
@@ -363,6 +383,52 @@ TEST(ParseFuzz, VirtualStagesFieldIsValidatedByName)
     ASSERT_TRUE(parsed.ok()) << parsed.error();
     EXPECT_EQ(parsed.value().virtualStages, 2);
     EXPECT_EQ(parsed.value().stages.size(), 4u);
+}
+
+TEST(ParseFuzz, OffloadFieldsAreOptionalButConsistent)
+{
+    // Legacy compatibility: a plan with none of the offload_* fields
+    // parses as a keep/recompute-only plan.
+    std::string legacy = kValidPlan;
+    for (const char *field :
+         {"\n  \"offload\": true,",
+          ",\n     \"offload_mask\": [false, true], "
+          "\"offload_bytes\": 4096,\n"
+          "     \"offload_fetch_us\": 12.5"}) {
+        const std::size_t pos = legacy.find(field);
+        ASSERT_NE(pos, std::string::npos) << field;
+        legacy.erase(pos, std::string(field).size());
+    }
+    const auto plain = tryPlanFromJsonString(legacy);
+    ASSERT_TRUE(plain.ok()) << plain.error();
+    EXPECT_FALSE(plain.value().offload);
+    EXPECT_TRUE(plain.value().stages[0].offloadMask.empty());
+    EXPECT_EQ(plain.value().stages[0].offloadBytes, 0u);
+
+    // A unit marked both saved and offloaded is contradictory — the
+    // loader must name the unit.
+    std::string conflict = kValidPlan;
+    const std::string needle = "\"offload_mask\": [false, true]";
+    const std::size_t pos = conflict.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    conflict.replace(pos, needle.size(),
+                     "\"offload_mask\": [true, true]");
+    const auto r = tryPlanFromJsonString(conflict);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("unit 0 is both saved and offloaded"),
+              std::string::npos)
+        << r.error();
+
+    // A duplicate offload_mask key is caught by the JSON layer.
+    std::string dup = kValidPlan;
+    const std::size_t mask_pos = dup.find("\"offload_mask\"");
+    ASSERT_NE(mask_pos, std::string::npos);
+    dup.insert(mask_pos, "\"offload_mask\": [false, false], ");
+    const auto d = tryPlanFromJsonString(dup);
+    ASSERT_FALSE(d.ok());
+    EXPECT_NE(d.error().find("duplicate key 'offload_mask'"),
+              std::string::npos)
+        << d.error();
 }
 
 TEST(ParseFuzz, MissingFieldsNameTheField)
@@ -609,10 +675,13 @@ const char *const kValidServiceRequest = R"({
     "parallel": {"tensor": 1, "pipeline": 2, "data": 1},
     "method": "adapipe",
     "schedule": {"family": "1f1b"},
-    "mem_budget_fraction": 0.875
+    "mem_budget_fraction": 0.875,
+    "offload": {"enabled": true, "bandwidth": 25000000000.0,
+                "overlap_fraction": 0.5}
   },
   "fault": {"straggler_stage": 0, "straggler_factor": 2.0,
-            "mem_factor": 1.0, "lost_stages": 0}
+            "mem_factor": 1.0, "lost_stages": 0,
+            "host_link_factor": 0.5}
 })";
 
 TEST(ServiceFuzz, BaseRequestIsValid)
@@ -697,6 +766,20 @@ TEST(ServiceFuzz, FieldCorruptionsNameTheField)
          "service.fault.mem_factor"},
         {"\"lost_stages\": 0", "\"lost_stages\": -2",
          "service.fault.lost_stages"},
+        {"\"enabled\": true", "\"enabled\": \"yes\"",
+         "service.plan.offload.enabled"},
+        {"\"bandwidth\": 25000000000.0", "\"bandwidth\": 0",
+         "service.plan.offload.bandwidth"},
+        {"\"bandwidth\": 25000000000.0", "\"bandwidth\": -1e9",
+         "service.plan.offload.bandwidth"},
+        {"\"overlap_fraction\": 0.5", "\"overlap_fraction\": 1.5",
+         "service.plan.offload.overlap_fraction"},
+        {"\"overlap_fraction\": 0.5", "\"overlap_fraction\": -0.25",
+         "service.plan.offload.overlap_fraction"},
+        {"\"host_link_factor\": 0.5", "\"host_link_factor\": 0",
+         "service.fault.host_link_factor"},
+        {"\"host_link_factor\": 0.5", "\"host_link_factor\": 1.5",
+         "service.fault.host_link_factor"},
     };
     for (const Case &c : cases) {
         std::string doc = kValidServiceRequest;
@@ -788,7 +871,8 @@ TEST(DegradedPlanFuzz, MutationsNeverAbort)
     // Wrap the valid plan in a degraded-plan document.
     const std::string base = std::string(R"({
   "scenario": {"straggler_stage": -1, "straggler_factor": 1.0,
-               "mem_factor": 1.0, "lost_stages": 1},
+               "mem_factor": 1.0, "lost_stages": 1,
+               "host_link_factor": 0.75},
   "original_fingerprint": "0123456789abcdef",
   "degraded_capacity": 1000,
   "plan": )") + kValidPlan + "\n}";

@@ -308,6 +308,117 @@ TEST(RecomputeOracle, DiscountedDpMatchesBruteForce)
     }
 }
 
+TEST(TriChoiceOracle, DpMatchesBruteForceOnRepresentableInstances)
+{
+    // Random keep/recompute/offload instances built so every DP
+    // quantisation is lossless: memory sizes are 256-multiples (GCD
+    // granularity 256), the link budget is maxLinkBuckets * 256 with
+    // bandwidth 2 B/s (linkTime(bytes) == bytes, an exact multiple of
+    // the 256 s/bucket link granularity) and times are
+    // quarter-integers. The DP must then match the exponential
+    // tri-choice oracle exactly — objective and tie-break fields.
+    for (int seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        const int n = 3 + seed % 8;
+        std::vector<UnitProfile> units;
+        std::int64_t total = 0;
+        for (int i = 0; i < n; ++i) {
+            const bool always = rng.uniform() < 0.15;
+            const Bytes mem =
+                static_cast<Bytes>(256 * rng.uniformInt(1, 8));
+            units.push_back(
+                unit(0.25 * rng.uniformInt(1, 16), mem, always));
+            if (!always)
+                total += static_cast<std::int64_t>(mem);
+        }
+        const std::int64_t budget =
+            256 * rng.uniformInt(0, static_cast<int>(total / 256));
+
+        RecomputeDpOptions opts;
+        opts.offload.enabled = true;
+        opts.offload.bandwidth = 2.0; // linkTime(bytes) == bytes
+        opts.offload.overlapFraction = 0.5;
+        opts.offload.maxLinkBuckets = rng.uniformInt(2, 12);
+        opts.offload.linkBudgetPerMb =
+            256.0 * opts.offload.maxLinkBuckets;
+
+        const auto dp = solveRecomputeKnapsack(units, budget, opts);
+        const auto bf = bruteForceTriChoice(units, budget, opts);
+
+        ASSERT_EQ(dp.saved.size(), units.size());
+        ASSERT_EQ(dp.offloaded.size(), units.size());
+        for (std::size_t i = 0; i < units.size(); ++i) {
+            EXPECT_FALSE(dp.saved[i] && dp.offloaded[i])
+                << "unit " << i << " both saved and offloaded";
+            if (units[i].alwaysSaved)
+                EXPECT_FALSE(dp.offloaded[i])
+                    << "always-saved unit " << i << " offloaded";
+        }
+        EXPECT_LE(dp.savedBytes, static_cast<Bytes>(budget));
+        EXPECT_LE(dp.offloadLinkTime,
+                  opts.offload.linkBudgetPerMb + 1e-9);
+
+        EXPECT_NEAR(dp.criticalReplayTime + dp.offloadExposedTime,
+                    bf.criticalReplayTime + bf.offloadExposedTime,
+                    1e-9)
+            << "seed " << seed << " budget " << budget << " link "
+            << opts.offload.linkBudgetPerMb;
+        EXPECT_EQ(dp.savedBytes, bf.savedBytes) << "seed " << seed;
+        EXPECT_NEAR(dp.offloadLinkTime, bf.offloadLinkTime, 1e-9)
+            << "seed " << seed;
+        EXPECT_NEAR(dp.savedFwdTime, bf.savedFwdTime, 1e-9)
+            << "seed " << seed;
+    }
+}
+
+TEST(TriChoiceOracle, OffloadedUnitsDoNotConsumeBubbleBudget)
+{
+    // Two optional units, zero memory budget (nothing can be kept),
+    // a bubble of 2 s and a link budget that fits one unit. With the
+    // transfer fully overlapped, offloading either unit leaves the
+    // other's replay inside the bubble: critical replay drops from
+    // 1 s (recompute both, 3 s replay - 2 s bubble) to 0. The DP
+    // must take the offload, charge the offloaded unit zero replay
+    // and zero bubble, and prefer the smaller transfer on the tie.
+    std::vector<UnitProfile> units{unit(1.0, 512), unit(2.0, 1024)};
+    RecomputeDpOptions opts;
+    opts.overlapBubble = 2.0;
+    opts.offload.enabled = true;
+    opts.offload.bandwidth = 2.0;
+    opts.offload.overlapFraction = 1.0;
+    opts.offload.maxLinkBuckets = 4;
+    opts.offload.linkBudgetPerMb = 1024.0;
+
+    const auto dp = solveRecomputeKnapsack(units, 0, opts);
+    EXPECT_TRUE(dp.offloaded[0]);
+    EXPECT_FALSE(dp.offloaded[1]);
+    EXPECT_FALSE(dp.saved[0]);
+    EXPECT_FALSE(dp.saved[1]);
+    EXPECT_DOUBLE_EQ(dp.criticalReplayTime, 0.0);
+    // Only the recomputed unit's 2 s replay hides in the bubble; the
+    // offloaded unit contributes nothing to either replay field.
+    EXPECT_DOUBLE_EQ(dp.hiddenReplayTime, 2.0);
+    EXPECT_DOUBLE_EQ(dp.offloadExposedTime, 0.0);
+    EXPECT_EQ(dp.offloadBytes, 512u);
+
+    const auto bf = bruteForceTriChoice(units, 0, opts);
+    EXPECT_EQ(bf.offloaded, dp.offloaded);
+    EXPECT_DOUBLE_EQ(bf.criticalReplayTime, 0.0);
+
+    // The converse guard: a giant bubble hides *replay*, never the
+    // exposed transfer share. With zero overlap every offload would
+    // put its full link time on the critical path while recompute is
+    // free under the bubble — the solver must not offload anything.
+    RecomputeDpOptions exposed = opts;
+    exposed.overlapBubble = 10.0;
+    exposed.offload.overlapFraction = 0.0;
+    const auto none = solveRecomputeKnapsack(units, 0, exposed);
+    EXPECT_EQ(none.offloadedUnits, 0);
+    EXPECT_DOUBLE_EQ(none.offloadExposedTime, 0.0);
+    EXPECT_DOUBLE_EQ(none.criticalReplayTime, 0.0);
+    EXPECT_DOUBLE_EQ(none.hiddenReplayTime, 3.0);
+}
+
 TEST(RecomputeOracle, MatchesLibraryBruteForce)
 {
     // Cross-check the two oracles against each other on a mixed

@@ -165,10 +165,21 @@ TEST(StageCostOffload, InfiniteLinkRemovesAllPenalty)
     const StageCost &c = calc.cost(0, 0, 40);
     ASSERT_TRUE(c.feasible);
     Seconds bwd_all = 0;
-    for (int l = 0; l <= 40; ++l)
+    Seconds fixed_replay = 0;
+    for (int l = 0; l <= 40; ++l) {
         bwd_all += pm.layers[l].timeBwdAll();
-    // Everything unsaved evicts for free: no recompute penalty left.
-    EXPECT_NEAR(c.bwd, bwd_all, 1e-6);
+        for (const auto &u : pm.layers[l].units) {
+            // Zero-byte units have nothing to stage to host: they
+            // recompute regardless of link speed.
+            if (!u.alwaysSaved && u.memSaved == 0)
+                fixed_replay += u.timeFwd;
+        }
+    }
+    // Every unit with bytes evicts for free: the only penalty left
+    // is the fixed replay of non-stageable units.
+    EXPECT_NEAR(c.bwd, bwd_all + fixed_replay, 1e-6);
+    EXPECT_GT(c.offloadedUnits, 0);
+    EXPECT_NEAR(c.offloadExposed, 0.0, 1e-6);
 }
 
 /**
